@@ -1,0 +1,70 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's evaluation artifacts and
+prints the paper-shaped table. Scale is selected with the
+``REPRO_BENCH_SCALE`` environment variable:
+
+- ``smoke`` — minutes-level CI run;
+- ``default`` (the default) — paper-shaped results at reduced cost;
+- ``paper`` — the full 15-volunteer protocol (slow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.eval.experiments import DEFAULT, PAPER, SMOKE, ExperimentScale
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale for this benchmark run."""
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def sweep_scale(scale) -> ExperimentScale:
+    """Reduced-victim scale for multi-condition sweeps (Fig. 13-17)."""
+    return dataclasses.replace(scale, n_victims=min(scale.n_victims, 2))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture()
+def report(request):
+    """Print an experiment table so it survives pytest's capture.
+
+    pytest discards the stdout of passing tests (and its default
+    fd-level capture even swallows writes to the real stdout), which
+    would hide the regenerated tables from
+    ``pytest benchmarks/ --benchmark-only`` output. Temporarily
+    disabling the capture manager keeps them visible.
+    """
+    capman = request.config.pluginmanager.get_plugin("capturemanager")
+
+    def _report(result) -> None:
+        text = "\n" + str(result)
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text, flush=True)
+        else:  # pragma: no cover - capture plugin absent (unusual)
+            print(text, flush=True)
+
+    return _report

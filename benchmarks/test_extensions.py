@@ -1,0 +1,40 @@
+"""Benchmarks for the extension experiments (beyond the paper).
+
+These probe the design space around the paper: template aging,
+enrollment size, and the score-threshold geometry.
+"""
+
+from .conftest import run_once
+from repro.eval.extensions import (
+    run_aging_sweep,
+    run_eer_analysis,
+    run_enrollment_size_sweep,
+)
+
+
+def test_ext_aging(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_aging_sweep, sweep_scale)
+    report(result)
+
+    s = result.summary
+    # Fresh templates work; extreme aging never helps.
+    assert s["acc_age_0"] >= 0.6
+    assert s["acc_age_2"] <= s["acc_age_0"] + 0.05
+
+
+def test_ext_enrollment_size(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_enrollment_size_sweep, sweep_scale)
+    report(result)
+
+    s = result.summary
+    # More enrollment entries never hurt much.
+    assert s["acc_12"] >= s["acc_3"] - 0.1
+
+
+def test_ext_eer(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_eer_analysis, sweep_scale)
+    report(result)
+
+    s = result.summary
+    # Genuine and impostor scores are well separated.
+    assert s["eer"] <= 0.25

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 10 — accuracy for 5 cases + attack TRR.
+
+Paper: one-handed ~98% accuracy (the best case), privacy boost ~83%,
+double-3 ~88%, double-2 ~70% (the weakest), overall average ~84%; the
+system rejects ~98% of both random and emulating attacks.
+"""
+
+from .conftest import run_once
+from repro.eval.experiments import run_fig10
+
+
+def test_fig10_five_cases(benchmark, scale, report):
+    result = run_once(benchmark, run_fig10, scale)
+    report(result)
+
+    s = result.summary
+    # One-handed is the best case.
+    assert s["one_hand"] >= s["single_boost"] - 0.05
+    assert s["one_hand"] >= s["double2"] - 0.05
+    # Double-2 (all-must-pass over two short waveforms) does not beat
+    # double-3 (2-of-3) by more than noise.
+    assert s["double2"] <= s["double3"] + 0.1
+    # Attacks are strongly rejected.
+    assert s["trr_random"] >= 0.9
+    assert s["trr_emulating"] >= 0.8
+    # Overall usable.
+    assert s["average"] >= 0.6

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 13 — impact of PPG channels.
+
+Paper, Fig. 13a: authentication accuracy increases significantly with
+the number of channels while the rejection rate stays roughly flat.
+Fig. 13b: infrared channels authenticate better, red channels reject
+at least as well — the wavelengths complement each other.
+"""
+
+from .conftest import run_once
+from repro.eval.experiments import run_fig13a, run_fig13b
+
+
+def test_fig13a_channel_count(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_fig13a, sweep_scale)
+    report(result)
+
+    s = result.summary
+    assert s["acc_4ch"] >= s["acc_1ch"]
+    # Rejection stays strong at every channel count.
+    for count in (1, 2, 3, 4):
+        assert s[f"trr_{count}ch"] >= 0.7
+
+
+def test_fig13b_individual_channels(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_fig13b, sweep_scale)
+    report(result)
+
+    s = result.summary
+    assert s["infrared_accuracy"] >= s["red_accuracy"]
+    assert s["red_trr"] >= s["infrared_trr"] - 0.1

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 14 — third-party dataset size.
+
+Paper: growing the third-party store from 20 to 300 samples pushes
+the rejection rate up while authentication accuracy drifts down (the
+fixed 9 legitimate entries get swamped); 100 is the chosen trade-off.
+"""
+
+from .conftest import run_once
+from repro.eval.experiments import run_fig14
+
+
+def test_fig14_thirdparty_size(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_fig14, sweep_scale)
+    report(result)
+
+    s = result.summary
+    # Rejection improves (or holds) as the store grows from tiny...
+    assert s["trr_300"] >= s["trr_5"] - 0.02
+    # ...while accuracy never improves with more negatives.
+    assert s["acc_300"] <= s["acc_5"] + 0.05

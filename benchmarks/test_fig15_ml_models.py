@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 15 — impact of the ML model.
+
+Paper: the ROCKET+ridge combination reaches ~0.96 on the complete
+test data with the shortest computation time; the alternative
+learners (ResNet, KNN, RNN-FNN) may authenticate real users
+comparably but reject attackers worse, i.e. they trade security for
+nothing.
+"""
+
+from .conftest import run_once
+from repro.eval.experiments import run_fig15
+
+
+def test_fig15_ml_models(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_fig15, sweep_scale)
+    report(result)
+
+    s = result.summary
+    competitors = ("knn", "resnet", "rnn_fnn")
+    # Rocket+ridge strictly dominates on the combined score.
+    rocket = s["rocket_ridge_accuracy"] + s["rocket_ridge_trr"]
+    for model in competitors:
+        other = s[f"{model}_accuracy"] + s[f"{model}_trr"]
+        assert rocket >= other - 0.05, model
+    # And no competitor rejects attackers better by a wide margin.
+    for model in competitors:
+        assert s["rocket_ridge_trr"] >= s[f"{model}_trr"] - 0.1, model

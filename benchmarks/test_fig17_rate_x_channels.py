@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 17 — sampling rate x channel count.
+
+Paper: the system works across the whole grid of rates and channel
+counts, and more channels damp the model's run-to-run variation.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+from repro.eval.experiments import run_fig17
+
+
+def test_fig17_rate_by_channels(benchmark, sweep_scale, report):
+    result = run_once(benchmark, run_fig17, sweep_scale)
+    report(result)
+
+    s = result.summary
+    # Usable accuracy over the entire grid.
+    assert all(v >= 0.3 for v in s.values())
+    # The best cell uses all four channels at a non-minimal rate.
+    four_channel = [v for k, v in s.items() if k.endswith("_4ch")]
+    one_channel = [v for k, v in s.items() if k.endswith("_1ch")]
+    assert np.mean(four_channel) >= np.mean(one_channel) - 0.02

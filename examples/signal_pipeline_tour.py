@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A guided tour of the signal pipeline (Fig. 4, preprocessing phase).
+
+Synthesizes one PIN entry and walks it through every stage, printing
+what each stage contributes — the ASCII sparklines make the keystroke
+artifacts visible right in the terminal:
+
+1. raw multi-channel PPG from the wearable prototype;
+2. median filtering (impulse noise removal);
+3. fine-grained keystroke time calibration (Eq. 1);
+4. smoothness-priors detrending (Eq. 2-3);
+5. short-time energy detection and input-case identification;
+6. waveform segmentation (90-sample windows).
+
+Run:  python examples/signal_pipeline_tour.py
+"""
+
+import numpy as np
+
+from repro import TrialSynthesizer, sample_population
+from repro.config import PipelineConfig
+from repro.core import identify_input_case, preprocess_trial
+from repro.signal import short_time_energy
+
+PIN = "1628"
+SPARKS = " .:-=+*#%@"
+
+
+def sparkline(x: np.ndarray, width: int = 100) -> str:
+    """Render a signal as a one-line ASCII sparkline."""
+    bins = np.array_split(x, width)
+    values = np.array([np.mean(np.abs(b - x.mean())) for b in bins])
+    span = values.max() - values.min()
+    if span == 0:
+        return SPARKS[0] * width
+    levels = ((values - values.min()) / span * (len(SPARKS) - 1)).astype(int)
+    return "".join(SPARKS[i] for i in levels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    users = sample_population(3, seed=99)
+    synth = TrialSynthesizer()
+    config = PipelineConfig()
+
+    trial = synth.synthesize_trial(users[0], PIN, rng)
+    rec = trial.recording
+    print(f"Trial: user {trial.user_id} typed {trial.pin!r}; "
+          f"{rec.n_channels} channels x {rec.n_samples} samples @ {rec.fs:.0f} Hz")
+    print(f"True press times   : "
+          f"{[f'{e.true_time:.2f}' for e in trial.events]}")
+    print(f"Phone-reported     : "
+          f"{[f'{e.reported_time:.2f}' for e in trial.events]} "
+          f"(communication delay jitter)\n")
+
+    print("Raw channel 0 (infrared, sensor site 0):")
+    print(f"  |{sparkline(rec.samples[0])}|\n")
+
+    pre = preprocess_trial(trial, config)
+
+    print("After median filter + smoothness-priors detrending (channel avg):")
+    print(f"  |{sparkline(pre.reference)}|")
+    marks = [" "] * 100
+    for index in pre.keystroke_indices:
+        marks[min(99, int(index / rec.n_samples * 100))] = "^"
+    print(f"  |{''.join(marks)}|  ^ = calibrated keystroke moments\n")
+
+    fs = rec.fs
+    print("Calibration vs truth (samples):")
+    for event, index in zip(trial.events, pre.keystroke_indices):
+        true_idx = int(round(event.true_time * fs))
+        reported_idx = int(round(event.reported_time * fs))
+        print(f"  key {event.key}: reported {reported_idx:4d}  "
+              f"calibrated {index:4d}  true press {true_idx:4d}")
+    print()
+
+    energy = short_time_energy(pre.reference, config.energy_window)
+    threshold = config.energy_threshold_ratio * energy.mean()
+    print(f"Short-time energy (window {config.energy_window}, "
+          f"threshold = {config.energy_threshold_ratio} x mean = {threshold:.1f}):")
+    print(f"  |{sparkline(energy)}|")
+    print(f"  keystrokes detected: {pre.detected_count}/{len(trial.pin)}")
+    print(f"  input case         : {identify_input_case(pre).value}\n")
+
+    print(f"Segmentation ({config.segment_window}-sample windows):")
+    for position in pre.detected_positions():
+        segment = pre.segment(position, config.segment_window)
+        print(f"  key {segment.key}: |{sparkline(segment.samples[0], 60)}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the reproduction's main entry
+points without writing code:
+
+- ``demo`` — enroll a simulated user and run authentications + attacks;
+- ``experiment <id>`` — regenerate one of the paper's tables/figures
+  (``fig8``..``fig17``, ``tab1``, or ``all``) at a chosen scale;
+- ``simulate`` — synthesize a PIN-entry trial and dump it as CSV;
+- ``list`` — list the available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _all_runners():
+    from .eval.experiments import RUNNERS
+    from .eval.extensions import EXTENSION_RUNNERS
+
+    runners = dict(RUNNERS)
+    runners.update(EXTENSION_RUNNERS)
+    return runners
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Available experiments:")
+    for name, runner in _all_runners().items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:10s} {doc}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .eval.experiments import DEFAULT, PAPER, SMOKE
+
+    scales = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+    scale = scales[args.scale]
+    runners = _all_runners()
+    names = list(runners) if args.id == "all" else [args.id]
+    unknown = [n for n in names if n not in runners]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(runners)} or 'all'", file=sys.stderr)
+        return 2
+    for name in names:
+        result = runners[name](scale)
+        print(result)
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import EmulatingAttacker, EnrollmentOptions, P2Auth, RandomAttacker
+    from .physio import TrialSynthesizer, sample_population
+
+    pin = args.pin
+    rng = np.random.default_rng(args.seed)
+    users = sample_population(12, seed=args.seed)
+    synth = TrialSynthesizer()
+    legit = users[0]
+
+    print(f"Enrolling simulated user 0 with PIN {pin!r} ...")
+    enrollment = [synth.synthesize_trial(legit, pin, rng) for _ in range(9)]
+    third_party = [
+        synth.synthesize_trial(u, pin, rng) for u in users[1:10] for _ in range(10)
+    ]
+    auth = P2Auth(pin=pin, options=EnrollmentOptions(num_features=2520))
+    auth.enroll(enrollment, third_party)
+
+    accepted = sum(
+        auth.authenticate(synth.synthesize_trial(legit, pin, rng)).accepted
+        for _ in range(args.attempts)
+    )
+    print(f"legitimate entries accepted : {accepted}/{args.attempts}")
+
+    random_attacker = RandomAttacker(users[10], synth, rng)
+    rejected = sum(
+        not auth.authenticate(random_attacker.attempt()).accepted
+        for _ in range(args.attempts)
+    )
+    print(f"random attacks rejected     : {rejected}/{args.attempts}")
+
+    emulator = EmulatingAttacker(users[11], legit, synth, rng)
+    rejected = sum(
+        not auth.authenticate(emulator.attempt(pin)).accepted
+        for _ in range(args.attempts)
+    )
+    print(f"emulating attacks rejected  : {rejected}/{args.attempts}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .physio import TrialSynthesizer, sample_population
+
+    users = sample_population(args.user + 1, seed=args.seed)
+    synth = TrialSynthesizer()
+    rng = np.random.default_rng(args.trial_seed)
+    trial = synth.synthesize_trial(
+        users[args.user], args.pin, rng, one_handed=not args.two_handed
+    )
+    rec = trial.recording
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        labels = ",".join(info.label for info in rec.channels)
+        out.write(f"time,{labels}\n")
+        times = rec.time_axis()
+        for i in range(rec.n_samples):
+            row = ",".join(f"{v:.6f}" for v in rec.samples[:, i])
+            out.write(f"{times[i]:.3f},{row}\n")
+    finally:
+        if args.out:
+            out.close()
+
+    print(
+        f"# user={trial.user_id} pin={trial.pin} fs={rec.fs:.0f}Hz "
+        f"samples={rec.n_samples}",
+        file=sys.stderr,
+    )
+    for event in trial.events:
+        print(
+            f"# key {event.key}: true={event.true_time:.3f}s "
+            f"reported={event.reported_time:.3f}s hand={event.hand.value}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P2Auth reproduction (ICDCS 2023) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("id", help="fig8..fig17, tab1, or 'all'")
+    exp.add_argument(
+        "--scale",
+        choices=("smoke", "default", "paper"),
+        default="smoke",
+        help="evaluation scale (default: smoke)",
+    )
+    exp.set_defaults(func=_cmd_experiment)
+
+    demo = sub.add_parser("demo", help="enroll + authenticate + attacks")
+    demo.add_argument("--pin", default="1628")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--attempts", type=int, default=10)
+    demo.set_defaults(func=_cmd_demo)
+
+    sim = sub.add_parser("simulate", help="dump one synthetic trial as CSV")
+    sim.add_argument("--user", type=int, default=0)
+    sim.add_argument("--pin", default="1628")
+    sim.add_argument("--seed", type=int, default=0, help="population seed")
+    sim.add_argument("--trial-seed", type=int, default=0)
+    sim.add_argument("--two-handed", action="store_true")
+    sim.add_argument("--out", help="output CSV path (default: stdout)")
+    sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

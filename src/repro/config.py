@@ -1,0 +1,239 @@
+"""Configuration objects with the paper's default parameters.
+
+Three frozen dataclasses collect every tunable of the reproduction:
+
+- :class:`SimulationConfig` — physics of the synthetic PPG substrate
+  (the substitution for the paper's human-subject data collection).
+- :class:`PipelineConfig` — the signal-processing constants Section IV
+  fixes (calibration window 30, energy window 20, segmentation window
+  90, threshold = 1/2 mean short-time energy, 100 Hz).
+- :class:`ProtocolConfig` — the evaluation protocol of Section V
+  (15 volunteers, 5 PINs, >=18 repetitions, 100 third-party samples).
+
+All configs are immutable; derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .errors import ConfigurationError
+
+#: The five PINs volunteers typed in the paper's data collection.
+PAPER_PINS: Tuple[str, ...] = ("1628", "3570", "5094", "6938", "7412")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of the synthetic PPG/accelerometer substrate.
+
+    The defaults are tuned so that the *relative* results of the paper's
+    evaluation hold: keystroke artifacts dominate the heartbeat
+    component, users are separable from full waveforms, single
+    keystrokes are noisier than full entries, infrared channels carry a
+    cleaner artifact than red ones, and wrist acceleration during static
+    typing is small.
+
+    Attributes:
+        fs: PPG sampling rate in Hz (prototype: 100 Hz).
+        accel_fs: accelerometer sampling rate in Hz (prototype: 75 Hz).
+        heart_rate_range: per-user resting heart rate range, bpm.
+        hrv_std: per-beat period jitter, as a fraction of the period.
+        pulse_amplitude: nominal amplitude of the cardiac AC component.
+        artifact_amplitude_range: per-user keystroke artifact peak
+            amplitude range; keystrokes must exceed heartbeat peaks
+            (Section III observation).
+        artifact_duration: nominal artifact support in seconds.
+        inter_key_interval: mean gap between keystrokes in seconds
+            (the paper measures ~1.1 s).
+        inter_key_jitter: standard deviation of the gap, seconds.
+        lead_in: seconds of artifact-free signal before the first key.
+        lead_out: seconds of artifact-free signal after the last key.
+        timestamp_jitter: bound of the uniform communication-delay
+            offset between true and phone-reported keystroke times,
+            seconds. Must stay within half the calibration window.
+        baseline_wander_amplitude: amplitude of slow baseline drift.
+        noise_std: standard deviation of wideband sensor noise.
+        fidget_rate: expected number of spurious (non-keystroke) motion
+            bumps per second, modelling restless users.
+        fidget_amplitude: amplitude scale of spurious bumps.
+        user_instability_range: per-user multiplier range applied to
+            fidget and noise levels (volunteer 8 vs volunteer 11 in
+            Fig. 8 of the paper).
+        red_noise_factor: extra noise multiplier on red channels
+            relative to infrared (red penetrates less deeply).
+        red_specificity_boost: weight shift making red channels weight
+            the user-specific artifact component more strongly, giving
+            red a better rejection rate (Fig. 13b).
+        adc_bits: ADC resolution used for quantization.
+        adc_full_scale: ADC full-scale amplitude.
+        accel_keystroke_amplitude: peak wrist acceleration per key
+            press during static typing, in g; deliberately small.
+        accel_noise_std: accelerometer noise floor in g.
+    """
+
+    fs: float = 100.0
+    accel_fs: float = 75.0
+    heart_rate_range: Tuple[float, float] = (58.0, 92.0)
+    hrv_std: float = 0.035
+    pulse_amplitude: float = 1.0
+    artifact_amplitude_range: Tuple[float, float] = (2.2, 4.2)
+    artifact_duration: float = 0.55
+    inter_key_interval: float = 1.1
+    inter_key_jitter: float = 0.12
+    lead_in: float = 1.0
+    lead_out: float = 0.8
+    timestamp_jitter: float = 0.12
+    baseline_wander_amplitude: float = 0.8
+    noise_std: float = 0.16
+    fidget_rate: float = 0.05
+    fidget_amplitude: float = 1.1
+    user_instability_range: Tuple[float, float] = (0.5, 2.4)
+    red_noise_factor: float = 1.7
+    red_specificity_boost: float = 0.5
+    adc_bits: int = 18
+    adc_full_scale: float = 24.0
+    accel_keystroke_amplitude: float = 0.15
+    accel_noise_std: float = 0.012
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0 or self.accel_fs <= 0:
+            raise ConfigurationError("sampling rates must be positive")
+        low, high = self.heart_rate_range
+        if not 0 < low <= high:
+            raise ConfigurationError(
+                f"invalid heart rate range: {self.heart_rate_range}"
+            )
+        low, high = self.artifact_amplitude_range
+        if not 0 < low <= high:
+            raise ConfigurationError(
+                f"invalid artifact amplitude range: {self.artifact_amplitude_range}"
+            )
+        if self.inter_key_interval <= 0:
+            raise ConfigurationError("inter-key interval must be positive")
+        if self.timestamp_jitter < 0:
+            raise ConfigurationError("timestamp jitter must be non-negative")
+        if self.adc_bits < 2:
+            raise ConfigurationError("ADC must have at least 2 bits")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Signal-processing constants fixed by Section IV of the paper.
+
+    Attributes:
+        fs: sampling rate the pipeline expects, Hz.
+        median_kernel: median-filter kernel length (noise removal).
+        sg_window: Savitzky-Golay window for calibration smoothing.
+        sg_polyorder: Savitzky-Golay polynomial order.
+        calibration_window: extreme-point search window in samples
+            (paper: 30 at 100 Hz).
+        detrend_lambda: smoothness-priors regularization parameter.
+        energy_window: short-time energy window in samples (paper: 20).
+        energy_threshold_ratio: keystroke-detection threshold as a
+            fraction of the mean short-time energy (paper: 1/2).
+        segment_window: single-keystroke segment length in samples
+            (paper: 90, to avoid overlapping adjacent keystrokes).
+    """
+
+    fs: float = 100.0
+    median_kernel: int = 5
+    sg_window: int = 11
+    sg_polyorder: int = 3
+    calibration_window: int = 30
+    detrend_lambda: float = 50.0
+    energy_window: int = 20
+    energy_threshold_ratio: float = 0.5
+    segment_window: int = 90
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ConfigurationError("sampling rate must be positive")
+        if self.median_kernel < 1 or self.median_kernel % 2 == 0:
+            raise ConfigurationError("median kernel must be a positive odd integer")
+        if self.sg_window % 2 == 0 or self.sg_window <= self.sg_polyorder:
+            raise ConfigurationError(
+                "SG window must be odd and larger than the polynomial order"
+            )
+        if self.calibration_window < 2:
+            raise ConfigurationError("calibration window must be >= 2 samples")
+        if self.detrend_lambda <= 0:
+            raise ConfigurationError("detrend lambda must be positive")
+        if self.energy_window < 1:
+            raise ConfigurationError("energy window must be >= 1 sample")
+        if not 0 < self.energy_threshold_ratio < 1:
+            raise ConfigurationError("energy threshold ratio must be in (0, 1)")
+        if self.segment_window < 4:
+            raise ConfigurationError("segment window must be >= 4 samples")
+
+    def scaled_to(self, fs: float) -> "PipelineConfig":
+        """Return a config with sample-count windows rescaled to ``fs``.
+
+        Used by the sampling-rate experiments (Fig. 16/17): window sizes
+        are defined in samples at 100 Hz and must shrink proportionally
+        when the signal is decimated.
+        """
+        from dataclasses import replace
+
+        if fs <= 0:
+            raise ConfigurationError("sampling rate must be positive")
+        ratio = fs / self.fs
+
+        def scale(n: int, minimum: int) -> int:
+            return max(minimum, int(round(n * ratio)))
+
+        def scale_odd(n: int, minimum: int) -> int:
+            scaled = scale(n, minimum)
+            return scaled if scaled % 2 == 1 else scaled + 1
+
+        return replace(
+            self,
+            fs=fs,
+            median_kernel=scale_odd(self.median_kernel, 3),
+            sg_window=scale_odd(self.sg_window, self.sg_polyorder + 2),
+            calibration_window=scale(self.calibration_window, 4),
+            energy_window=scale(self.energy_window, 2),
+            segment_window=scale(self.segment_window, 8),
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Evaluation protocol from Section V of the paper.
+
+    Attributes:
+        n_users: number of volunteers (paper: 15).
+        pins: PINs typed by every volunteer.
+        repetitions: PIN-entry repetitions per user per PIN (paper: >=18).
+        enroll_samples: legitimate entries used for enrollment (paper
+            caps usability at 9 PIN entries).
+        third_party_samples: third-party negative samples stored on the
+            phone for training (paper default: 100).
+        random_attack_entries: attacker entries used to evaluate the
+            random-attack true rejection rate (paper: 150).
+        n_attackers: number of distinct attackers (paper: 4).
+    """
+
+    n_users: int = 15
+    pins: Tuple[str, ...] = PAPER_PINS
+    repetitions: int = 18
+    enroll_samples: int = 9
+    third_party_samples: int = 100
+    random_attack_entries: int = 150
+    n_attackers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2:
+            raise ConfigurationError("need at least 2 users (one legit, one other)")
+        if not self.pins:
+            raise ConfigurationError("at least one PIN is required")
+        for pin in self.pins:
+            if not pin.isdigit() or not pin:
+                raise ConfigurationError(f"invalid PIN: {pin!r}")
+        if self.repetitions < 2:
+            raise ConfigurationError("need at least 2 repetitions per user")
+        if self.enroll_samples < 1:
+            raise ConfigurationError("need at least 1 enrollment sample")
+        if self.third_party_samples < 0:
+            raise ConfigurationError("third-party sample count must be >= 0")

@@ -1,0 +1,59 @@
+"""P2Auth core: the paper's primary contribution.
+
+The workflow of Fig. 4, end to end: preprocessing (`pipeline`), input
+case identification (`input_case`), privacy-boost waveform fusion
+(`fusion`), PIN verification (`pin`), enrollment (`enrollment`),
+authentication with results integration (`authentication`), the
+:class:`P2Auth` facade (`authenticator`), and the attack models
+(`attacks`).
+"""
+
+from .attacks import EmulatingAttacker, RandomAttacker
+from .authentication import AuthDecision, authenticate_preprocessed
+from .authenticator import P2Auth
+from .persistence import load_authenticator, save_authenticator
+from .session import SessionEvent, SessionManager, SessionState
+from .streaming import DetectedKeystroke, StreamingKeystrokeDetector
+from .wear import WearStatus, detect_wear
+from .enrollment import (
+    EnrolledModels,
+    EnrollmentOptions,
+    WaveformModel,
+    enroll_models,
+    extract_full_waveform,
+    extract_fused_waveform,
+    extract_segments,
+)
+from .fusion import fuse_waveforms
+from .input_case import identify_input_case
+from .pin import PinVerifier
+from .pipeline import PreprocessedTrial, preprocess_trial
+
+__all__ = [
+    "AuthDecision",
+    "DetectedKeystroke",
+    "EmulatingAttacker",
+    "EnrolledModels",
+    "EnrollmentOptions",
+    "P2Auth",
+    "PinVerifier",
+    "PreprocessedTrial",
+    "RandomAttacker",
+    "SessionEvent",
+    "SessionManager",
+    "SessionState",
+    "StreamingKeystrokeDetector",
+    "WaveformModel",
+    "WearStatus",
+    "authenticate_preprocessed",
+    "detect_wear",
+    "enroll_models",
+    "load_authenticator",
+    "extract_full_waveform",
+    "extract_fused_waveform",
+    "extract_segments",
+    "fuse_waveforms",
+    "identify_input_case",
+    "preprocess_trial",
+    "save_authenticator",
+]

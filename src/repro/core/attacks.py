@@ -1,0 +1,105 @@
+"""Attack models of Section IV-D.
+
+Both attackers are other simulated people trying to pass the victim's
+authenticator:
+
+- :class:`RandomAttacker` — knows nothing about the victim; guesses a
+  random PIN and types it in their own natural style.
+- :class:`EmulatingAttacker` — has shoulder-surfed the victim: knows
+  the legitimate PIN and imitates the victim's typing *rhythm*. Their
+  physiology (artifact response field, tissue structure, wearing
+  geometry) remains their own, which is exactly what the paper argues
+  cannot be mimicked through observation.
+
+Neither attacker has access to the stored PPG templates or models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..physio.ppg import TrialSynthesizer
+from ..physio.user import UserProfile
+from ..types import PinEntryTrial
+
+
+class RandomAttacker:
+    """Attacker with no knowledge of the victim.
+
+    Args:
+        profile: the attacker's own user profile.
+        synthesizer: trial synthesizer shared with the study.
+        rng: randomness source.
+        pin_length: length of guessed PINs.
+    """
+
+    def __init__(
+        self,
+        profile: UserProfile,
+        synthesizer: TrialSynthesizer,
+        rng: np.random.Generator,
+        pin_length: int = 4,
+    ) -> None:
+        if pin_length < 1:
+            raise ConfigurationError("PIN length must be >= 1")
+        self.profile = profile
+        self._synth = synthesizer
+        self._rng = rng
+        self.pin_length = pin_length
+
+    def guess_pin(self) -> str:
+        """Draw a uniformly random PIN guess."""
+        digits = self._rng.integers(0, 10, size=self.pin_length)
+        return "".join(str(d) for d in digits)
+
+    def attempt(self, one_handed: bool = True) -> PinEntryTrial:
+        """Produce one attack trial with a fresh random PIN guess."""
+        return self._synth.synthesize_trial(
+            self.profile,
+            self.guess_pin(),
+            self._rng,
+            one_handed=one_handed,
+        )
+
+
+class EmulatingAttacker:
+    """Attacker who observed the victim's PIN and typing rhythm.
+
+    Args:
+        profile: the attacker's own user profile.
+        victim: the observed victim (supplies PIN rhythm only —
+            the attacker cannot copy physiology).
+        synthesizer: trial synthesizer shared with the study.
+        rng: randomness source.
+    """
+
+    def __init__(
+        self,
+        profile: UserProfile,
+        victim: UserProfile,
+        synthesizer: TrialSynthesizer,
+        rng: np.random.Generator,
+    ) -> None:
+        self.profile = profile
+        self.victim = victim
+        self._synth = synthesizer
+        self._rng = rng
+
+    def attempt(
+        self,
+        victim_pin: str,
+        one_handed: bool = True,
+        forced_left_count: Optional[int] = None,
+    ) -> PinEntryTrial:
+        """Type the victim's PIN while imitating the victim's rhythm."""
+        return self._synth.synthesize_trial(
+            self.profile,
+            victim_pin,
+            self._rng,
+            one_handed=one_handed,
+            forced_left_count=forced_left_count,
+            rhythm_from=self.victim,
+        )

@@ -1,0 +1,128 @@
+"""The P2Auth facade: the public API of the reproduction.
+
+:class:`P2Auth` ties the whole Fig. 4 workflow together — PIN storage
+and verification, the preprocessing pipeline, enrollment, and
+authentication with results integration. A typical session::
+
+    auth = P2Auth(pin="1628")
+    auth.enroll(my_trials, third_party_trials)
+    decision = auth.authenticate(probe_trial)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import AuthenticationError, EnrollmentError
+from ..types import PinEntryTrial
+from .authentication import AuthDecision, authenticate_preprocessed
+from .enrollment import EnrolledModels, EnrollmentOptions, enroll_models
+from .pin import PinVerifier
+from .pipeline import preprocess_trial
+
+
+class P2Auth:
+    """Two-factor authenticator: PIN + keystroke-induced PPG.
+
+    Args:
+        pin: the user's PIN, or ``None`` for the NO-PIN mode in which
+            the keystroke pattern alone authenticates (Section
+            IV-B.2.6).
+        pipeline_config: signal-processing constants (paper defaults).
+        options: enrollment options (privacy boost, feature method...).
+        salt: fixed PIN-hash salt for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        pin: Optional[str] = None,
+        pipeline_config: Optional[PipelineConfig] = None,
+        options: Optional[EnrollmentOptions] = None,
+        salt: Optional[bytes] = None,
+    ) -> None:
+        self._pin = PinVerifier(pin, salt=salt)
+        self._config = pipeline_config or PipelineConfig()
+        self._options = options or EnrollmentOptions()
+        self._models: Optional[EnrolledModels] = None
+
+    @property
+    def no_pin_mode(self) -> bool:
+        """Whether this authenticator runs without a fixed PIN."""
+        return not self._pin.has_pin
+
+    @property
+    def enrolled(self) -> bool:
+        """Whether :meth:`enroll` has completed."""
+        return self._models is not None
+
+    @property
+    def models(self) -> EnrolledModels:
+        """The trained models (raises before enrollment)."""
+        if self._models is None:
+            raise EnrollmentError("no user is enrolled")
+        return self._models
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The pipeline configuration in effect."""
+        return self._config
+
+    @property
+    def options(self) -> EnrollmentOptions:
+        """The enrollment options in effect."""
+        return self._options
+
+    def enroll(
+        self,
+        legit_trials: Sequence[PinEntryTrial],
+        third_party_trials: Sequence[PinEntryTrial],
+    ) -> "P2Auth":
+        """Enroll a user from their trials plus the third-party store.
+
+        Args:
+            legit_trials: the enrolling user's PIN entries.
+            third_party_trials: negative samples from other people
+                stored on the device (paper default: 100).
+        """
+        self._models = enroll_models(
+            legit_trials, third_party_trials, self._config, self._options
+        )
+        return self
+
+    def authenticate(
+        self,
+        trial: PinEntryTrial,
+        claimed_pin: Optional[str] = None,
+    ) -> AuthDecision:
+        """Authenticate one PIN-entry trial.
+
+        Args:
+            trial: the probe trial.
+            claimed_pin: the PIN the typist entered; defaults to the
+                digits recorded in the trial.
+
+        Returns:
+            The authentication decision.
+        """
+        if self._models is None:
+            raise EnrollmentError("enroll a user before authenticating")
+        entered = claimed_pin if claimed_pin is not None else trial.pin
+        pin_ok: Optional[bool]
+        if self.no_pin_mode:
+            pin_ok = None
+        else:
+            pin_ok = self._pin.verify(entered)
+            if not pin_ok:
+                # Short-circuit: no signal processing on a wrong PIN.
+                return AuthDecision(
+                    accepted=False,
+                    reason="PIN verification failed",
+                    pin_ok=False,
+                )
+        preprocessed = preprocess_trial(trial, self._config)
+        return authenticate_preprocessed(
+            self._models, preprocessed, pin_ok, no_pin_mode=self.no_pin_mode
+        )

@@ -1,0 +1,391 @@
+"""Enrollment phase: building the per-user authentication models.
+
+Enrollment turns a handful of legitimate PIN entries plus the
+third-party sample store into the binary classifiers of Section
+IV-B.2: a *full waveform* model for one-handed entries, an optional
+*fused waveform* model when the privacy boost is enabled (Eq. 4), and
+one *single waveform* model per key for the two-handed and NO-PIN
+cases. Every model is MiniRocket features + a ridge classifier by
+default; the feature method and classifier are pluggable so the
+evaluation can swap in the manual baseline (Fig. 11) and the
+alternative learners (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import EnrollmentError, NotFittedError, SignalError
+from ..features import ManualFeatureExtractor, MiniRocket
+from ..ml import RidgeClassifier, StandardScaler
+from ..ml.base import BinaryClassifier
+from ..types import PinEntryTrial, SegmentedKeystroke
+from .fusion import fuse_waveforms
+from .pipeline import PreprocessedTrial, preprocess_trial
+
+#: Feature methods supported by :class:`WaveformModel`.
+FEATURE_METHODS = ("rocket", "manual", "raw")
+
+
+@dataclass(frozen=True)
+class EnrollmentOptions:
+    """Knobs of the enrollment phase.
+
+    Attributes:
+        privacy_boost: also train the fused-waveform model and use it
+            for one-handed authentication (Section IV-B.2.2).
+        num_features: total MiniRocket feature budget (paper: ~10K).
+        full_window: length of the fixed one-handed waveform window in
+            samples (covers all four keystrokes at typical rhythm).
+        full_margin: samples kept before the first keystroke in the
+            full window.
+        feature_method: "rocket" (paper default), "manual"
+            (statistical + DTW baseline), or "raw" (hand the raw series
+            to the classifier — used by the neural baselines).
+        classifier_factory: builds a fresh binary classifier per model.
+        seed: seed for the MiniRocket bias sampling.
+        min_positive_samples: minimum legitimate samples a model needs.
+    """
+
+    privacy_boost: bool = False
+    num_features: int = 9996
+    full_window: int = 480
+    full_margin: int = 45
+    feature_method: str = "rocket"
+    classifier_factory: Callable[[], BinaryClassifier] = RidgeClassifier
+    seed: int = 0
+    min_positive_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.feature_method not in FEATURE_METHODS:
+            raise EnrollmentError(
+                f"feature_method must be one of {FEATURE_METHODS}, "
+                f"got {self.feature_method!r}"
+            )
+        if self.full_window < 8 or self.full_margin < 0:
+            raise EnrollmentError("invalid full-window geometry")
+        if self.min_positive_samples < 1:
+            raise EnrollmentError("min_positive_samples must be >= 1")
+
+
+def fixed_window(samples: np.ndarray, start: int, window: int) -> np.ndarray:
+    """Cut ``window`` columns starting at ``start``, edge-padding.
+
+    Unlike :func:`repro.signal.segment_around`, the window is anchored
+    (not centered) and the signal may be shorter than the window — the
+    missing tail is edge-replicated, modelling a capture buffer that
+    holds the last sample until the window fills.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim == 1:
+        samples = samples[np.newaxis, :]
+    n = samples.shape[1]
+    start = int(np.clip(start, 0, max(0, n - 1)))
+    end = start + window
+    chunk = samples[:, start:min(end, n)]
+    if chunk.shape[1] < window:
+        pad = window - chunk.shape[1]
+        chunk = np.pad(chunk, ((0, 0), (0, pad)), mode="edge")
+    return chunk
+
+
+def extract_full_waveform(
+    preprocessed: PreprocessedTrial, window: int = 480, margin: int = 45
+) -> np.ndarray:
+    """The one-handed "whole PPG sample": a fixed window from just
+    before the first calibrated keystroke, shape ``(channels, window)``.
+    """
+    first = min(preprocessed.keystroke_indices)
+    return fixed_window(preprocessed.detrended, first - margin, window)
+
+
+def extract_segments(
+    preprocessed: PreprocessedTrial, config: PipelineConfig
+) -> List[SegmentedKeystroke]:
+    """Single-keystroke segments for every *detected* keystroke."""
+    return [
+        preprocessed.segment(pos, config.segment_window)
+        for pos in preprocessed.detected_positions()
+    ]
+
+
+def extract_fused_waveform(
+    preprocessed: PreprocessedTrial, config: PipelineConfig
+) -> np.ndarray:
+    """Privacy-boost fused waveform (Eq. 4) of the detected keystrokes."""
+    segments = extract_segments(preprocessed, config)
+    if not segments:
+        raise SignalError("no detected keystrokes to fuse")
+    return fuse_waveforms(segments)
+
+
+class WaveformModel:
+    """One binary authentication model over fixed-length waveforms.
+
+    Args:
+        feature_method: see :class:`EnrollmentOptions`.
+        num_features: MiniRocket feature budget (rocket method only).
+        classifier_factory: builds the classifier.
+        seed: MiniRocket bias seed.
+    """
+
+    def __init__(
+        self,
+        feature_method: str = "rocket",
+        num_features: int = 9996,
+        classifier_factory: Callable[[], BinaryClassifier] = RidgeClassifier,
+        seed: int = 0,
+        balanced: bool = False,
+    ) -> None:
+        if feature_method not in FEATURE_METHODS:
+            raise EnrollmentError(f"unknown feature method: {feature_method!r}")
+        self.feature_method = feature_method
+        self.num_features = num_features
+        self.seed = seed
+        self.balanced = balanced
+        self._classifier = classifier_factory()
+        self._rocket: Optional[MiniRocket] = None
+        self._manual: Optional[ManualFeatureExtractor] = None
+        self._scaler: Optional[StandardScaler] = None
+        self._fitted = False
+
+    def _featurize(self, x: np.ndarray, fit: bool, positives: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.feature_method == "rocket":
+            if fit:
+                self._rocket = MiniRocket(
+                    num_features=self.num_features, seed=self.seed
+                )
+                self._rocket.fit(x)
+            if self._rocket is None:
+                raise NotFittedError("WaveformModel.fit has not been called")
+            features = self._rocket.transform(x)
+        elif self.feature_method == "manual":
+            if fit:
+                # Stride 2 halves the DTW cost while keeping the
+                # manual baseline one to two orders of magnitude
+                # slower than the ROCKET path (Table I's comparison).
+                self._manual = ManualFeatureExtractor(dtw_stride=2)
+                self._manual.fit(positives if positives is not None else x)
+            if self._manual is None:
+                raise NotFittedError("WaveformModel.fit has not been called")
+            features = self._manual.transform(x)
+        else:  # raw
+            return x
+        if fit:
+            self._scaler = StandardScaler().fit(features)
+        if self._scaler is None:
+            raise NotFittedError("WaveformModel.fit has not been called")
+        return self._scaler.transform(features)
+
+    def fit(self, positives: np.ndarray, negatives: np.ndarray) -> "WaveformModel":
+        """Train on legitimate (``positives``) vs third-party samples.
+
+        Both inputs have shape ``(n, channels, window)``.
+        """
+        positives = np.asarray(positives, dtype=np.float64)
+        negatives = np.asarray(negatives, dtype=np.float64)
+        if positives.ndim != 3 or negatives.ndim != 3:
+            raise EnrollmentError(
+                "expected 3-D (n, channels, window) training arrays, got "
+                f"{positives.shape} and {negatives.shape}"
+            )
+        if positives.shape[0] == 0 or negatives.shape[0] == 0:
+            raise EnrollmentError("both classes need at least one sample")
+        x = np.concatenate([positives, negatives], axis=0)
+        y = np.concatenate(
+            [np.ones(positives.shape[0]), -np.ones(negatives.shape[0])]
+        )
+        features = self._featurize(x, fit=True, positives=positives)
+        if self.balanced:
+            n_pos = positives.shape[0]
+            n_neg = negatives.shape[0]
+            n = n_pos + n_neg
+            weights = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
+            try:
+                self._classifier.fit(features, y, sample_weight=weights)
+            except TypeError:
+                # Classifier without weight support: fall back silently;
+                # balance is an optimization, not a correctness need.
+                self._classifier.fit(features, y)
+        else:
+            self._classifier.fit(features, y)
+        self._fitted = True
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed scores for waveforms of shape ``(n, channels, window)``
+        or a single ``(channels, window)`` waveform."""
+        if not self._fitted:
+            raise NotFittedError("WaveformModel.fit has not been called")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            x = x[np.newaxis]
+        features = self._featurize(x, fit=False)
+        return np.asarray(self._classifier.decision_function(features))
+
+    def accepts(self, waveform: np.ndarray) -> bool:
+        """Accept/reject a single waveform (Eq. 9)."""
+        return bool(self.decision_function(waveform)[0] > 0.0)
+
+
+@dataclass
+class EnrolledModels:
+    """The trained models of one enrolled user.
+
+    Attributes:
+        full_model: one-handed full-waveform classifier.
+        fused_model: privacy-boost classifier, if enabled.
+        key_models: per-key single-waveform classifiers.
+        options: the enrollment options used.
+        config: the pipeline configuration used.
+    """
+
+    full_model: Optional[WaveformModel]
+    fused_model: Optional[WaveformModel]
+    key_models: Dict[str, WaveformModel]
+    options: EnrollmentOptions
+    config: PipelineConfig
+    keys_enrolled: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _collect_segments(
+    preprocessed: Sequence[PreprocessedTrial], config: PipelineConfig
+) -> Dict[str, List[np.ndarray]]:
+    """Group detected single-keystroke waveforms by key."""
+    by_key: Dict[str, List[np.ndarray]] = {}
+    for pre in preprocessed:
+        for segment in extract_segments(pre, config):
+            by_key.setdefault(segment.key, []).append(segment.samples)
+    return by_key
+
+
+def enroll_models(
+    legit_trials: Sequence[PinEntryTrial],
+    third_party_trials: Sequence[PinEntryTrial],
+    config: Optional[PipelineConfig] = None,
+    options: Optional[EnrollmentOptions] = None,
+) -> EnrolledModels:
+    """Run the enrollment phase.
+
+    Args:
+        legit_trials: the enrolling user's PIN entries (the paper caps
+            usability at 9).
+        third_party_trials: samples from the third-party store used as
+            negatives (paper default: 100).
+        config: pipeline constants.
+        options: enrollment options.
+
+    Returns:
+        The user's trained models.
+
+    Raises:
+        EnrollmentError: when a required model cannot be trained (too
+            few usable samples).
+    """
+    config = config or PipelineConfig()
+    options = options or EnrollmentOptions()
+    if not legit_trials:
+        raise EnrollmentError("no legitimate trials supplied")
+    if not third_party_trials:
+        raise EnrollmentError("no third-party trials supplied")
+
+    legit_pre = [preprocess_trial(t, config) for t in legit_trials]
+    third_pre = [preprocess_trial(t, config) for t in third_party_trials]
+
+    def model(balanced: bool = False) -> WaveformModel:
+        return WaveformModel(
+            feature_method=options.feature_method,
+            num_features=options.num_features,
+            classifier_factory=options.classifier_factory,
+            seed=options.seed,
+            balanced=balanced,
+        )
+
+    # Full-waveform model: trained on legitimate one-handed entries,
+    # vs third-party entries. An entry qualifies when (nearly) all of
+    # its keystrokes were detected; tolerating one miss keeps
+    # enrollment possible at low sampling rates, where the energy
+    # detector occasionally drops a keystroke (Fig. 16/17 regimes).
+    def usable(p) -> bool:
+        return p.detected_count >= max(2, len(p.trial.pin) - 1)
+
+    full_pos = [
+        extract_full_waveform(p, options.full_window, options.full_margin)
+        for p in legit_pre
+        if usable(p)
+    ]
+    full_neg = [
+        extract_full_waveform(p, options.full_window, options.full_margin)
+        for p in third_pre
+    ]
+    full_model = None
+    if len(full_pos) >= options.min_positive_samples:
+        full_model = model().fit(np.stack(full_pos), np.stack(full_neg))
+
+    fused_model = None
+    if options.privacy_boost:
+        fused_pos = [
+            extract_fused_waveform(p, config)
+            for p in legit_pre
+            if usable(p)
+        ]
+        fused_neg = [
+            extract_fused_waveform(p, config)
+            for p in third_pre
+            if p.detected_count > 0
+        ]
+        if len(fused_pos) < options.min_positive_samples:
+            raise EnrollmentError(
+                "privacy boost requires at least "
+                f"{options.min_positive_samples} fully detected entries"
+            )
+        fused_model = model().fit(np.stack(fused_pos), np.stack(fused_neg))
+
+    # Single-waveform models: one binary classifier per enrolled key.
+    legit_by_key = _collect_segments(legit_pre, config)
+    third_by_key = _collect_segments(third_pre, config)
+    third_all = [s for segs in third_by_key.values() for s in segs]
+
+    key_models: Dict[str, WaveformModel] = {}
+    for key, positives in legit_by_key.items():
+        if len(positives) < options.min_positive_samples:
+            continue
+        negatives = list(third_by_key.get(key, []))
+        if len(negatives) < 10:
+            # Too few same-key third-party samples: fall back to the
+            # whole store so the classifier still sees other people.
+            negatives = third_all
+        # Deliberately NOT negatives: the user's own other keys.
+        # Intra-user key discrimination is much harder than inter-user
+        # discrimination and dragging those samples into the negative
+        # class collapses the margin around the legitimate keystrokes.
+        # Security in every mode (including NO-PIN) rests on *user*
+        # specificity, which third-party negatives capture.
+        if not negatives:
+            continue
+        # Single-keystroke models are trained class-balanced: a 90-sample
+        # waveform carries far less evidence than a full entry, and the
+        # ~10:1 negative imbalance would otherwise push the boundary
+        # into the legitimate class (every watch-hand keystroke would
+        # score near zero and two-handed integration would fail).
+        key_models[key] = model(balanced=True).fit(
+            np.stack(positives), np.stack(negatives)
+        )
+
+    if full_model is None and fused_model is None and not key_models:
+        raise EnrollmentError(
+            "no model could be trained: too few usable enrollment samples"
+        )
+
+    return EnrolledModels(
+        full_model=full_model,
+        fused_model=fused_model,
+        key_models=key_models,
+        options=options,
+        config=config,
+        keys_enrolled=tuple(sorted(key_models)),
+    )

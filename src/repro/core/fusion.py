@@ -1,0 +1,44 @@
+"""Privacy-boost waveform fusion (Eq. 4 of the paper).
+
+Keystroke-induced PPG is a biometric: if the per-key waveforms leak,
+they are compromised forever. The privacy boost hides them by fusing
+the K single-keystroke waveforms additively,
+
+.. math::
+
+    S = \\sum_{h=1}^{K} P^h_{u,s},
+
+so the stored template reveals only the superposition. Fusion loses
+some information (the paper accepts a drop from ~98% to ~83% accuracy
+for the security gain), which the evaluation reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SignalError
+from ..types import SegmentedKeystroke
+
+
+def fuse_waveforms(segments: Sequence[SegmentedKeystroke]) -> np.ndarray:
+    """Additively fuse single-keystroke waveforms (Eq. 4).
+
+    Args:
+        segments: the single-keystroke segments of one trial; all must
+            share the same shape.
+
+    Returns:
+        Fused waveform of shape ``(n_channels, window)``.
+
+    Raises:
+        SignalError: if no segments are given or shapes disagree.
+    """
+    if not segments:
+        raise SignalError("cannot fuse an empty set of waveforms")
+    shapes = {segment.samples.shape for segment in segments}
+    if len(shapes) != 1:
+        raise SignalError(f"segments must share a shape, got {shapes}")
+    return np.sum([segment.samples for segment in segments], axis=0)

@@ -1,0 +1,36 @@
+"""PIN input case identification (Section IV-B.1.3).
+
+After detrending, keystroke neighbourhoods carry higher short-time
+energy than quiescent segments, so counting the keystrokes whose
+calibrated position clears the energy threshold reveals how the PIN was
+typed:
+
+- all four detected → one-handed entry (full-waveform model);
+- three detected → two-handed, watch hand pressed three keys;
+- two detected → two-handed, watch hand pressed two keys;
+- fewer than two detected → reject (a single keystroke waveform is
+  too short to authenticate safely, Section IV-B.2.6).
+"""
+
+from __future__ import annotations
+
+from ..types import InputCase
+from .pipeline import PreprocessedTrial
+
+
+def identify_input_case(preprocessed: PreprocessedTrial) -> InputCase:
+    """Classify how a preprocessed trial was typed.
+
+    The rule assumes four-digit PINs, as in the paper; for other
+    lengths, full detection maps to one-handed, and the two-handed
+    cases follow the detected count in the same way.
+    """
+    detected = preprocessed.detected_count
+    total = len(preprocessed.trial.pin)
+    if detected == total:
+        return InputCase.ONE_HANDED
+    if detected == 3:
+        return InputCase.TWO_HANDED_3
+    if detected == 2:
+        return InputCase.TWO_HANDED_2
+    return InputCase.REJECT

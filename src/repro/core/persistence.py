@@ -1,0 +1,223 @@
+"""Saving and loading enrolled authenticators.
+
+A deployed P2Auth keeps its models on the device between sessions.
+This module serializes an enrolled :class:`~repro.core.authenticator.
+P2Auth` — the ridge coefficients, scaler statistics, MiniRocket bias
+tables, enrollment options, and the salted PIN digest — into a single
+``.npz`` archive. Only the ROCKET + ridge configuration (the paper's
+deployed combination) is serializable; research configurations with
+custom classifiers must be re-enrolled.
+
+The stored template is exactly what the paper's privacy analysis talks
+about: with the privacy boost enabled, the archive contains only
+fused-waveform statistics, never per-key waveforms.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import ConfigurationError, EnrollmentError
+from ..features import MiniRocket
+from ..ml import RidgeClassifier, StandardScaler
+from .authenticator import P2Auth
+from .enrollment import EnrolledModels, EnrollmentOptions, WaveformModel
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def _require_rocket_ridge(model: WaveformModel, name: str) -> None:
+    if model.feature_method != "rocket":
+        raise EnrollmentError(
+            f"model {name!r} uses feature method {model.feature_method!r}; "
+            "only the rocket+ridge configuration is serializable"
+        )
+    if not isinstance(model._classifier, RidgeClassifier):
+        raise EnrollmentError(
+            f"model {name!r} uses a custom classifier; only RidgeClassifier "
+            "is serializable"
+        )
+
+
+def _pack_model(model: WaveformModel, prefix: str, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Pack one WaveformModel into arrays + a JSON-able header."""
+    _require_rocket_ridge(model, prefix)
+    rocket: MiniRocket = model._rocket
+    scaler: StandardScaler = model._scaler
+    clf: RidgeClassifier = model._classifier
+    if rocket is None or scaler is None or clf.coef_ is None:
+        raise EnrollmentError(f"model {prefix!r} is not fitted")
+
+    arrays[f"{prefix}/dilations"] = np.asarray(rocket._dilations)
+    arrays[f"{prefix}/features_per_dilation"] = np.asarray(
+        rocket._features_per_dilation
+    )
+    for ch, channel_biases in enumerate(rocket._biases):
+        for d, biases in enumerate(channel_biases):
+            arrays[f"{prefix}/biases/{ch}/{d}"] = biases
+    arrays[f"{prefix}/scaler_mean"] = scaler._mean
+    arrays[f"{prefix}/scaler_scale"] = scaler._scale
+    arrays[f"{prefix}/coef"] = clf.coef_
+    return {
+        "num_features": rocket.num_features,
+        "max_dilations_per_kernel": rocket.max_dilations_per_kernel,
+        "rocket_seed": rocket.seed,
+        "n_channels": int(rocket._n_channels),
+        "input_length": int(rocket._input_length),
+        "n_bias_dilations": len(rocket._biases[0]),
+        "intercept": float(clf.intercept_),
+        "alpha": float(clf.alpha_),
+        "alphas": list(clf.alphas),
+        "balanced": model.balanced,
+    }
+
+
+def _unpack_model(header: Dict, prefix: str, arrays) -> WaveformModel:
+    """Rebuild one WaveformModel from arrays + its header."""
+    model = WaveformModel(
+        feature_method="rocket",
+        num_features=int(header["num_features"]),
+        seed=int(header["rocket_seed"]),
+        balanced=bool(header["balanced"]),
+    )
+    rocket = MiniRocket(
+        num_features=int(header["num_features"]),
+        max_dilations_per_kernel=int(header["max_dilations_per_kernel"]),
+        seed=int(header["rocket_seed"]),
+    )
+    rocket._dilations = arrays[f"{prefix}/dilations"]
+    rocket._features_per_dilation = arrays[f"{prefix}/features_per_dilation"]
+    n_channels = int(header["n_channels"])
+    n_dil = int(header["n_bias_dilations"])
+    rocket._biases = [
+        [arrays[f"{prefix}/biases/{ch}/{d}"] for d in range(n_dil)]
+        for ch in range(n_channels)
+    ]
+    rocket._n_channels = n_channels
+    rocket._input_length = int(header["input_length"])
+    rocket._fitted = True
+
+    scaler = StandardScaler()
+    scaler._mean = arrays[f"{prefix}/scaler_mean"]
+    scaler._scale = arrays[f"{prefix}/scaler_scale"]
+
+    clf = RidgeClassifier(alphas=header["alphas"])
+    clf.coef_ = arrays[f"{prefix}/coef"]
+    clf.intercept_ = float(header["intercept"])
+    clf.alpha_ = float(header["alpha"])
+
+    model._rocket = rocket
+    model._scaler = scaler
+    model._classifier = clf
+    model._fitted = True
+    return model
+
+
+def save_authenticator(auth: P2Auth, path) -> None:
+    """Serialize an enrolled authenticator to ``path`` (.npz).
+
+    Raises:
+        EnrollmentError: if no user is enrolled or a model uses a
+            non-serializable configuration.
+    """
+    models = auth.models  # raises EnrollmentError when not enrolled
+    arrays: Dict[str, np.ndarray] = {}
+    headers: Dict[str, Dict] = {}
+
+    if models.full_model is not None:
+        headers["full"] = _pack_model(models.full_model, "full", arrays)
+    if models.fused_model is not None:
+        headers["fused"] = _pack_model(models.fused_model, "fused", arrays)
+    headers["keys"] = {}
+    for key, model in models.key_models.items():
+        headers["keys"][key] = _pack_model(model, f"key/{key}", arrays)
+
+    options = models.options
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "no_pin_mode": auth.no_pin_mode,
+        "pin_salt": auth._pin._salt.hex(),
+        "pin_digest": auth._pin._digest.hex() if auth._pin._digest else None,
+        "pipeline": {
+            "fs": models.config.fs,
+            "median_kernel": models.config.median_kernel,
+            "sg_window": models.config.sg_window,
+            "sg_polyorder": models.config.sg_polyorder,
+            "calibration_window": models.config.calibration_window,
+            "detrend_lambda": models.config.detrend_lambda,
+            "energy_window": models.config.energy_window,
+            "energy_threshold_ratio": models.config.energy_threshold_ratio,
+            "segment_window": models.config.segment_window,
+        },
+        "options": {
+            "privacy_boost": options.privacy_boost,
+            "num_features": options.num_features,
+            "full_window": options.full_window,
+            "full_margin": options.full_margin,
+            "feature_method": options.feature_method,
+            "seed": options.seed,
+            "min_positive_samples": options.min_positive_samples,
+        },
+        "headers": headers,
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_authenticator(path) -> P2Auth:
+    """Load an authenticator previously stored by :func:`save_authenticator`.
+
+    Returns:
+        A ready-to-authenticate :class:`P2Auth` (enrollment restored).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+
+    if "__meta__" not in arrays:
+        raise ConfigurationError(f"{path} is not a P2Auth archive")
+    meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported archive version: {meta.get('format_version')}"
+        )
+
+    config = PipelineConfig(**meta["pipeline"])
+    options = EnrollmentOptions(**meta["options"])
+    headers = meta["headers"]
+
+    full_model = (
+        _unpack_model(headers["full"], "full", arrays) if "full" in headers else None
+    )
+    fused_model = (
+        _unpack_model(headers["fused"], "fused", arrays)
+        if "fused" in headers
+        else None
+    )
+    key_models = {
+        key: _unpack_model(header, f"key/{key}", arrays)
+        for key, header in headers["keys"].items()
+    }
+
+    auth = P2Auth(pin=None, pipeline_config=config, options=options)
+    # Restore the PIN digest without ever knowing the PIN.
+    auth._pin._salt = bytes.fromhex(meta["pin_salt"])
+    auth._pin._digest = (
+        bytes.fromhex(meta["pin_digest"]) if meta["pin_digest"] else None
+    )
+    auth._models = EnrolledModels(
+        full_model=full_model,
+        fused_model=fused_model,
+        key_models=key_models,
+        options=options,
+        config=config,
+        keys_enrolled=tuple(sorted(key_models)),
+    )
+    return auth

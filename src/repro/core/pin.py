@@ -1,0 +1,54 @@
+"""PIN verification (the knowledge factor).
+
+The PIN is never stored in clear: enrollment keeps a salted SHA-256
+digest and verification compares digests in constant time. A no-PIN
+policy is supported for the paper's NO-PIN mode, where the keystroke
+pattern alone authenticates the user (Section IV-B.2.6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+def _digest(pin: str, salt: bytes) -> bytes:
+    return hashlib.sha256(salt + pin.encode("utf-8")).digest()
+
+
+class PinVerifier:
+    """Salted-hash PIN storage and verification.
+
+    Args:
+        pin: the enrolled PIN, or ``None`` for the NO-PIN mode.
+        salt: optional fixed salt (random by default); exposed for
+            deterministic tests.
+    """
+
+    def __init__(self, pin: Optional[str], salt: Optional[bytes] = None) -> None:
+        if pin is not None and (not pin or not pin.isdigit()):
+            raise ConfigurationError(f"PIN must be a non-empty digit string: {pin!r}")
+        self._salt = salt if salt is not None else os.urandom(16)
+        self._digest = _digest(pin, self._salt) if pin is not None else None
+
+    @property
+    def has_pin(self) -> bool:
+        """Whether a fixed PIN is enrolled."""
+        return self._digest is not None
+
+    def verify(self, pin: Optional[str]) -> bool:
+        """Check a claimed PIN against the enrolled one.
+
+        In NO-PIN mode every claim (including ``None``) passes — the
+        biometric factor alone decides. With a fixed PIN, a missing or
+        wrong claim fails.
+        """
+        if self._digest is None:
+            return True
+        if pin is None or not pin.isdigit():
+            return False
+        return hmac.compare_digest(self._digest, _digest(pin, self._salt))

@@ -1,0 +1,155 @@
+"""Session management: the paper's deployment story as a state machine.
+
+Section VI sketches how P2Auth is used in practice: the user
+authenticates at the moment of putting the watch on; afterwards,
+continued wear is tracked from the heart-rate status; removing the
+watch invalidates the session, and sensitive actions (payments)
+require a fresh authentication regardless.
+
+:class:`SessionManager` encodes that lifecycle::
+
+    OFF_WRIST ──wear detected──► WORN ──entry accepted──► AUTHENTICATED
+        ▲                         │  ▲                        │
+        └───────wear lost─────────┘  └──reauth required───────┘
+        ▲                                                     │
+        └──────────────────wear lost──────────────────────────┘
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import AuthenticationError
+from ..types import PinEntryTrial, PPGRecording
+from .authentication import AuthDecision
+from .authenticator import P2Auth
+from .wear import WearStatus, detect_wear
+
+
+class SessionState(enum.Enum):
+    """Lifecycle states of a wearable authentication session."""
+
+    OFF_WRIST = "off_wrist"
+    WORN = "worn"
+    AUTHENTICATED = "authenticated"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One entry in the session audit log.
+
+    Attributes:
+        kind: "wear_check", "entry", or "reauth_required".
+        state: the state *after* the event.
+        detail: human-readable description.
+    """
+
+    kind: str
+    state: SessionState
+    detail: str
+
+
+class SessionManager:
+    """Drives an enrolled authenticator through the session lifecycle.
+
+    Args:
+        auth: an enrolled :class:`P2Auth`.
+        wear_threshold: confidence threshold forwarded to
+            :func:`~repro.core.wear.detect_wear`.
+
+    The manager is deliberately conservative: any loss of wear —
+    however brief — drops the session to ``OFF_WRIST``, and PIN entries
+    are only evaluated while the watch is worn (an off-wrist trial is
+    by definition not the wearer's biometric).
+    """
+
+    def __init__(self, auth: P2Auth, wear_threshold: float = 0.25) -> None:
+        if not auth.enrolled:
+            raise AuthenticationError("enroll a user before starting a session")
+        self._auth = auth
+        self._wear_threshold = wear_threshold
+        self._state = SessionState.OFF_WRIST
+        self._log: List[SessionEvent] = []
+
+    @property
+    def state(self) -> SessionState:
+        """Current session state."""
+        return self._state
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether the session is currently authenticated."""
+        return self._state is SessionState.AUTHENTICATED
+
+    @property
+    def log(self) -> Tuple[SessionEvent, ...]:
+        """The session audit trail, oldest first."""
+        return tuple(self._log)
+
+    def _record(self, kind: str, detail: str) -> None:
+        self._log.append(SessionEvent(kind=kind, state=self._state, detail=detail))
+
+    def process_wear_check(self, recording: PPGRecording) -> WearStatus:
+        """Feed a periodic quiescent PPG stretch through wear detection.
+
+        Transitions: gaining wear moves ``OFF_WRIST -> WORN``; losing
+        wear drops any state to ``OFF_WRIST`` (ending an authenticated
+        session, as the paper's removal rule requires).
+        """
+        status = detect_wear(
+            recording, self._auth.config, threshold=self._wear_threshold
+        )
+        if status.worn and self._state is SessionState.OFF_WRIST:
+            self._state = SessionState.WORN
+            self._record(
+                "wear_check",
+                f"wear detected (hr ~{status.heart_rate_bpm:.0f} bpm)",
+            )
+        elif not status.worn and self._state is not SessionState.OFF_WRIST:
+            was_authenticated = self._state is SessionState.AUTHENTICATED
+            self._state = SessionState.OFF_WRIST
+            self._record(
+                "wear_check",
+                "wear lost"
+                + ("; authenticated session ended" if was_authenticated else ""),
+            )
+        else:
+            self._record(
+                "wear_check",
+                f"no change (worn={status.worn}, "
+                f"confidence {status.confidence:.2f})",
+            )
+        return status
+
+    def submit_entry(self, trial: PinEntryTrial,
+                     claimed_pin: Optional[str] = None) -> AuthDecision:
+        """Evaluate a PIN entry within the session.
+
+        Raises:
+            AuthenticationError: when the watch is not worn — an
+                off-wrist entry cannot carry the wearer's biometric and
+                must not even be scored.
+        """
+        if self._state is SessionState.OFF_WRIST:
+            raise AuthenticationError(
+                "cannot authenticate while the watch is off-wrist"
+            )
+        decision = self._auth.authenticate(trial, claimed_pin=claimed_pin)
+        if decision.accepted:
+            self._state = SessionState.AUTHENTICATED
+            self._record("entry", f"accepted: {decision.reason}")
+        else:
+            self._record("entry", f"rejected: {decision.reason}")
+        return decision
+
+    def require_reauth(self, reason: str = "sensitive action") -> None:
+        """Demote an authenticated session to WORN (step-up auth).
+
+        The paper's payments example: routine wear keeps the session,
+        but sensitive actions demand a fresh PIN entry.
+        """
+        if self._state is SessionState.AUTHENTICATED:
+            self._state = SessionState.WORN
+        self._record("reauth_required", reason)

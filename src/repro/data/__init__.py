@@ -1,0 +1,23 @@
+"""Study data generation and management.
+
+Reproduces the paper's data collection (Section V-A): a population of
+volunteers, each typing the five study PINs one- and two-handed, with
+a third-party sample store for enrollment negatives. Trials are
+generated lazily and cached, keyed by (user, PIN, condition), with
+per-key deterministic seeding so every experiment sees the same data
+for the same configuration.
+"""
+
+from .export import load_trials, save_trials
+from .generation import CONDITIONS, StudyData
+from .splits import enroll_test_split
+from .store import ThirdPartyStore
+
+__all__ = [
+    "CONDITIONS",
+    "StudyData",
+    "ThirdPartyStore",
+    "enroll_test_split",
+    "load_trials",
+    "save_trials",
+]

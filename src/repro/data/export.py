@@ -1,0 +1,142 @@
+"""Saving and loading trial datasets.
+
+Simulated study data is cheap to regenerate, but exporting a fixed
+corpus matters for cross-tool comparisons (e.g. feeding the same
+trials to another implementation) and for freezing the exact data
+behind a published number. Trials round-trip through a single
+compressed ``.npz`` archive; everything — samples, events, metadata —
+is reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import (
+    AccelRecording,
+    ChannelInfo,
+    Hand,
+    KeystrokeEvent,
+    PinEntryTrial,
+    PPGRecording,
+    Wavelength,
+)
+
+#: Archive format version.
+FORMAT_VERSION = 1
+
+
+def _channel_meta(channels: Sequence[ChannelInfo]) -> List[dict]:
+    return [
+        {"sensor_site": c.sensor_site, "wavelength": c.wavelength.value}
+        for c in channels
+    ]
+
+
+def _channels_from_meta(meta: Sequence[dict]) -> tuple:
+    return tuple(
+        ChannelInfo(
+            sensor_site=int(m["sensor_site"]),
+            wavelength=Wavelength(m["wavelength"]),
+        )
+        for m in meta
+    )
+
+
+def save_trials(path, trials: Sequence[PinEntryTrial]) -> None:
+    """Serialize trials to a compressed ``.npz`` archive.
+
+    Args:
+        path: destination path.
+        trials: the trials to store.
+    """
+    trials = list(trials)
+    if not trials:
+        raise ConfigurationError("no trials to save")
+
+    arrays = {}
+    meta = {"format_version": FORMAT_VERSION, "trials": []}
+    for i, trial in enumerate(trials):
+        rec = trial.recording
+        arrays[f"trial/{i}/ppg"] = rec.samples
+        entry = {
+            "pin": trial.pin,
+            "user_id": trial.user_id,
+            "one_handed": trial.one_handed,
+            "fs": rec.fs,
+            "start_time": rec.start_time,
+            "channels": _channel_meta(rec.channels),
+            "events": [
+                {
+                    "key": e.key,
+                    "true_time": e.true_time,
+                    "reported_time": e.reported_time,
+                    "hand": e.hand.value,
+                }
+                for e in trial.events
+            ],
+            "has_accel": trial.accel is not None,
+        }
+        if trial.accel is not None:
+            arrays[f"trial/{i}/accel"] = trial.accel.samples
+            entry["accel_fs"] = trial.accel.fs
+            entry["accel_start_time"] = trial.accel.start_time
+        meta["trials"].append(entry)
+
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trials(path) -> List[PinEntryTrial]:
+    """Load trials previously stored with :func:`save_trials`."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    if "__meta__" not in arrays:
+        raise ConfigurationError(f"{path} is not a trial archive")
+    meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported archive version: {meta.get('format_version')}"
+        )
+
+    trials: List[PinEntryTrial] = []
+    for i, entry in enumerate(meta["trials"]):
+        recording = PPGRecording(
+            samples=arrays[f"trial/{i}/ppg"],
+            fs=float(entry["fs"]),
+            channels=_channels_from_meta(entry["channels"]),
+            start_time=float(entry["start_time"]),
+        )
+        events = tuple(
+            KeystrokeEvent(
+                key=e["key"],
+                true_time=float(e["true_time"]),
+                reported_time=float(e["reported_time"]),
+                hand=Hand(e["hand"]),
+            )
+            for e in entry["events"]
+        )
+        accel = None
+        if entry["has_accel"]:
+            accel = AccelRecording(
+                samples=arrays[f"trial/{i}/accel"],
+                fs=float(entry["accel_fs"]),
+                start_time=float(entry["accel_start_time"]),
+            )
+        trials.append(
+            PinEntryTrial(
+                recording=recording,
+                events=events,
+                pin=entry["pin"],
+                user_id=int(entry["user_id"]),
+                one_handed=bool(entry["one_handed"]),
+                accel=accel,
+            )
+        )
+    return trials

@@ -1,0 +1,232 @@
+"""Study population and trial generation.
+
+:class:`StudyData` is the single source of trials for every
+experiment. It owns the simulated population and the trial
+synthesizer, and generates trials lazily under deterministic per-key
+seeds: requesting ``trials(user, pin, condition, count)`` twice —
+even across processes — yields identical data, and requesting a larger
+``count`` extends the cached list without changing its prefix.
+
+Conditions mirror the paper's collection protocol:
+
+- ``one_handed`` — all four keys typed with the watch-hand thumb;
+- ``double3`` / ``double2`` — two-handed entry with exactly 3 / 2
+  keys pressed by the watch-wearing hand;
+- ``random`` — one-handed entry of a random 4-digit sequence (the
+  "random keystrokes" the volunteers also performed, used for the
+  NO-PIN evaluation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import PAPER_PINS, SimulationConfig
+from ..errors import ConfigurationError
+from ..physio import TrialSynthesizer, UserProfile, sample_population
+from ..types import PinEntryTrial
+
+#: Supported trial-generation conditions.
+CONDITIONS: Tuple[str, ...] = ("one_handed", "double3", "double2", "random")
+
+
+def _condition_params(condition: str) -> Dict[str, object]:
+    """Map a condition name to synthesizer arguments."""
+    if condition == "one_handed":
+        return {"one_handed": True, "forced_left_count": None}
+    if condition == "double3":
+        return {"one_handed": False, "forced_left_count": 3}
+    if condition == "double2":
+        return {"one_handed": False, "forced_left_count": 2}
+    if condition == "random":
+        return {"one_handed": True, "forced_left_count": None}
+    raise ConfigurationError(
+        f"unknown condition {condition!r}; expected one of {CONDITIONS}"
+    )
+
+
+def _stable_seed(*parts: object) -> int:
+    """Derive a stable 64-bit seed from heterogeneous key parts."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class StudyData:
+    """Lazily generated study dataset.
+
+    Args:
+        n_users: population size (paper: 15).
+        seed: master seed; all per-trial seeds derive from it.
+        sim_config: simulation parameters.
+        include_accel: synthesize accelerometer streams alongside PPG
+            (needed by the Fig. 12 comparison).
+    """
+
+    n_users: int = 15
+    seed: int = 0
+    sim_config: SimulationConfig = field(default_factory=SimulationConfig)
+    include_accel: bool = False
+
+    def __post_init__(self) -> None:
+        self.users: List[UserProfile] = sample_population(
+            self.n_users, seed=self.seed, config=self.sim_config
+        )
+        self.synthesizer = TrialSynthesizer(self.sim_config)
+        self._cache: Dict[Tuple[int, str, str], List[PinEntryTrial]] = {}
+
+    def user(self, user_id: int) -> UserProfile:
+        """Profile of user ``user_id``."""
+        return self.users[user_id]
+
+    def trials(
+        self,
+        user_id: int,
+        pin: str,
+        condition: str = "one_handed",
+        count: int = 18,
+    ) -> List[PinEntryTrial]:
+        """Return ``count`` trials for the given key, generating lazily.
+
+        Repeated calls extend the cache; the first ``count`` trials are
+        always identical for a given (user, pin, condition, seed).
+        """
+        if not 0 <= user_id < self.n_users:
+            raise ConfigurationError(
+                f"user_id {user_id} outside population of {self.n_users}"
+            )
+        params = _condition_params(condition)
+        key = (user_id, pin, condition)
+        cached = self._cache.setdefault(key, [])
+        profile = self.users[user_id]
+        while len(cached) < count:
+            index = len(cached)
+            rng = np.random.default_rng(
+                _stable_seed(self.seed, user_id, pin, condition, index)
+            )
+            entry_pin = pin
+            if condition == "random":
+                entry_pin = "".join(
+                    str(d) for d in rng.integers(0, 10, size=len(pin))
+                )
+            cached.append(
+                self.synthesizer.synthesize_trial(
+                    profile,
+                    entry_pin,
+                    rng,
+                    one_handed=bool(params["one_handed"]),
+                    forced_left_count=params["forced_left_count"],
+                    include_accel=self.include_accel,
+                )
+            )
+        return cached[:count]
+
+    def emulating_trials(
+        self,
+        attacker_id: int,
+        victim_id: int,
+        pin: Optional[str],
+        count: int,
+        condition: str = "one_handed",
+    ) -> List[PinEntryTrial]:
+        """Emulating-attack trials: attacker types ``pin`` mimicking the
+        victim's rhythm (Section IV-D).
+
+        ``pin=None`` models an emulating attack on a NO-PIN victim:
+        there is no fixed PIN to copy, so the attacker imitates the
+        rhythm while typing fresh random digits each attempt.
+        """
+        params = _condition_params(condition)
+        attacker = self.users[attacker_id]
+        victim = self.users[victim_id]
+        out = []
+        for index in range(count):
+            rng = np.random.default_rng(
+                _stable_seed(
+                    self.seed, "EA", attacker_id, victim_id, pin, condition, index
+                )
+            )
+            entry_pin = pin
+            if entry_pin is None:
+                entry_pin = "".join(str(d) for d in rng.integers(0, 10, size=4))
+            out.append(
+                self.synthesizer.synthesize_trial(
+                    attacker,
+                    entry_pin,
+                    rng,
+                    one_handed=bool(params["one_handed"]),
+                    forced_left_count=params["forced_left_count"],
+                    rhythm_from=victim,
+                    include_accel=self.include_accel,
+                )
+            )
+        return out
+
+    def random_attack_trials(
+        self,
+        attacker_id: int,
+        count: int,
+        pin_length: int = 4,
+        pin_pool: Optional[Tuple[str, ...]] = None,
+    ) -> List[PinEntryTrial]:
+        """Random-attack trials: attacker types fresh random PINs.
+
+        Args:
+            attacker_id: the attacking user.
+            count: number of attempts.
+            pin_length: digits per guess (ignored with ``pin_pool``).
+            pin_pool: when given, guesses are drawn uniformly from this
+                pool instead of uniformly over all digit strings —
+                modelling an attacker who knows the victim uses one of
+                the study PINs, as in the paper's random-attack setup.
+        """
+        attacker = self.users[attacker_id]
+        out = []
+        for index in range(count):
+            rng = np.random.default_rng(
+                _stable_seed(self.seed, "RA", attacker_id, index, pin_pool)
+            )
+            if pin_pool:
+                guess = pin_pool[int(rng.integers(0, len(pin_pool)))]
+            else:
+                guess = "".join(
+                    str(d) for d in rng.integers(0, 10, size=pin_length)
+                )
+            out.append(
+                self.synthesizer.synthesize_trial(
+                    attacker,
+                    guess,
+                    rng,
+                    one_handed=True,
+                    include_accel=self.include_accel,
+                )
+            )
+        return out
+
+
+def generate_study(
+    n_users: int = 15,
+    seed: int = 0,
+    pins: Tuple[str, ...] = PAPER_PINS,
+    repetitions: int = 18,
+    sim_config: Optional[SimulationConfig] = None,
+) -> StudyData:
+    """Pre-generate the full paper protocol (all users, PINs, reps).
+
+    Mostly useful for warming the cache before timing-sensitive code;
+    experiments can equally let :class:`StudyData` generate lazily.
+    """
+    data = StudyData(
+        n_users=n_users,
+        seed=seed,
+        sim_config=sim_config or SimulationConfig(),
+    )
+    for user_id in range(n_users):
+        for pin in pins:
+            data.trials(user_id, pin, "one_handed", repetitions)
+    return data

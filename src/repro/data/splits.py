@@ -1,0 +1,35 @@
+"""Enrollment/test splitting.
+
+The paper's protocol (Section IV-B.2): the training set contains part
+of the legitimate user's data (at most 9 entries, to keep enrollment
+usable) plus third-party samples; the test set holds the remaining
+legitimate entries and the attacker entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..types import PinEntryTrial
+
+
+def enroll_test_split(
+    trials: Sequence[PinEntryTrial], enroll_n: int
+) -> Tuple[List[PinEntryTrial], List[PinEntryTrial]]:
+    """Split a user's trials into enrollment and test sets.
+
+    The first ``enroll_n`` trials enroll (chronological order, as a
+    real device would); the rest test authentication accuracy.
+
+    Raises:
+        ConfigurationError: if there is nothing left to test with.
+    """
+    trials = list(trials)
+    if enroll_n < 1:
+        raise ConfigurationError(f"enroll_n must be >= 1, got {enroll_n}")
+    if len(trials) <= enroll_n:
+        raise ConfigurationError(
+            f"need more than {enroll_n} trials to split, got {len(trials)}"
+        )
+    return trials[:enroll_n], trials[enroll_n:]

@@ -1,0 +1,68 @@
+"""Third-party sample store.
+
+The paper stores third-party PPG data on the smartphone to supply
+enrollment negatives; Fig. 14 studies how the store's size trades
+authentication accuracy against rejection rate. The store draws trials
+round-robin across its contributing users so every store size contains
+a balanced mix of people.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..types import PinEntryTrial
+from .generation import StudyData
+
+
+class ThirdPartyStore:
+    """Negative-sample store backed by a :class:`StudyData`.
+
+    Args:
+        data: the study dataset.
+        contributor_ids: users whose trials populate the store; must
+            exclude the enrolling user and any designated attackers.
+        pin: the PIN whose entries the store holds (the study protocol
+            has everyone type the same PINs).
+        condition: trial condition stored (default one-handed).
+    """
+
+    def __init__(
+        self,
+        data: StudyData,
+        contributor_ids: Sequence[int],
+        pin: str,
+        condition: str = "one_handed",
+    ) -> None:
+        contributor_ids = list(contributor_ids)
+        if not contributor_ids:
+            raise ConfigurationError("the store needs at least one contributor")
+        self._data = data
+        self._contributors = contributor_ids
+        self._pin = pin
+        self._condition = condition
+
+    @property
+    def contributors(self) -> List[int]:
+        """User ids contributing to the store."""
+        return list(self._contributors)
+
+    def sample(self, n: int) -> List[PinEntryTrial]:
+        """Return ``n`` trials, round-robin across contributors.
+
+        Deterministic for a given store configuration: trial ``i``
+        comes from contributor ``i % k`` at repetition ``i // k``.
+        """
+        if n < 1:
+            raise ConfigurationError(f"store sample size must be >= 1, got {n}")
+        k = len(self._contributors)
+        per_user = -(-n // k)  # ceil division
+        pools = [
+            self._data.trials(uid, self._pin, self._condition, per_user)
+            for uid in self._contributors
+        ]
+        out: List[PinEntryTrial] = []
+        for i in range(n):
+            out.append(pools[i % k][i // k])
+        return out

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the P2Auth reproduction.
+
+Every error raised by this package derives from :class:`P2AuthError`, so
+callers can catch one type at an API boundary. Subclasses distinguish
+configuration mistakes from runtime signal/authentication failures.
+"""
+
+from __future__ import annotations
+
+
+class P2AuthError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(P2AuthError):
+    """An invalid parameter was supplied to a simulator or pipeline stage."""
+
+
+class SignalError(P2AuthError):
+    """A signal-processing stage received data it cannot process.
+
+    Examples: an empty recording, a window larger than the signal, or a
+    sampling rate mismatch between recording and pipeline configuration.
+    """
+
+
+class SegmentationError(SignalError):
+    """Keystroke segmentation could not produce a valid waveform window."""
+
+
+class EnrollmentError(P2AuthError):
+    """User enrollment failed (e.g. too few samples to train a model)."""
+
+
+class AuthenticationError(P2AuthError):
+    """An authentication request was malformed (not a mere rejection).
+
+    A *rejected* attempt is a normal outcome and is reported through
+    :class:`repro.core.authentication.AuthDecision`; this exception is for
+    requests the system cannot evaluate at all, such as a trial whose PPG
+    recording does not cover the keystroke timestamps.
+    """
+
+
+class NotFittedError(P2AuthError):
+    """A model or transform was used before :meth:`fit` was called."""

@@ -1,0 +1,23 @@
+"""Evaluation harness: metrics, protocol, and per-figure experiments.
+
+`metrics` defines the paper's two headline metrics (authentication
+accuracy and true rejection rate). `protocol` implements the Section V
+evaluation protocol around one enrolled user. `experiments` has one
+runner per table/figure of the paper, `profiling` measures the
+time/memory overheads of Table I, and `reporting` renders text tables.
+"""
+
+from .metrics import accuracy, equal_error_rate, true_rejection_rate
+from .protocol import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
+from .reporting import format_table
+
+__all__ = [
+    "ConditionResult",
+    "UserEvaluation",
+    "accuracy",
+    "equal_error_rate",
+    "evaluate_condition",
+    "evaluate_user",
+    "format_table",
+    "true_rejection_rate",
+]

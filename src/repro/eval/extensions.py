@@ -1,0 +1,210 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper leaves three natural questions open; each gets a runner in
+the same :class:`~repro.eval.experiments.ExperimentResult` format:
+
+- **Template aging** (`run_aging_sweep`) — the study spanned 8 weeks
+  and found PPG patterns stable; how fast does accuracy decay once the
+  physiology drifts systematically away from the enrolled template?
+- **Enrollment size** (`run_enrollment_size_sweep`) — the paper caps
+  enrollment at 9 entries for usability; what does each entry buy?
+- **Threshold analysis** (`run_eer_analysis`) — the paper uses the
+  ridge classifier's natural zero threshold; the EER characterizes the
+  whole genuine/impostor score geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import PAPER_PINS, PipelineConfig
+from ..core import P2Auth, EnrollmentOptions, preprocess_trial
+from ..core.enrollment import extract_full_waveform, WaveformModel
+from ..data import StudyData, ThirdPartyStore
+from .experiments import DEFAULT, ExperimentResult, ExperimentScale, _study
+from .metrics import equal_error_rate
+from .protocol import evaluate_user
+
+
+def run_aging_sweep(
+    scale: ExperimentScale = DEFAULT,
+    ages: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0),
+) -> ExperimentResult:
+    """Authentication accuracy against systematically aged templates.
+
+    Users enroll at age 0; probes are synthesized with increasing
+    template drift. Security is also tracked: the emulating attacker
+    stays un-aged (they observe the victim *now*).
+    """
+    data = _study(scale)
+    config = PipelineConfig()
+    pin = PAPER_PINS[0]
+    synth = data.synthesizer
+
+    rows = []
+    summary: Dict[str, float] = {}
+    for age in ages:
+        accs: List[float] = []
+        for victim_id in scale.victim_ids:
+            contributors = [
+                u
+                for u in range(scale.n_users)
+                if u != victim_id and u not in scale.attacker_ids
+            ]
+            store = ThirdPartyStore(data, contributors, pin)
+            auth = P2Auth(
+                pin=pin,
+                options=EnrollmentOptions(num_features=scale.num_features),
+            )
+            auth.enroll(
+                data.trials(victim_id, pin, "one_handed", scale.enroll_n),
+                store.sample(scale.third_party_n),
+            )
+            user = data.user(victim_id)
+            accepted = []
+            for rep in range(scale.test_n):
+                rng = np.random.default_rng(900_000 + victim_id * 1000 + rep)
+                probe = synth.synthesize_trial(
+                    user, pin, rng, aging=age
+                )
+                accepted.append(auth.authenticate(probe).accepted)
+            accs.append(float(np.mean(accepted)))
+        accuracy = float(np.mean(accs))
+        rows.append((age, accuracy))
+        summary[f"acc_age_{age:g}"] = accuracy
+    return ExperimentResult(
+        experiment="ext-aging",
+        title="Extension — accuracy vs template aging",
+        headers=("aging", "accuracy"),
+        rows=tuple(rows),
+        summary=summary,
+    )
+
+
+def run_enrollment_size_sweep(
+    scale: ExperimentScale = DEFAULT,
+    sizes: Sequence[int] = (3, 5, 7, 9, 12),
+) -> ExperimentResult:
+    """Accuracy and TRR as a function of the enrollment entry count."""
+    data = _study(scale)
+    rows = []
+    summary: Dict[str, float] = {}
+    for size in sizes:
+        results = [
+            evaluate_user(
+                data,
+                victim,
+                attacker_ids=scale.attacker_ids,
+                enroll_n=size,
+                test_n=scale.test_n,
+                third_party_n=scale.third_party_n,
+                ra_per_attacker=scale.ra_per_attacker,
+                ea_per_attacker=scale.ea_per_attacker,
+                num_features=scale.num_features,
+            )
+            for victim in scale.victim_ids
+        ]
+        acc = float(np.mean([r.accuracy for r in results]))
+        trr = float(
+            np.mean([(r.trr_random + r.trr_emulating) / 2 for r in results])
+        )
+        rows.append((size, acc, trr))
+        summary[f"acc_{size}"] = acc
+        summary[f"trr_{size}"] = trr
+    return ExperimentResult(
+        experiment="ext-enroll",
+        title="Extension — performance vs enrollment size",
+        headers=("enrollment entries", "accuracy", "trr"),
+        rows=tuple(rows),
+        summary=summary,
+    )
+
+
+def run_eer_analysis(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    """Equal error rate of the full-waveform score distributions.
+
+    Pools genuine scores (held-out legitimate entries) and impostor
+    scores (emulating attacks) over all victims, reporting the EER and
+    the zero-threshold operating point the paper uses.
+    """
+    data = _study(scale)
+    config = PipelineConfig()
+    pin = PAPER_PINS[0]
+
+    genuine: List[float] = []
+    impostor: List[float] = []
+    for victim_id in scale.victim_ids:
+        contributors = [
+            u
+            for u in range(scale.n_users)
+            if u != victim_id and u not in scale.attacker_ids
+        ]
+        store = ThirdPartyStore(data, contributors, pin)
+        trials = data.trials(
+            victim_id, pin, "one_handed", scale.enroll_n + scale.test_n
+        )
+        enroll, test = trials[: scale.enroll_n], trials[scale.enroll_n :]
+
+        positives = np.stack(
+            [extract_full_waveform(preprocess_trial(t, config)) for t in enroll]
+        )
+        negatives = np.stack(
+            [
+                extract_full_waveform(preprocess_trial(t, config))
+                for t in store.sample(scale.third_party_n)
+            ]
+        )
+        model = WaveformModel(num_features=scale.num_features).fit(
+            positives, negatives
+        )
+        genuine.extend(
+            float(s)
+            for s in model.decision_function(
+                np.stack(
+                    [extract_full_waveform(preprocess_trial(t, config)) for t in test]
+                )
+            )
+        )
+        for attacker in scale.attacker_ids:
+            attacks = data.emulating_trials(
+                attacker, victim_id, pin, scale.ea_per_attacker
+            )
+            impostor.extend(
+                float(s)
+                for s in model.decision_function(
+                    np.stack(
+                        [
+                            extract_full_waveform(preprocess_trial(t, config))
+                            for t in attacks
+                        ]
+                    )
+                )
+            )
+
+    eer = equal_error_rate(genuine, impostor)
+    frr_zero = float(np.mean(np.asarray(genuine) <= 0.0))
+    far_zero = float(np.mean(np.asarray(impostor) > 0.0))
+    rows = (
+        ("equal error rate", eer),
+        ("FRR at zero threshold", frr_zero),
+        ("FAR at zero threshold", far_zero),
+        ("genuine score mean", float(np.mean(genuine))),
+        ("impostor score mean", float(np.mean(impostor))),
+    )
+    return ExperimentResult(
+        experiment="ext-eer",
+        title="Extension — score-threshold analysis (full-waveform model)",
+        headers=("quantity", "value"),
+        rows=rows,
+        summary={"eer": eer, "frr_zero": frr_zero, "far_zero": far_zero},
+    )
+
+
+#: Extension runners, keyed like the paper runners.
+EXTENSION_RUNNERS = {
+    "ext-aging": run_aging_sweep,
+    "ext-enroll": run_enrollment_size_sweep,
+    "ext-eer": run_eer_analysis,
+}

@@ -1,0 +1,47 @@
+"""Markdown rendering of experiment results.
+
+Renders :class:`~repro.eval.experiments.ExperimentResult` objects as
+GitHub-flavoured markdown tables, and whole result collections as a
+report document — the machinery behind ``scripts/run_experiments.py``,
+which regenerates the measured side of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .experiments import ExperimentResult
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one experiment as a markdown section with a table."""
+    lines: List[str] = [f"### {result.title}", ""]
+    header = " | ".join(str(h) for h in result.headers)
+    divider = " | ".join("---" for _ in result.headers)
+    lines.append(f"| {header} |")
+    lines.append(f"| {divider} |")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def results_to_markdown(
+    results: Iterable[ExperimentResult],
+    title: str = "Measured results",
+    preamble: Sequence[str] = (),
+) -> str:
+    """Render a collection of experiments as one markdown document."""
+    parts: List[str] = [f"## {title}", ""]
+    parts.extend(preamble)
+    if preamble:
+        parts.append("")
+    for result in results:
+        parts.append(result_to_markdown(result))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,62 @@
+"""Evaluation metrics (Section V-B of the paper).
+
+Two headline metrics:
+
+- **authentication accuracy** — the probability that a legitimate
+  user's entry is accepted (usability);
+- **true rejection rate** — the probability that an attacker's entry
+  is rejected (security).
+
+An EER helper over raw scores is included for threshold analyses
+beyond the paper's fixed zero threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def accuracy(decisions: Sequence[bool]) -> float:
+    """Fraction of legitimate attempts accepted."""
+    decisions = list(decisions)
+    if not decisions:
+        raise ConfigurationError("no decisions to score")
+    return float(np.mean([bool(d) for d in decisions]))
+
+
+def true_rejection_rate(decisions: Sequence[bool]) -> float:
+    """Fraction of attack attempts rejected.
+
+    Args:
+        decisions: the *accepted* flags of attacker attempts.
+    """
+    decisions = list(decisions)
+    if not decisions:
+        raise ConfigurationError("no decisions to score")
+    return float(np.mean([not bool(d) for d in decisions]))
+
+
+def equal_error_rate(
+    genuine_scores: Sequence[float], impostor_scores: Sequence[float]
+) -> float:
+    """Equal error rate of a score distribution pair.
+
+    Sweeps the threshold over all observed scores and returns the error
+    where the false acceptance and false rejection rates cross.
+    """
+    genuine = np.asarray(list(genuine_scores), dtype=np.float64)
+    impostor = np.asarray(list(impostor_scores), dtype=np.float64)
+    if genuine.size == 0 or impostor.size == 0:
+        raise ConfigurationError("both score sets must be non-empty")
+
+    thresholds = np.unique(np.concatenate([genuine, impostor]))
+    best = 1.0
+    for threshold in thresholds:
+        frr = float(np.mean(genuine <= threshold))
+        far = float(np.mean(impostor > threshold))
+        best = min(best, max(frr, far))
+    return best

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: column headers.
+        rows: row values; floats are rendered with 3 decimals.
+        title: optional title line.
+
+    Returns:
+        The formatted table as a single string.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,313 @@
+"""MiniRocket time-series transform, implemented from scratch.
+
+MiniRocket (Dempster, Schmidt & Webb, KDD 2021) transforms a time
+series with a fixed set of 84 convolution kernels of length 9 whose
+weights take only two values: three positions carry weight +2 and six
+carry weight -1 (every kernel sums to zero, giving offset invariance).
+Kernels are applied at exponentially spaced dilations (Eq. 5 of the
+P2Auth paper), and each (kernel, dilation, bias) combination is pooled
+to a single feature — the proportion of positive values
+
+.. math::
+
+    PPV(Z) = \\frac{1}{N} \\sum_i \\mathbb{1}[z_i > b]
+
+(Eq. 6). Biases are drawn from quantiles of the convolution output on
+training examples, which is the only data-dependent part of the fit.
+
+The convolution is computed with the restricted-weight trick from the
+original paper: with :math:`A = -X` and :math:`G = 3X`,
+
+.. math::
+
+    C = \\sum_{j=0}^{8} A^{(j)} + \\sum_{j \\in K} G^{(j)}
+
+where :math:`X^{(j)}` denotes ``X`` shifted by ``(j - 4) * dilation``
+and ``K`` the kernel's three +2 positions — so the 84 kernels share one
+set of nine shifted copies per dilation.
+
+Multivariate series are handled channel-independently: the feature
+budget is split evenly across channels and the per-channel feature
+blocks are concatenated, which keeps channel-count comparisons
+(Fig. 13 of the P2Auth paper) fair at a fixed total feature length.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError, SignalError
+
+#: Kernel length fixed by the MiniRocket design.
+KERNEL_LENGTH = 9
+
+#: The 84 kernels: all ways to place the three +2 weights.
+KERNEL_INDICES: Tuple[Tuple[int, int, int], ...] = tuple(
+    combinations(range(KERNEL_LENGTH), 3)
+)
+
+NUM_KERNELS = len(KERNEL_INDICES)
+
+
+def _golden_quantiles(n: int) -> np.ndarray:
+    """Low-discrepancy quantile sequence ((phi * k) mod 1, k = 1..n)."""
+    phi = (np.sqrt(5.0) + 1.0) / 2.0
+    return np.mod(phi * np.arange(1, n + 1), 1.0)
+
+
+def _fit_dilations(
+    input_length: int, num_features: int, max_dilations_per_kernel: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Choose dilations and the feature count per dilation.
+
+    Follows the reference implementation: dilations are the unique
+    integer parts of an exponentially spaced grid whose maximum keeps
+    the dilated kernel inside the input, and the per-kernel feature
+    budget is spread across them proportionally.
+    """
+    num_features_per_kernel = max(1, num_features // NUM_KERNELS)
+    true_max = min(num_features_per_kernel, max_dilations_per_kernel)
+    multiplier = num_features_per_kernel / true_max
+
+    max_exponent = np.log2((input_length - 1) / (KERNEL_LENGTH - 1))
+    max_exponent = max(max_exponent, 0.0)
+    raw = np.logspace(0, max_exponent, true_max, base=2.0).astype(np.int64)
+    dilations, counts = np.unique(raw, return_counts=True)
+    features_per_dilation = (counts * multiplier).astype(np.int64)
+
+    remainder = num_features_per_kernel - int(features_per_dilation.sum())
+    i = 0
+    while remainder > 0:
+        features_per_dilation[i % len(features_per_dilation)] += 1
+        remainder -= 1
+        i += 1
+    return dilations, features_per_dilation
+
+
+def _shifted_stack(x: np.ndarray, dilation: int) -> np.ndarray:
+    """Return the nine dilated shifts of ``x``, zero-padded.
+
+    Args:
+        x: array of shape ``(n_instances, length)``.
+        dilation: kernel dilation ``d``.
+
+    Returns:
+        Array ``S`` of shape ``(9, n_instances, length)`` where
+        ``S[j, :, i] = x[:, i + (j - 4) * d]`` (zero outside).
+    """
+    n, length = x.shape
+    stack = np.zeros((KERNEL_LENGTH, n, length), dtype=np.float64)
+    center = KERNEL_LENGTH // 2
+    for j in range(KERNEL_LENGTH):
+        offset = (j - center) * dilation
+        if offset == 0:
+            stack[j] = x
+        elif offset > 0:
+            if offset < length:
+                stack[j, :, : length - offset] = x[:, offset:]
+        else:
+            if -offset < length:
+                stack[j, :, -offset:] = x[:, : length + offset]
+    return stack
+
+
+class MiniRocket:
+    """The MiniRocket transform.
+
+    Args:
+        num_features: total output feature count (paper: ~10K). For
+            multivariate input the budget is split evenly across
+            channels; the realized count is rounded down to a multiple
+            of 84 per channel and never below 84.
+        max_dilations_per_kernel: cap on distinct dilations per kernel.
+        seed: seed for the training-example choice used to set biases.
+
+    Usage::
+
+        rocket = MiniRocket(num_features=9996)
+        rocket.fit(x_train)             # (n, length) or (n, ch, length)
+        features = rocket.transform(x)  # (n, realized_num_features)
+    """
+
+    def __init__(
+        self,
+        num_features: int = 9996,
+        max_dilations_per_kernel: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if num_features < NUM_KERNELS:
+            raise ConfigurationError(
+                f"num_features must be >= {NUM_KERNELS}, got {num_features}"
+            )
+        if max_dilations_per_kernel < 1:
+            raise ConfigurationError("max_dilations_per_kernel must be >= 1")
+        self.num_features = num_features
+        self.max_dilations_per_kernel = max_dilations_per_kernel
+        self.seed = seed
+        self._fitted = False
+        self._n_channels: Optional[int] = None
+        self._input_length: Optional[int] = None
+        self._dilations: Optional[np.ndarray] = None
+        self._features_per_dilation: Optional[np.ndarray] = None
+        # biases[channel] -> list over dilations of (84, features) arrays
+        self._biases: Optional[List[List[np.ndarray]]] = None
+
+    @staticmethod
+    def _as_3d(x: np.ndarray) -> np.ndarray:
+        """Normalize input to ``(n_instances, n_channels, length)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            x = x[:, np.newaxis, :]
+        if x.ndim != 3:
+            raise SignalError(
+                f"expected (n, length) or (n, channels, length), got {x.shape}"
+            )
+        if x.shape[0] == 0:
+            raise SignalError("no instances to transform")
+        if x.shape[2] < KERNEL_LENGTH:
+            raise SignalError(
+                f"series length {x.shape[2]} shorter than kernel "
+                f"length {KERNEL_LENGTH}"
+            )
+        return x
+
+    @property
+    def n_features_out(self) -> int:
+        """Realized output feature count (available after :meth:`fit`)."""
+        if not self._fitted:
+            raise NotFittedError("MiniRocket.fit has not been called")
+        per_channel = NUM_KERNELS * int(np.sum(self._features_per_dilation))
+        return per_channel * int(self._n_channels)
+
+    @property
+    def valid_pooling_mask(self) -> np.ndarray:
+        """Boolean mask over output columns: True where PPV pools only
+        the valid (unpadded) convolution region.
+
+        Valid-pooled features are exactly offset-invariant (the
+        zero-sum kernels cancel constants); padded-pooled features see
+        the zero padding and are not.
+        """
+        if not self._fitted:
+            raise NotFittedError("MiniRocket.fit has not been called")
+        mask: List[bool] = []
+        for _ch in range(int(self._n_channels)):
+            for n_feat in self._features_per_dilation:
+                for k in range(NUM_KERNELS):
+                    mask.extend((k + f) % 2 == 1 for f in range(int(n_feat)))
+        return np.asarray(mask, dtype=bool)
+
+    def fit(self, x: np.ndarray) -> "MiniRocket":
+        """Fix dilations and biases from training data.
+
+        Args:
+            x: training series, shape ``(n, length)`` or
+                ``(n, channels, length)``.
+        """
+        x = self._as_3d(x)
+        n, channels, length = x.shape
+        per_channel_budget = max(NUM_KERNELS, self.num_features // channels)
+        self._dilations, self._features_per_dilation = _fit_dilations(
+            length, per_channel_budget, self.max_dilations_per_kernel
+        )
+        rng = np.random.default_rng(self.seed)
+
+        biases: List[List[np.ndarray]] = []
+        for ch in range(channels):
+            channel_biases: List[np.ndarray] = []
+            for dilation, n_feat in zip(
+                self._dilations, self._features_per_dilation
+            ):
+                quantiles = _golden_quantiles(int(n_feat) * NUM_KERNELS).reshape(
+                    NUM_KERNELS, int(n_feat)
+                )
+                # One random training example per (dilation, channel)
+                # supplies the convolution-output quantiles.
+                example = x[rng.integers(0, n), ch][np.newaxis, :]
+                stack = _shifted_stack(example, int(dilation))
+                c_alpha = -stack.sum(axis=0)
+                kernel_biases = np.empty((NUM_KERNELS, int(n_feat)))
+                for k, idx in enumerate(KERNEL_INDICES):
+                    conv = c_alpha + 3.0 * (
+                        stack[idx[0]] + stack[idx[1]] + stack[idx[2]]
+                    )
+                    kernel_biases[k] = np.quantile(conv[0], quantiles[k])
+                channel_biases.append(kernel_biases)
+            biases.append(channel_biases)
+
+        self._biases = biases
+        self._n_channels = channels
+        self._input_length = length
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Transform series into PPV features.
+
+        Args:
+            x: series with the same channel count and length as the
+                training data.
+
+        Returns:
+            Feature matrix of shape ``(n, n_features_out)``.
+        """
+        if not self._fitted:
+            raise NotFittedError("MiniRocket.fit has not been called")
+        x = self._as_3d(x)
+        n, channels, length = x.shape
+        if channels != self._n_channels:
+            raise SignalError(
+                f"fitted on {self._n_channels} channels, got {channels}"
+            )
+        if length != self._input_length:
+            raise SignalError(
+                f"fitted on length {self._input_length}, got {length}"
+            )
+
+        blocks: List[np.ndarray] = []
+        center = KERNEL_LENGTH // 2
+        for ch in range(channels):
+            xc = x[:, ch, :]
+            for d_index, (dilation, n_feat) in enumerate(
+                zip(self._dilations, self._features_per_dilation)
+            ):
+                dilation = int(dilation)
+                n_feat = int(n_feat)
+                stack = _shifted_stack(xc, dilation)
+                c_alpha = -stack.sum(axis=0)
+                pad = center * dilation
+                valid = slice(pad, length - pad) if length > 2 * pad else slice(0, length)
+                biases = self._biases[ch][d_index]
+                for k, idx in enumerate(KERNEL_INDICES):
+                    conv = c_alpha + 3.0 * (
+                        stack[idx[0]] + stack[idx[1]] + stack[idx[2]]
+                    )
+                    # Alternate padded/valid pooling regions across the
+                    # (kernel, feature) grid, as in the reference
+                    # implementation; both groups are one broadcast each.
+                    feats = np.empty((n_feat, n))
+                    padded_slice = slice(k % 2, None, 2)
+                    valid_slice = slice((k + 1) % 2, None, 2)
+                    padded_b = biases[k, padded_slice]
+                    valid_b = biases[k, valid_slice]
+                    if padded_b.size:
+                        feats[padded_slice] = np.mean(
+                            conv[np.newaxis]
+                            > padded_b[:, np.newaxis, np.newaxis],
+                            axis=2,
+                        )
+                    if valid_b.size:
+                        feats[valid_slice] = np.mean(
+                            conv[np.newaxis, :, valid]
+                            > valid_b[:, np.newaxis, np.newaxis],
+                            axis=2,
+                        )
+                    blocks.extend(feats)
+        return np.column_stack(blocks)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its transform."""
+        return self.fit(x).transform(x)

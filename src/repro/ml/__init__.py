@@ -1,0 +1,25 @@
+"""Machine-learning models implemented from scratch on numpy.
+
+`ridge` is the paper's classifier: a binary ridge-regression classifier
+with built-in leave-one-out cross-validation over the regularization
+strength (Eq. 7-9). `knn`, `resnet`, and `rnn` are the comparison
+models of Fig. 15, and `scaling` provides feature standardization.
+"""
+
+from .base import BinaryClassifier
+from .knn import KNNClassifier
+from .platt import PlattScaler
+from .resnet import ResNet1DClassifier
+from .ridge import RidgeClassifier
+from .rnn import RNNFNNClassifier
+from .scaling import StandardScaler
+
+__all__ = [
+    "BinaryClassifier",
+    "KNNClassifier",
+    "PlattScaler",
+    "ResNet1DClassifier",
+    "RidgeClassifier",
+    "RNNFNNClassifier",
+    "StandardScaler",
+]

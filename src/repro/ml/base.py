@@ -1,0 +1,56 @@
+"""Common estimator protocol for the binary classifiers.
+
+Every model in this package is a binary classifier over labels
+``{-1, +1}`` (legitimate user = +1), mirroring Eq. 9 of the paper:
+``F = 1`` means success, ``F = -1`` failure.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class BinaryClassifier(Protocol):
+    """Structural interface shared by all classifiers in this package."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BinaryClassifier":
+        """Train on feature matrix ``x`` and labels ``y`` in {-1, +1}."""
+        ...
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed score per row; positive means the legitimate class."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1}."""
+        ...
+
+
+def check_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair and normalize dtypes.
+
+    Returns:
+        ``(x, y)`` as float64 arrays; ``y`` strictly in {-1, +1}.
+
+    Raises:
+        ValueError: on shape mismatch, empty data, or bad labels.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.ndim < 2:
+        raise ValueError(f"x must be at least 2-D, got shape {x.shape}")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x has {x.shape[0]} rows but y has {y.shape[0]} labels"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("empty training set")
+    labels = set(np.unique(y))
+    if not labels <= {-1.0, 1.0}:
+        raise ValueError(f"labels must be in {{-1, +1}}, got {sorted(labels)}")
+    if len(labels) < 2:
+        raise ValueError("training set must contain both classes")
+    return x, y

@@ -1,0 +1,59 @@
+"""k-nearest-neighbour classifier (Fig. 15 comparison model)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .base import check_xy
+
+
+class KNNClassifier:
+    """k-NN over Euclidean distance in feature space.
+
+    Args:
+        k: number of neighbours. Ties are impossible with odd ``k``;
+            with even ``k`` the positive class wins ties (scores of
+            exactly zero are mapped to +1 by the sign convention).
+
+    The decision function is the mean label of the ``k`` nearest
+    neighbours, a value in [-1, +1]; zero is the natural threshold.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        """Memorize the training set."""
+        x, y = check_xy(x, y)
+        self._x = x
+        self._y = y
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Mean neighbour label per row, in [-1, +1]."""
+        if self._x is None or self._y is None:
+            raise NotFittedError("KNNClassifier.fit has not been called")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[np.newaxis, :]
+        k = min(self.k, self._x.shape[0])
+        # Squared Euclidean distances via the expansion trick.
+        d2 = (
+            np.sum(x ** 2, axis=1)[:, np.newaxis]
+            - 2.0 * (x @ self._x.T)
+            + np.sum(self._x ** 2, axis=1)[np.newaxis, :]
+        )
+        neighbour_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        return self._y[neighbour_idx].mean(axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority vote in {-1, +1}."""
+        scores = self.decision_function(x)
+        return np.where(scores >= 0.0, 1.0, -1.0)

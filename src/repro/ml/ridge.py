@@ -1,0 +1,134 @@
+"""Ridge-regression binary classifier with leave-one-out CV (Eq. 7-9).
+
+The paper classifies MiniRocket feature vectors "using a ridge
+regression classifier with cross-validation". This implementation
+follows the standard efficient scheme: regression against ±1 targets,
+L2 penalty selected by exact leave-one-out cross-validation computed in
+closed form from the eigendecomposition of the (centered) Gram matrix,
+which costs no more than a single fit. The Gram formulation is chosen
+because the MiniRocket regime has far more features (~10K) than
+training samples (~10-400).
+
+For a given alpha, with centered features :math:`X_c` and centered
+targets :math:`y_c`:
+
+- dual coefficients: :math:`a = (K + \\alpha I)^{-1} y_c` with
+  :math:`K = X_c X_c^T`;
+- primal weights: :math:`w = X_c^T a` (Eq. 7's parameter vector);
+- hat diagonal: :math:`h_{ii} = \\sum_k Q_{ik}^2
+  \\lambda_k / (\\lambda_k + \\alpha)` from :math:`K = Q \\Lambda Q^T`;
+- LOO residuals: :math:`e_i = (y_{c,i} - \\hat{y}_i) / (1 - h_{ii})`.
+
+The decision rule is Eq. 9: accept iff :math:`w \\cdot x + b > 0`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .base import check_xy
+
+#: Default alpha grid, matching the common RidgeClassifierCV setting of
+#: ten logarithmically spaced values in [1e-3, 1e3].
+DEFAULT_ALPHAS: tuple = tuple(np.logspace(-3, 3, 10))
+
+
+class RidgeClassifier:
+    """Binary ridge classifier with built-in LOO-CV alpha selection.
+
+    Args:
+        alphas: candidate regularization strengths; the one minimizing
+            the exact leave-one-out squared error is selected.
+
+    Attributes (after fit):
+        alpha_: the selected regularization strength.
+        coef_: weight vector ``w`` of Eq. 7.
+        intercept_: offset ``b`` of Eq. 7.
+    """
+
+    def __init__(self, alphas: Sequence[float] = DEFAULT_ALPHAS) -> None:
+        alphas = tuple(float(a) for a in alphas)
+        if not alphas or any(a <= 0 for a in alphas):
+            raise ValueError(f"alphas must be positive and non-empty: {alphas}")
+        self.alphas = alphas
+        self.alpha_: Optional[float] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "RidgeClassifier":
+        """Fit on features ``x`` and labels ``y`` in {-1, +1}.
+
+        Args:
+            x: feature matrix.
+            y: labels in {-1, +1}.
+            sample_weight: optional per-sample weights. Weighted ridge
+                is solved by the usual row-scaling reduction: center
+                with the weighted means, scale rows by sqrt(weight),
+                then proceed as in the unweighted case.
+        """
+        x, y = check_xy(x, y)
+        n = x.shape[0]
+
+        if sample_weight is None:
+            x_mean = x.mean(axis=0)
+            y_mean = float(y.mean())
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.shape[0] != n or np.any(w < 0) or w.sum() <= 0:
+                raise ValueError("sample_weight must be non-negative, same length")
+            w = w * (n / w.sum())
+            x_mean = (w[:, np.newaxis] * x).sum(axis=0) / n
+            y_mean = float((w * y).sum() / n)
+            sqrt_w = np.sqrt(w)
+            xc = sqrt_w[:, np.newaxis] * (x - x_mean)
+            yc = sqrt_w * (y - y_mean)
+
+        gram = xc @ xc.T
+        eigvals, eigvecs = np.linalg.eigh(gram)
+        eigvals = np.clip(eigvals, 0.0, None)
+        qty = eigvecs.T @ yc  # rotated targets
+        q_sq = eigvecs ** 2
+
+        best_alpha = self.alphas[0]
+        best_loo = np.inf
+        for alpha in self.alphas:
+            # Stable LOO residuals in the dual form:
+            #   e_i = [(K + aI)^-1 yc]_i / [(K + aI)^-1]_ii.
+            # The naive (yc - yhat) / (1 - h_ii) form is algebraically
+            # identical but cancels catastrophically at small alpha.
+            inv_shrink = 1.0 / (eigvals + alpha)
+            dual = eigvecs @ (inv_shrink * qty)
+            m_diag = q_sq @ inv_shrink
+            loo = float(np.mean((dual / np.clip(m_diag, 1e-300, None)) ** 2))
+            if loo < best_loo:
+                best_loo = loo
+                best_alpha = alpha
+
+        shrink = 1.0 / (eigvals + best_alpha)
+        dual = eigvecs @ (shrink * qty)
+        self.coef_ = xc.T @ dual
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self.alpha_ = float(best_alpha)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed score ``w . x + b`` per row (Eq. 7)."""
+        if self.coef_ is None or self.intercept_ is None:
+            raise NotFittedError("RidgeClassifier.fit has not been called")
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.coef_ + self.intercept_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Eq. 9: +1 (success) where the score is positive, else -1."""
+        scores = self.decision_function(x)
+        return np.where(scores > 0.0, 1.0, -1.0)

@@ -1,0 +1,159 @@
+"""RNN-FNN binary classifier (Fig. 15 comparison model).
+
+A vanilla tanh recurrent network reads the (downsampled) multichannel
+series step by step; the final hidden state feeds a one-hidden-layer
+feed-forward head producing the logit. Training is full backpropagation
+through time in numpy with Adam on the class-weighted logistic loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .base import check_xy
+from .resnet import _Adam, _downsample
+
+
+class RNNFNNClassifier:
+    """tanh-RNN encoder + feed-forward head.
+
+    Args:
+        hidden: recurrent state size.
+        ffn_hidden: feed-forward head width.
+        epochs: full-batch training epochs.
+        lr: Adam learning rate.
+        max_steps: series are mean-pooled to at most this many steps.
+        seed: weight-initialization seed.
+        class_weight_balanced: reweight the loss for class imbalance.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 16,
+        ffn_hidden: int = 16,
+        epochs: int = 80,
+        lr: float = 0.01,
+        max_steps: int = 60,
+        seed: int = 0,
+        class_weight_balanced: bool = True,
+    ) -> None:
+        if hidden < 1 or ffn_hidden < 1 or epochs < 1 or max_steps < 2:
+            raise ValueError("invalid RNN hyperparameters")
+        self.hidden = hidden
+        self.ffn_hidden = ffn_hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.max_steps = max_steps
+        self.seed = seed
+        self.class_weight_balanced = class_weight_balanced
+        self._params: Optional[Dict[str, np.ndarray]] = None
+        self._norm: Optional[Dict[str, np.ndarray]] = None
+
+    def _prepare(self, x: np.ndarray, fit_norm: bool) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            x = x[:, np.newaxis, :]
+        x = _downsample(x, self.max_steps)
+        if fit_norm:
+            mean = x.mean(axis=(0, 2), keepdims=True)
+            std = x.std(axis=(0, 2), keepdims=True)
+            std[std == 0.0] = 1.0
+            self._norm = {"mean": mean, "std": std}
+        if self._norm is None:
+            raise NotFittedError("RNNFNNClassifier.fit has not been called")
+        return (x - self._norm["mean"]) / self._norm["std"]
+
+    def _forward(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        p = self._params
+        n, _cin, steps = x.shape
+        h = np.zeros((n, self.hidden))
+        states = [h]
+        pre_acts = []
+        for t in range(steps):
+            pre = x[:, :, t] @ p["wxh"] + h @ p["whh"] + p["bh"]
+            h = np.tanh(pre)
+            pre_acts.append(pre)
+            states.append(h)
+        z1 = h @ p["w1"] + p["b1"]
+        a1 = np.maximum(z1, 0.0)
+        logit = a1 @ p["w2"] + p["b2"]
+        return {
+            "x": x, "states": states, "pre_acts": pre_acts,
+            "z1": z1, "a1": a1, "logit": logit,
+        }
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RNNFNNClassifier":
+        """Train on raw series ``x`` and labels ``y`` in {-1, +1}."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            x = x[:, np.newaxis, :]
+        _flat = x.reshape(x.shape[0], -1)
+        _flat, y = check_xy(_flat, y)
+        xs = self._prepare(x, fit_norm=True)
+        n, cin, steps = xs.shape
+
+        rng = np.random.default_rng(self.seed)
+        h, f = self.hidden, self.ffn_hidden
+
+        def init(shape, fan_in):
+            return rng.normal(0.0, np.sqrt(1.0 / fan_in), size=shape)
+
+        self._params = {
+            "wxh": init((cin, h), cin),
+            "whh": init((h, h), h),
+            "bh": np.zeros(h),
+            "w1": init((h, f), h),
+            "b1": np.zeros(f),
+            "w2": init((f,), f),
+            "b2": np.zeros(()),
+        }
+
+        if self.class_weight_balanced:
+            pos = max(1, int(np.sum(y > 0)))
+            neg = max(1, int(np.sum(y < 0)))
+            weights = np.where(y > 0, n / (2.0 * pos), n / (2.0 * neg))
+        else:
+            weights = np.ones(n)
+
+        optimizer = _Adam(self._params, self.lr)
+        for _epoch in range(self.epochs):
+            cache = self._forward(xs)
+            margin = y * cache["logit"]
+            sig = 1.0 / (1.0 + np.exp(np.clip(margin, -30, 30)))
+            dlogit = -(y * sig * weights) / n
+
+            grads = {
+                "w2": cache["a1"].T @ dlogit,
+                "b2": np.sum(dlogit),
+            }
+            da1 = np.outer(dlogit, self._params["w2"]) * (cache["z1"] > 0)
+            grads["w1"] = cache["states"][-1].T @ da1
+            grads["b1"] = da1.sum(axis=0)
+
+            dh = da1 @ self._params["w1"].T
+            grads["wxh"] = np.zeros_like(self._params["wxh"])
+            grads["whh"] = np.zeros_like(self._params["whh"])
+            grads["bh"] = np.zeros_like(self._params["bh"])
+            for t in range(steps - 1, -1, -1):
+                dpre = dh * (1.0 - cache["states"][t + 1] ** 2)
+                grads["wxh"] += xs[:, :, t].T @ dpre
+                grads["whh"] += cache["states"][t].T @ dpre
+                grads["bh"] += dpre.sum(axis=0)
+                dh = dpre @ self._params["whh"].T
+
+            optimizer.step(self._params, grads)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Logit per row; positive means the legitimate class."""
+        if self._params is None:
+            raise NotFittedError("RNNFNNClassifier.fit has not been called")
+        xs = self._prepare(np.asarray(x, dtype=np.float64), fit_norm=False)
+        return self._forward(xs)["logit"]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1}."""
+        return np.where(self.decision_function(x) > 0.0, 1.0, -1.0)

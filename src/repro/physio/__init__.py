@@ -1,0 +1,40 @@
+"""Physiology simulator: the substitution for the paper's human data.
+
+This package synthesizes keystroke-induced PPG measurements with the
+generative structure P2Auth's insights rely on (Section III of the
+paper): a periodic cardiac component, per-user per-key motion-artifact
+responses that dominate the heartbeat, realistic noise and baseline
+wander, and a simultaneous low-motion accelerometer stream.
+
+Public entry points:
+
+- :class:`UserProfile` / :func:`sample_user` — per-user biometrics.
+- :class:`TrialSynthesizer` — synthesize whole PIN-entry trials.
+- :class:`PinPad` — 3x4 PIN pad geometry and hand assignment.
+"""
+
+from .accelerometer import synthesize_accelerometer
+from .artifacts import ArtifactParams, ArtifactResponseField, artifact_waveform
+from .cardiac import CardiacParams, sample_cardiac_params, synthesize_cardiac
+from .keypad import PinPad, key_position
+from .noise import NoiseParams, synthesize_noise
+from .ppg import TrialSynthesizer
+from .user import UserProfile, sample_user, sample_population
+
+__all__ = [
+    "ArtifactParams",
+    "ArtifactResponseField",
+    "artifact_waveform",
+    "CardiacParams",
+    "sample_cardiac_params",
+    "synthesize_cardiac",
+    "PinPad",
+    "key_position",
+    "NoiseParams",
+    "synthesize_noise",
+    "TrialSynthesizer",
+    "UserProfile",
+    "sample_user",
+    "sample_population",
+    "synthesize_accelerometer",
+]

@@ -1,0 +1,315 @@
+"""Keystroke-induced motion-artifact model.
+
+This module encodes the paper's central empirical findings (Section
+III) as a generative model:
+
+1. a keystroke produces a biphasic deflection in the PPG trace that is
+   *larger* than the heartbeat component (peak/trough more pronounced);
+2. for one user, different keys produce different deflections — the
+   thumb excursion to each key engages the wrist muscles differently,
+   so artifact parameters vary smoothly with key position on the pad;
+3. for one key, different users produce different deflections — tissue
+   structure, wearing position, and keystroke habits are personal.
+
+Each user carries an :class:`ArtifactResponseField`: a set of base
+artifact parameters, a smooth (linear-in-key-coordinates) response
+describing how parameters change across the pad, and small fixed
+per-key residuals. Two artifact *components* are generated per press:
+
+- ``mechanical`` — the gross muscle/pressure transient; shared shape
+  family, moderately user-specific;
+- ``vascular`` — the microvascular blood-volume response; strongly
+  user-specific. Red and infrared channels weight these two components
+  differently in the sensing layer, which is what gives the per-channel
+  behaviour of Fig. 13b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..types import PIN_PAD_KEYS
+from .keypad import key_position
+
+#: Names of the two artifact components.
+COMPONENTS: Tuple[str, str] = ("mechanical", "vascular")
+
+
+@dataclass(frozen=True)
+class ArtifactParams:
+    """Shape parameters of one keystroke-artifact component.
+
+    The waveform is a positive Gaussian peak followed by a rebound
+    trough and a small decaying oscillation (ringing of the vascular
+    bed), all relative to the press moment:
+
+    ``a(t) = A [ G(t; t_p, w_p) - r G(t; t_p + d, w_t)
+                 + o sin(2 pi f (t - t_p)) exp(-(t - t_p)/tau) 1[t > t_p] ]``
+
+    Attributes:
+        amplitude: peak amplitude ``A`` (PPG units).
+        peak_time: latency ``t_p`` of the main peak after the press, s.
+        peak_width: Gaussian width ``w_p`` of the main peak, s.
+        trough_ratio: rebound depth ``r`` relative to the peak.
+        trough_delay: delay ``d`` of the trough after the peak, s.
+        trough_width: Gaussian width ``w_t`` of the trough, s.
+        osc_freq: ringing frequency ``f``, Hz.
+        osc_amp: ringing amplitude ``o`` relative to the peak.
+        osc_decay: ringing decay constant ``tau``, s.
+    """
+
+    amplitude: float
+    peak_time: float
+    peak_width: float
+    trough_ratio: float
+    trough_delay: float
+    trough_width: float
+    osc_freq: float
+    osc_amp: float
+    osc_decay: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ConfigurationError("artifact amplitude must be non-negative")
+        if self.peak_width <= 0 or self.trough_width <= 0:
+            raise ConfigurationError("artifact widths must be positive")
+        if self.osc_decay <= 0:
+            raise ConfigurationError("oscillation decay must be positive")
+
+
+def artifact_waveform(
+    params: ArtifactParams, duration: float, fs: float
+) -> np.ndarray:
+    """Render an artifact component to samples.
+
+    Args:
+        params: shape parameters.
+        duration: waveform support in seconds (press at t = 0).
+        fs: sampling rate, Hz.
+
+    Returns:
+        Array of shape ``(round(duration * fs),)``.
+    """
+    if duration <= 0 or fs <= 0:
+        raise ConfigurationError("duration and fs must be positive")
+    n = int(round(duration * fs))
+    t = np.arange(n) / fs
+
+    peak = np.exp(-0.5 * ((t - params.peak_time) / params.peak_width) ** 2)
+    trough_center = params.peak_time + params.trough_delay
+    trough = np.exp(-0.5 * ((t - trough_center) / params.trough_width) ** 2)
+
+    after_peak = t > params.peak_time
+    ring = np.zeros_like(t)
+    dt = t[after_peak] - params.peak_time
+    ring[after_peak] = np.sin(2.0 * np.pi * params.osc_freq * dt) * np.exp(
+        -dt / params.osc_decay
+    )
+
+    shape = peak - params.trough_ratio * trough + params.osc_amp * ring
+    return params.amplitude * shape
+
+
+#: Per-parameter scale of the smooth pad-position response. Chosen so
+#: that adjacent keys are distinguishable but same-user keys remain far
+#: closer to each other than to another user's.
+_GRADIENT_SCALE: Dict[str, float] = {
+    "amplitude": 0.22,
+    "peak_time": 0.018,
+    "peak_width": 0.012,
+    "trough_ratio": 0.10,
+    "trough_delay": 0.020,
+    "trough_width": 0.012,
+    "osc_freq": 0.55,
+    "osc_amp": 0.045,
+    "osc_decay": 0.020,
+}
+
+#: Per-parameter scale of the fixed per-key residual (idiosyncratic
+#: deviations from the smooth response, e.g. an awkward stretch to "0").
+_RESIDUAL_SCALE: Dict[str, float] = {
+    name: 0.35 * scale for name, scale in _GRADIENT_SCALE.items()
+}
+
+#: Hard lower bounds keeping perturbed parameters physical.
+_PARAM_FLOORS: Dict[str, float] = {
+    "amplitude": 0.05,
+    "peak_time": 0.02,
+    "peak_width": 0.015,
+    "trough_ratio": 0.0,
+    "trough_delay": 0.04,
+    "trough_width": 0.02,
+    "osc_freq": 0.5,
+    "osc_amp": 0.0,
+    "osc_decay": 0.03,
+}
+
+_PARAM_NAMES: Tuple[str, ...] = tuple(f.name for f in fields(ArtifactParams))
+
+
+def _clip_params(values: Dict[str, float]) -> ArtifactParams:
+    """Build :class:`ArtifactParams` applying physical floors."""
+    clipped = {
+        name: max(_PARAM_FLOORS[name], value) for name, value in values.items()
+    }
+    return ArtifactParams(**clipped)
+
+
+def _sample_base_params(
+    rng: np.random.Generator, config: SimulationConfig, component: str
+) -> ArtifactParams:
+    """Sample a user's base (pad-center) parameters for one component."""
+    amp_low, amp_high = config.artifact_amplitude_range
+    amplitude = float(rng.uniform(amp_low, amp_high))
+    # The population spreads below are deliberately wide: inter-user
+    # waveform-shape differences are the security factor (the paper's
+    # emulating attacker copies PIN and rhythm but cannot copy tissue
+    # structure), so they must dominate rhythm similarity in feature
+    # space.
+    if component == "vascular":
+        # The microvascular response is slower, smaller, and ringier
+        # than the gross mechanical transient.
+        amplitude *= float(rng.uniform(0.35, 0.85))
+        peak_time = float(rng.uniform(0.08, 0.24))
+        peak_width = float(rng.uniform(0.045, 0.12))
+        osc_amp = float(rng.uniform(0.08, 0.35))
+    else:
+        peak_time = float(rng.uniform(0.04, 0.16))
+        peak_width = float(rng.uniform(0.03, 0.09))
+        osc_amp = float(rng.uniform(0.03, 0.20))
+    return ArtifactParams(
+        amplitude=amplitude,
+        peak_time=peak_time,
+        peak_width=peak_width,
+        trough_ratio=float(rng.uniform(0.25, 0.95)),
+        trough_delay=float(rng.uniform(0.08, 0.26)),
+        trough_width=float(rng.uniform(0.04, 0.14)),
+        osc_freq=float(rng.uniform(2.0, 7.0)),
+        osc_amp=osc_amp,
+        osc_decay=float(rng.uniform(0.06, 0.26)),
+    )
+
+
+@dataclass(frozen=True)
+class ArtifactResponseField:
+    """A user's complete keystroke-artifact response.
+
+    For each component, the parameters at key ``k`` with pad coordinates
+    ``(x, y)`` are::
+
+        p_k = p_base + g_x * x + g_y * y + r_k
+
+    where ``g`` are user-specific gradients and ``r_k`` a fixed per-key
+    residual. All three pieces are sampled once per user, so the field
+    is stable across trials (the paper observes PPG patterns remain
+    consistent over its 8-week study).
+
+    Attributes:
+        base: component name -> base parameters at the pad center.
+        gradients: component name -> parameter name -> (g_x, g_y).
+        residuals: component name -> key -> parameter name -> residual.
+    """
+
+    base: Dict[str, ArtifactParams]
+    gradients: Dict[str, Dict[str, Tuple[float, float]]]
+    residuals: Dict[str, Dict[str, Dict[str, float]]]
+
+    @staticmethod
+    def sample(
+        rng: np.random.Generator, config: SimulationConfig
+    ) -> "ArtifactResponseField":
+        """Sample a complete response field for one user."""
+        base: Dict[str, ArtifactParams] = {}
+        gradients: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        residuals: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for component in COMPONENTS:
+            base[component] = _sample_base_params(rng, config, component)
+            gradients[component] = {
+                name: (
+                    float(rng.normal(0.0, _GRADIENT_SCALE[name])),
+                    float(rng.normal(0.0, _GRADIENT_SCALE[name])),
+                )
+                for name in _PARAM_NAMES
+            }
+            residuals[component] = {
+                key: {
+                    name: float(rng.normal(0.0, _RESIDUAL_SCALE[name]))
+                    for name in _PARAM_NAMES
+                }
+                for key in PIN_PAD_KEYS
+            }
+        return ArtifactResponseField(
+            base=base, gradients=gradients, residuals=residuals
+        )
+
+    def params_for(self, key: str, component: str) -> ArtifactParams:
+        """Return the artifact parameters for ``key`` and ``component``."""
+        if component not in self.base:
+            raise ConfigurationError(f"unknown artifact component: {component!r}")
+        x, y = key_position(key)
+        base = self.base[component]
+        grads = self.gradients[component]
+        resid = self.residuals[component][key]
+        values = {}
+        for name in _PARAM_NAMES:
+            gx, gy = grads[name]
+            values[name] = getattr(base, name) + gx * x + gy * y + resid[name]
+        return _clip_params(values)
+
+
+def drift_params(
+    params: ArtifactParams,
+    drift_seed: int,
+    aging: float,
+) -> ArtifactParams:
+    """Apply systematic template aging to artifact parameters.
+
+    The paper's 8-week study found keystroke-PPG patterns stable, but
+    over longer horizons tissue, wearing habits, and musculature shift.
+    Aging is modelled as a *fixed* per-(user, key, component) drift
+    direction scaled by ``aging`` (a dimensionless age, ~0.05 per
+    month): repeated trials at the same age drift consistently rather
+    than just getting noisier, which is what actually degrades an
+    enrolled template.
+
+    Args:
+        params: the un-aged parameters.
+        drift_seed: deterministic seed identifying the (user, key,
+            component) whose drift direction to use.
+        aging: drift magnitude; 0 disables aging.
+    """
+    if aging < 0:
+        raise ConfigurationError("aging must be non-negative")
+    if aging == 0.0:
+        return params
+    rng = np.random.default_rng(drift_seed)
+    direction = rng.normal(0.0, 1.0, size=len(_PARAM_NAMES))
+    direction /= np.linalg.norm(direction)
+    values = {
+        name: getattr(params, name) * (1.0 + aging * float(direction[i]))
+        for i, name in enumerate(_PARAM_NAMES)
+    }
+    return _clip_params(values)
+
+
+def perturb_params(
+    params: ArtifactParams, rng: np.random.Generator, scale: float = 0.08
+) -> ArtifactParams:
+    """Apply trial-to-trial multiplicative jitter to artifact parameters.
+
+    Real presses are never identical: press strength, thumb angle, and
+    contact time vary slightly. ``scale`` is the relative standard
+    deviation of the per-press variation.
+    """
+    if scale < 0:
+        raise ConfigurationError("perturbation scale must be non-negative")
+    values = {}
+    for name in _PARAM_NAMES:
+        factor = 1.0 + float(rng.normal(0.0, scale))
+        values[name] = getattr(params, name) * factor
+    return _clip_params(values)

@@ -1,0 +1,144 @@
+"""Cardiac (heartbeat) component of the PPG signal.
+
+A PPG pulse wave is modelled as a periodic template evaluated along a
+continuously accumulated cardiac phase. The template is a sum of two
+wrapped Gaussians — the systolic peak and the dicrotic wave — whose
+positions, widths, and amplitude ratio are per-user biometric
+parameters (human tissue structure differs across people; Section III
+of the paper). Heart-rate variability perturbs the instantaneous beat
+period with both white jitter and a slow respiratory modulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CardiacParams:
+    """Per-user cardiac pulse parameters.
+
+    Attributes:
+        heart_rate: resting heart rate in beats per minute.
+        systolic_phase: phase (in [0, 1)) of the systolic peak.
+        systolic_width: phase-domain width of the systolic peak.
+        dicrotic_phase: phase of the dicrotic wave.
+        dicrotic_width: phase-domain width of the dicrotic wave.
+        dicrotic_ratio: dicrotic amplitude relative to systolic.
+        amplitude: overall AC amplitude of the cardiac component.
+        hrv_std: per-beat period jitter as a fraction of the period.
+        resp_rate: respiratory modulation frequency, Hz.
+        resp_depth: fractional depth of respiratory sinus arrhythmia.
+    """
+
+    heart_rate: float
+    systolic_phase: float
+    systolic_width: float
+    dicrotic_phase: float
+    dicrotic_width: float
+    dicrotic_ratio: float
+    amplitude: float
+    hrv_std: float
+    resp_rate: float
+    resp_depth: float
+
+    def __post_init__(self) -> None:
+        if self.heart_rate <= 0:
+            raise ConfigurationError("heart rate must be positive")
+        if not 0 <= self.systolic_phase < 1 or not 0 <= self.dicrotic_phase < 1:
+            raise ConfigurationError("pulse phases must lie in [0, 1)")
+        if self.systolic_width <= 0 or self.dicrotic_width <= 0:
+            raise ConfigurationError("pulse widths must be positive")
+        if self.amplitude <= 0:
+            raise ConfigurationError("cardiac amplitude must be positive")
+
+
+def sample_cardiac_params(
+    rng: np.random.Generator, config: SimulationConfig
+) -> CardiacParams:
+    """Sample one user's cardiac parameters from the population model."""
+    hr_low, hr_high = config.heart_rate_range
+    return CardiacParams(
+        heart_rate=float(rng.uniform(hr_low, hr_high)),
+        systolic_phase=float(rng.uniform(0.18, 0.30)),
+        systolic_width=float(rng.uniform(0.055, 0.095)),
+        dicrotic_phase=float(rng.uniform(0.48, 0.64)),
+        dicrotic_width=float(rng.uniform(0.07, 0.13)),
+        dicrotic_ratio=float(rng.uniform(0.25, 0.55)),
+        amplitude=config.pulse_amplitude * float(rng.uniform(0.8, 1.25)),
+        hrv_std=config.hrv_std * float(rng.uniform(0.7, 1.3)),
+        resp_rate=float(rng.uniform(0.18, 0.32)),
+        resp_depth=float(rng.uniform(0.02, 0.06)),
+    )
+
+
+def _wrapped_gaussian(phase: np.ndarray, center: float, width: float) -> np.ndarray:
+    """Gaussian bump on the unit circle, evaluated at ``phase`` in [0, 1)."""
+    delta = phase - center
+    delta = delta - np.round(delta)
+    return np.exp(-0.5 * (delta / width) ** 2)
+
+
+def pulse_template(phase: np.ndarray, params: CardiacParams) -> np.ndarray:
+    """Evaluate the pulse waveform at cardiac ``phase`` values.
+
+    The template is zero-mean over a cycle only approximately; the
+    sensing layer AC-couples the signal downstream, so an offset here is
+    harmless.
+    """
+    phase = np.mod(np.asarray(phase, dtype=np.float64), 1.0)
+    systolic = _wrapped_gaussian(phase, params.systolic_phase, params.systolic_width)
+    dicrotic = _wrapped_gaussian(phase, params.dicrotic_phase, params.dicrotic_width)
+    return params.amplitude * (systolic + params.dicrotic_ratio * dicrotic)
+
+
+def synthesize_cardiac(
+    n_samples: int,
+    fs: float,
+    params: CardiacParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Synthesize the cardiac PPG component.
+
+    The instantaneous heart rate is the resting rate modulated by
+    respiratory sinus arrhythmia plus smoothed white jitter; cardiac
+    phase is its cumulative integral.
+
+    Args:
+        n_samples: number of output samples.
+        fs: sampling rate, Hz.
+        params: per-user cardiac parameters.
+        rng: randomness source for the HRV realization.
+
+    Returns:
+        Array of shape ``(n_samples,)``.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    if fs <= 0:
+        raise ConfigurationError("sampling rate must be positive")
+
+    t = np.arange(n_samples) / fs
+    base_freq = params.heart_rate / 60.0
+
+    resp_phase = rng.uniform(0.0, 2.0 * np.pi)
+    resp = params.resp_depth * np.sin(2.0 * np.pi * params.resp_rate * t + resp_phase)
+
+    # Smooth the white per-sample jitter over roughly one beat so the
+    # instantaneous frequency wanders beat-to-beat instead of per-sample.
+    jitter = rng.normal(0.0, params.hrv_std, size=n_samples)
+    beat_len = max(1, int(round(fs / base_freq)))
+    kernel = np.ones(beat_len) / beat_len
+    jitter = np.convolve(jitter, kernel, mode="same")
+
+    inst_freq = base_freq * (1.0 + resp + jitter)
+    inst_freq = np.clip(inst_freq, 0.3 * base_freq, 2.5 * base_freq)
+
+    phase0 = rng.uniform(0.0, 1.0)
+    phase = phase0 + np.cumsum(inst_freq) / fs
+    return pulse_template(phase, params)

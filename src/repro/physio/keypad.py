@@ -1,0 +1,162 @@
+"""PIN pad geometry and hand assignment.
+
+The paper's volunteers type on a standard 3x4 smartphone PIN pad:
+
+.. code-block:: text
+
+    1 2 3
+    4 5 6
+    7 8 9
+      0
+
+Key position drives two things in the simulation. First, the thumb
+excursion needed to reach a key modulates the wrist-muscle engagement,
+so the keystroke-artifact parameters vary smoothly with key coordinates
+(Section III: "different keystrokes bring about different pulse
+patterns"). Second, in two-handed typing the column determines which
+thumb presses the key; only presses by the watch-wearing (left) hand
+leave an artifact in the PPG trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Hand, PIN_PAD_KEYS
+
+#: Grid coordinates (column, row) of each key on the 3x4 pad.
+_KEY_GRID: Dict[str, Tuple[int, int]] = {
+    "1": (0, 0), "2": (1, 0), "3": (2, 0),
+    "4": (0, 1), "5": (1, 1), "6": (2, 1),
+    "7": (0, 2), "8": (1, 2), "9": (2, 2),
+    "0": (1, 3),
+}
+
+
+def key_position(key: str) -> Tuple[float, float]:
+    """Return normalized (x, y) coordinates of ``key`` on the pad.
+
+    x runs -1 (left column) to +1 (right column); y runs -1 (top row)
+    to +1 (bottom row, where "0" sits).
+    """
+    if key not in _KEY_GRID:
+        raise ConfigurationError(f"unknown PIN pad key: {key!r}")
+    col, row = _KEY_GRID[key]
+    return (col - 1.0, (row - 1.5) / 1.5)
+
+
+@dataclass(frozen=True)
+class PinPad:
+    """A PIN pad with a per-user two-handed hand-assignment habit.
+
+    In one-handed typing every key is pressed by the thumb of the hand
+    holding the phone (assumed to be the watch-wearing left hand, as in
+    the paper's data collection). In two-handed typing, left-column keys
+    go to the left thumb and right-column keys to the right thumb; for
+    the middle column each user has a fixed habit captured by
+    ``middle_column_left`` (a per-key preference map).
+
+    Attributes:
+        middle_column_left: for each middle-column key ("2", "5", "8",
+            "0"), whether this user presses it with the left thumb.
+    """
+
+    middle_column_left: Tuple[Tuple[str, bool], ...] = (
+        ("2", True), ("5", True), ("8", False), ("0", False),
+    )
+
+    def __post_init__(self) -> None:
+        keys = {k for k, _ in self.middle_column_left}
+        expected = {"2", "5", "8", "0"}
+        if keys != expected:
+            raise ConfigurationError(
+                f"middle-column habit must cover {sorted(expected)}, got {sorted(keys)}"
+            )
+
+    @staticmethod
+    def sample(rng: np.random.Generator) -> "PinPad":
+        """Sample a per-user pad with a random middle-column habit."""
+        habit = tuple((key, bool(rng.random() < 0.5)) for key in ("2", "5", "8", "0"))
+        return PinPad(middle_column_left=habit)
+
+    def hand_for_key(self, key: str, one_handed: bool) -> Hand:
+        """Return the hand this user presses ``key`` with."""
+        if one_handed:
+            return Hand.LEFT
+        col, _row = _KEY_GRID.get(key, (None, None))
+        if col is None:
+            raise ConfigurationError(f"unknown PIN pad key: {key!r}")
+        if col == 0:
+            return Hand.LEFT
+        if col == 2:
+            return Hand.RIGHT
+        habit = dict(self.middle_column_left)
+        return Hand.LEFT if habit[key] else Hand.RIGHT
+
+    def assign_hands(
+        self,
+        pin: str,
+        one_handed: bool,
+        forced_left_count: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[Hand, ...]:
+        """Assign a hand to each digit of ``pin``.
+
+        Args:
+            pin: the digits to be typed.
+            one_handed: if True, all keys go to the left hand.
+            forced_left_count: if given (two-handed only), override the
+                habit so that exactly this many keystrokes land on the
+                left (watch-wearing) hand — used by the evaluation to
+                build the paper's "double-2" and "double-3" cases.
+            rng: randomness source for breaking ties when forcing a
+                count; required when ``forced_left_count`` is given.
+
+        Raises:
+            ConfigurationError: if ``forced_left_count`` is infeasible
+                for the PIN length or requested in one-handed mode.
+        """
+        for digit in pin:
+            if digit not in _KEY_GRID:
+                raise ConfigurationError(f"unknown PIN pad key: {digit!r}")
+        if one_handed:
+            if forced_left_count is not None and forced_left_count != len(pin):
+                raise ConfigurationError(
+                    "cannot force a left-hand count in one-handed mode"
+                )
+            return tuple(Hand.LEFT for _ in pin)
+
+        hands = [self.hand_for_key(d, one_handed=False) for d in pin]
+        if forced_left_count is None:
+            return tuple(hands)
+
+        if not 0 <= forced_left_count <= len(pin):
+            raise ConfigurationError(
+                f"forced_left_count={forced_left_count} infeasible for PIN "
+                f"of length {len(pin)}"
+            )
+        if rng is None:
+            raise ConfigurationError("rng is required when forcing a left-hand count")
+
+        current = sum(1 for h in hands if h is Hand.LEFT)
+        indices = list(range(len(pin)))
+        rng.shuffle(indices)
+        for i in indices:
+            if current == forced_left_count:
+                break
+            if current < forced_left_count and hands[i] is Hand.RIGHT:
+                hands[i] = Hand.LEFT
+                current += 1
+            elif current > forced_left_count and hands[i] is Hand.LEFT:
+                hands[i] = Hand.RIGHT
+                current -= 1
+        return tuple(hands)
+
+
+def all_keys() -> Tuple[str, ...]:
+    """Return every key on the pad, in digit order."""
+    return PIN_PAD_KEYS

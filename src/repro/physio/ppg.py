@@ -1,0 +1,202 @@
+"""Whole PIN-entry trial synthesis.
+
+:class:`TrialSynthesizer` is the top of the substrate stack: given a
+user profile and a PIN, it lays out the keystroke schedule from the
+user's rhythm, renders the tissue-level source signals (cardiac +
+per-press artifact components), runs them through the sensing layer,
+and returns a :class:`~repro.types.PinEntryTrial` identical in shape to
+what the paper's hardware prototype captured.
+
+Emulating attacks are expressed naturally here: synthesize a trial for
+the *attacker's* profile but pass ``rhythm_from=victim`` so the typing
+cadence matches the observed victim while the physiology stays the
+attacker's own (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..sensing.channels import SourceSignals
+from ..sensing.device import WearablePrototype
+from ..types import (
+    ChannelInfo,
+    Hand,
+    KeystrokeEvent,
+    PinEntryTrial,
+    PROTOTYPE_CHANNELS,
+)
+from .accelerometer import synthesize_accelerometer
+from .artifacts import artifact_waveform, drift_params, perturb_params
+from .cardiac import synthesize_cardiac
+from .user import UserProfile
+
+#: Rendered artifact support, as a multiple of the nominal duration —
+#: long enough to include the rebound trough and ringing tail.
+_ARTIFACT_SUPPORT_FACTOR = 2.6
+
+#: Relative amplitude of the cross-talk an off-wrist (right-hand) press
+#: leaves in the left-wrist PPG (phone motion transmitted through the
+#: holding hand). Small enough that it never trips keystroke detection.
+_OFF_HAND_CROSSTALK = 0.04
+
+
+def _drift_seed(user_id: int, key: str, component: str) -> int:
+    """Stable (process-independent) seed for a drift direction.
+
+    ``hash()`` is salted per interpreter, so a cryptographic digest
+    keeps template aging reproducible across runs.
+    """
+    text = f"{user_id}|{key}|{component}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _add_at(target: np.ndarray, waveform: np.ndarray, start: int) -> None:
+    """Add ``waveform`` into ``target`` starting at index ``start``.
+
+    Portions falling outside the target are silently clipped.
+    """
+    n = target.shape[0]
+    lo = max(0, start)
+    hi = min(n, start + waveform.shape[0])
+    if hi <= lo:
+        return
+    target[lo:hi] += waveform[lo - start : hi - start]
+
+
+class TrialSynthesizer:
+    """Synthesizes PIN-entry trials for simulated users.
+
+    Args:
+        config: simulation parameters (defaults to the paper's setup).
+        channels: PPG channel layout; defaults to the 4-channel
+            prototype (2 sensor sites x {red, infrared}).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        channels: Tuple[ChannelInfo, ...] = PROTOTYPE_CHANNELS,
+    ) -> None:
+        self._config = config or SimulationConfig()
+        self._device = WearablePrototype(self._config, channels)
+
+    @property
+    def config(self) -> SimulationConfig:
+        """Simulation parameters in effect."""
+        return self._config
+
+    @property
+    def device(self) -> WearablePrototype:
+        """The simulated capture device."""
+        return self._device
+
+    def synthesize_trial(
+        self,
+        user: UserProfile,
+        pin: str,
+        rng: np.random.Generator,
+        one_handed: bool = True,
+        forced_left_count: Optional[int] = None,
+        rhythm_from: Optional[UserProfile] = None,
+        include_accel: bool = False,
+        aging: float = 0.0,
+    ) -> PinEntryTrial:
+        """Synthesize one PIN-entry trial.
+
+        Args:
+            user: whose physiology produces the signals.
+            pin: digits to type.
+            rng: randomness source for this trial.
+            one_handed: single-thumb entry (all keys on the watch hand).
+            forced_left_count: two-handed only — force exactly this
+                many presses onto the watch-wearing hand (used to build
+                the paper's double-2/double-3 evaluation cases).
+            rhythm_from: copy this profile's typing rhythm instead of
+                ``user``'s own (emulating attack).
+            include_accel: also synthesize the accelerometer stream.
+            aging: systematic template-aging magnitude applied to the
+                artifact parameters (0 = trial contemporaneous with
+                enrollment; see
+                :func:`repro.physio.artifacts.drift_params`).
+
+        Returns:
+            A complete :class:`PinEntryTrial`.
+        """
+        if not pin or not pin.isdigit():
+            raise ConfigurationError(f"PIN must be a non-empty digit string: {pin!r}")
+        config = self._config
+        rhythm_owner = rhythm_from if rhythm_from is not None else user
+
+        gaps = rhythm_owner.rhythm.intervals(pin, config, rng)
+        press_times = config.lead_in + np.concatenate([[0.0], np.cumsum(gaps)])
+        duration = float(press_times[-1]) + config.lead_out
+        n_samples = int(round(duration * config.fs))
+
+        hands = user.pad.assign_hands(
+            pin,
+            one_handed=one_handed,
+            forced_left_count=forced_left_count,
+            rng=rng,
+        )
+
+        cardiac = synthesize_cardiac(n_samples, config.fs, user.cardiac, rng)
+        mechanical = np.zeros(n_samples)
+        vascular = np.zeros(n_samples)
+        support = config.artifact_duration * _ARTIFACT_SUPPORT_FACTOR
+
+        for key, time, hand in zip(pin, press_times, hands):
+            scale = 1.0 if hand is Hand.LEFT else _OFF_HAND_CROSSTALK
+            start = int(round(time * config.fs))
+            for component, target in (
+                ("mechanical", mechanical),
+                ("vascular", vascular),
+            ):
+                params = user.artifacts.params_for(key, component)
+                if aging:
+                    params = drift_params(
+                        params, _drift_seed(user.user_id, key, component), aging
+                    )
+                params = perturb_params(params, rng, scale=user.press_variability)
+                waveform = scale * artifact_waveform(params, support, config.fs)
+                _add_at(target, waveform, start)
+
+        sources = SourceSignals(
+            cardiac=cardiac,
+            mechanical=mechanical,
+            vascular=vascular,
+            fs=config.fs,
+        )
+        recording = self._device.capture(
+            sources, user.site_coupling, user.noise, rng
+        )
+
+        reported = self._device.report_times(press_times, rng)
+        events = tuple(
+            KeystrokeEvent(
+                key=key,
+                true_time=float(true),
+                reported_time=float(rep),
+                hand=hand,
+            )
+            for key, true, rep, hand in zip(pin, press_times, reported, hands)
+        )
+
+        accel = None
+        if include_accel:
+            accel = synthesize_accelerometer(user, events, duration, config, rng)
+
+        return PinEntryTrial(
+            recording=recording,
+            events=events,
+            pin=pin,
+            user_id=user.user_id,
+            one_handed=one_handed,
+            accel=accel,
+        )

@@ -1,0 +1,176 @@
+"""Per-user biometric profiles.
+
+A :class:`UserProfile` bundles everything that makes a simulated person
+physically and behaviourally distinct: cardiac pulse shape, the
+keystroke-artifact response field, noise/restlessness levels, the
+two-handed typing habit, a typing rhythm, and how strongly each wrist
+sensor site couples to each signal source (wearing position and wrist
+anatomy differ across people — the paper's Section VI discussion).
+
+Profiles are sampled once and reused across all of a user's trials;
+the paper's 8-week study found keystroke-PPG patterns stable over
+time, and that stability is what makes enrollment-once authentication
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..types import PIN_PAD_KEYS
+from .artifacts import ArtifactResponseField
+from .cardiac import CardiacParams, sample_cardiac_params
+from .keypad import PinPad
+from .noise import NoiseParams, sample_noise_params
+
+
+@dataclass(frozen=True)
+class TypingRhythm:
+    """A user's keystroke timing habit.
+
+    The emulating attacker of Section IV-D observes and copies the
+    victim's rhythm, so rhythm is deliberately *not* a secure feature;
+    it only shapes timing, never the artifact waveform.
+
+    Attributes:
+        speed_factor: multiplier on the nominal inter-key interval.
+        jitter_factor: multiplier on the nominal inter-key jitter.
+        key_bias: per-key additive offset (seconds) on the interval
+            *preceding* that key — reaching a far key takes longer.
+    """
+
+    speed_factor: float
+    jitter_factor: float
+    key_bias: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ConfigurationError("speed factor must be positive")
+        if self.jitter_factor < 0:
+            raise ConfigurationError("jitter factor must be non-negative")
+
+    @staticmethod
+    def sample(rng: np.random.Generator) -> "TypingRhythm":
+        """Sample one user's rhythm from the population model."""
+        bias = {key: float(rng.normal(0.0, 0.06)) for key in PIN_PAD_KEYS}
+        return TypingRhythm(
+            speed_factor=float(rng.uniform(0.8, 1.25)),
+            jitter_factor=float(rng.uniform(0.6, 1.4)),
+            key_bias=bias,
+        )
+
+    def intervals(
+        self, pin: str, config: SimulationConfig, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the inter-key gaps preceding keys 2..len(pin).
+
+        Returns an array of ``len(pin) - 1`` positive gaps in seconds.
+        """
+        if len(pin) < 1:
+            raise ConfigurationError("PIN must have at least one digit")
+        gaps = []
+        for digit in pin[1:]:
+            mean = (
+                config.inter_key_interval * self.speed_factor
+                + self.key_bias.get(digit, 0.0)
+            )
+            gap = rng.normal(mean, config.inter_key_jitter * self.jitter_factor)
+            gaps.append(max(0.35, float(gap)))
+        return np.asarray(gaps)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Complete biometric and behavioural profile of one simulated user.
+
+    Attributes:
+        user_id: stable integer identity.
+        cardiac: pulse-shape and heart-rate parameters.
+        artifacts: keystroke-artifact response field.
+        noise: noise and restlessness levels.
+        pad: PIN pad hand-assignment habit.
+        rhythm: keystroke timing habit.
+        site_coupling: array of shape ``(2, 3)`` — how strongly sensor
+            sites 0/1 couple to the (cardiac, mechanical, vascular)
+            sources; encodes wearing position and wrist anatomy.
+        press_variability: relative per-press artifact parameter jitter.
+    """
+
+    user_id: int
+    cardiac: CardiacParams
+    artifacts: ArtifactResponseField
+    noise: NoiseParams
+    pad: PinPad
+    rhythm: TypingRhythm
+    site_coupling: np.ndarray
+    press_variability: float
+
+    def __post_init__(self) -> None:
+        coupling = np.asarray(self.site_coupling, dtype=np.float64)
+        if coupling.shape != (2, 3):
+            raise ConfigurationError(
+                f"site coupling must have shape (2, 3), got {coupling.shape}"
+            )
+        if np.any(coupling < 0):
+            raise ConfigurationError("site coupling must be non-negative")
+        if self.press_variability < 0:
+            raise ConfigurationError("press variability must be non-negative")
+        object.__setattr__(self, "site_coupling", coupling)
+
+
+def sample_user(
+    user_id: int,
+    rng: np.random.Generator,
+    config: Optional[SimulationConfig] = None,
+) -> UserProfile:
+    """Sample a complete user profile.
+
+    Args:
+        user_id: identity to assign.
+        rng: randomness source; a dedicated child generator per user
+            keeps profiles independent of how many users are drawn.
+        config: simulation parameters (defaults to paper settings).
+    """
+    config = config or SimulationConfig()
+    # Wide coupling spread (wearing position + wrist anatomy) and tight
+    # per-press variability: what separates users must exceed what
+    # separates one user's repetitions, or enrollment-once biometrics
+    # could not work at all (the paper's 8-week stability finding).
+    coupling = rng.uniform(0.55, 1.45, size=(2, 3))
+    return UserProfile(
+        user_id=user_id,
+        cardiac=sample_cardiac_params(rng, config),
+        artifacts=ArtifactResponseField.sample(rng, config),
+        noise=sample_noise_params(rng, config),
+        pad=PinPad.sample(rng),
+        rhythm=TypingRhythm.sample(rng),
+        site_coupling=coupling,
+        press_variability=float(rng.uniform(0.04, 0.09)),
+    )
+
+
+def sample_population(
+    n_users: int,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+) -> List[UserProfile]:
+    """Sample ``n_users`` independent profiles.
+
+    Each user gets a child generator spawned from ``seed``, so user i
+    is identical no matter how large the population is — important for
+    experiments that reuse the same people across conditions.
+    """
+    if n_users < 1:
+        raise ConfigurationError("need at least one user")
+    config = config or SimulationConfig()
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(n_users)
+    return [
+        sample_user(i, np.random.default_rng(child), config)
+        for i, child in enumerate(children)
+    ]

@@ -1,0 +1,21 @@
+"""Sensing layer: from tissue-level signals to sensor channels.
+
+Models the wearable prototype of Section V-A: two MAX30101-style
+optical modules (each with a red and an infrared LED) on either side of
+the wrist sampling at 100 Hz, an 18-bit ADC, a 75 Hz LIS2DH12
+accelerometer, and the phone-to-wearable timestamp channel whose
+communication delay makes keystroke timestamps coarse.
+"""
+
+from .adc import quantize
+from .channels import ChannelMixer, SourceSignals
+from .device import WearablePrototype
+from .timing import report_keystroke_times
+
+__all__ = [
+    "ChannelMixer",
+    "SourceSignals",
+    "WearablePrototype",
+    "quantize",
+    "report_keystroke_times",
+]

@@ -1,0 +1,76 @@
+"""Wearable prototype facade.
+
+:class:`WearablePrototype` bundles the channel mixer, the ADC, and the
+timestamp channel into the single object the trial synthesizer talks
+to — the software twin of the Section V-A hardware (two MAX30101
+modules on a wrist band, an EVK/STM32 capture path back to a PC, and
+an Android phone reporting keystroke times).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..physio.noise import NoiseParams
+from ..types import ChannelInfo, PPGRecording, PROTOTYPE_CHANNELS
+from .adc import quantize
+from .channels import ChannelMixer, SourceSignals
+from .timing import report_keystroke_times
+
+
+class WearablePrototype:
+    """The simulated capture device.
+
+    Args:
+        config: simulation parameters (sampling rates, ADC, jitter).
+        channels: channel layout; defaults to the 4-channel prototype.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        channels: Tuple[ChannelInfo, ...] = PROTOTYPE_CHANNELS,
+    ) -> None:
+        self._config = config
+        self._mixer = ChannelMixer(config, channels)
+
+    @property
+    def config(self) -> SimulationConfig:
+        """Simulation parameters in effect."""
+        return self._config
+
+    @property
+    def channels(self) -> Tuple[ChannelInfo, ...]:
+        """Channel layout this device records."""
+        return self._mixer.channels
+
+    def capture(
+        self,
+        sources: SourceSignals,
+        site_coupling: np.ndarray,
+        noise_params: NoiseParams,
+        rng: np.random.Generator,
+    ) -> PPGRecording:
+        """Record a PPG trace from tissue-level sources.
+
+        Mixing, channel noise, and ADC quantization are applied in the
+        order the physical signal path imposes.
+        """
+        raw = self._mixer.mix(sources, site_coupling, noise_params, rng)
+        digitized = quantize(
+            raw, bits=self._config.adc_bits, full_scale=self._config.adc_full_scale
+        )
+        return PPGRecording(
+            samples=digitized, fs=sources.fs, channels=self._mixer.channels
+        )
+
+    def report_times(
+        self, true_times: Sequence[float], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Run press times through the phone-to-wearable channel."""
+        return report_keystroke_times(
+            true_times, jitter=self._config.timestamp_jitter, rng=rng
+        )

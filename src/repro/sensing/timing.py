@@ -1,0 +1,43 @@
+"""Phone-to-wearable keystroke timestamp channel.
+
+The phone records the moment of each key press and forwards it to the
+PPG acquisition side. The communication delay between the two devices
+changes dynamically (Section IV-B.1.2 of the paper), so the timestamps
+arriving with the PPG stream are only coarse — which is exactly why
+the pipeline includes a fine-grained calibration module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def report_keystroke_times(
+    true_times: Sequence[float],
+    jitter: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Corrupt ground-truth press times with communication delay.
+
+    Each reported time is the true time plus an independent uniform
+    offset in ``[-jitter, +jitter]`` (clock skew can make the recorded
+    moment early as well as late, since the phone clock and the PPG
+    stream clock are aligned only at session start).
+
+    Args:
+        true_times: ground-truth press moments, seconds.
+        jitter: bound of the uniform offset, seconds.
+        rng: randomness source.
+
+    Returns:
+        Array of reported times, same length as ``true_times``.
+    """
+    if jitter < 0:
+        raise ConfigurationError("timestamp jitter must be non-negative")
+    true_times = np.asarray(list(true_times), dtype=np.float64)
+    offsets = rng.uniform(-jitter, jitter, size=true_times.shape)
+    return true_times + offsets

@@ -1,0 +1,130 @@
+"""Fine-grained keystroke time calibration (Eq. 1 of the paper).
+
+The phone-reported keystroke timestamps are coarse because of the
+dynamically changing communication delay between the phone and the PPG
+acquisition device. Keystrokes, however, produce the most pronounced
+deflections in the trace, so the true press moment is recovered by
+searching — within a window around the reported time — for the extreme
+point that deviates the most from the local mean:
+
+.. math::
+
+    \\arg\\max_{s \\in S}
+    \\left| y_s - \\frac{1}{w+1} \\sum_{i=-w/2}^{w/2} y_{s+i} \\right|
+
+where ``S`` is the candidate set of local extrema of the
+Savitzky-Golay-filtered signal and ``w`` the window size (30 samples at
+100 Hz).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import ConfigurationError, SignalError
+from ..types import KeystrokeEvent, PPGRecording
+from .filters import savitzky_golay
+from .peaks import local_extrema
+
+
+def _local_mean_deviation(samples: np.ndarray, index: int, window: int) -> float:
+    """The Eq. 1 objective: |y_s - mean of the window centered at s|."""
+    half = window // 2
+    lo = max(0, index - half)
+    hi = min(samples.size, index + half + 1)
+    return float(abs(samples[index] - np.mean(samples[lo:hi])))
+
+
+def calibrate_keystroke_index(
+    samples: np.ndarray,
+    reported_index: int,
+    window: int = 30,
+    sg_window: int = 11,
+    sg_polyorder: int = 3,
+) -> int:
+    """Snap a coarse keystroke index to the true artifact apex.
+
+    Args:
+        samples: 1-D reference signal (after noise removal).
+        reported_index: sample index of the phone-reported press time.
+        window: search/objective window size ``w`` (paper: 30).
+        sg_window: Savitzky-Golay window applied before the search.
+        sg_polyorder: Savitzky-Golay polynomial order.
+
+    Returns:
+        The calibrated sample index.
+
+    Raises:
+        SignalError: if ``reported_index`` lies outside the signal.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise SignalError(f"expected a 1-D signal, got shape {samples.shape}")
+    if not 0 <= reported_index < samples.size:
+        raise SignalError(
+            f"reported index {reported_index} outside signal of "
+            f"length {samples.size}"
+        )
+    if window < 2:
+        raise ConfigurationError(f"window must be >= 2, got {window}")
+
+    smoothed = savitzky_golay(samples, window=sg_window, polyorder=sg_polyorder)
+
+    half = window // 2
+    lo = max(0, reported_index - half)
+    hi = min(smoothed.size, reported_index + half + 1)
+    segment = smoothed[lo:hi]
+    candidates = local_extrema(segment) + lo
+
+    best_index = reported_index
+    best_score = -np.inf
+    for candidate in candidates:
+        score = _local_mean_deviation(smoothed, int(candidate), window)
+        if score > best_score:
+            best_score = score
+            best_index = int(candidate)
+    return best_index
+
+
+def calibrate_trial_indices(
+    recording: PPGRecording,
+    events: Sequence[KeystrokeEvent],
+    config: PipelineConfig,
+    reference: np.ndarray,
+) -> List[int]:
+    """Calibrate every keystroke of a trial against a reference signal.
+
+    Args:
+        recording: the source recording (provides the time base).
+        events: phone-reported keystroke events.
+        config: pipeline constants (windows, SG parameters).
+        reference: 1-D reference signal aligned with ``recording``
+            (typically the channel average after noise removal).
+
+    Returns:
+        Calibrated sample indices, one per event, in event order.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    if reference.ndim != 1 or reference.size != recording.n_samples:
+        raise SignalError(
+            "reference must be 1-D and aligned with the recording: "
+            f"got {reference.shape} for {recording.n_samples} samples"
+        )
+    indices = []
+    for event in events:
+        raw_index = int(round((event.reported_time - recording.start_time)
+                              * recording.fs))
+        raw_index = int(np.clip(raw_index, 0, recording.n_samples - 1))
+        indices.append(
+            calibrate_keystroke_index(
+                reference,
+                raw_index,
+                window=config.calibration_window,
+                sg_window=config.sg_window,
+                sg_polyorder=config.sg_polyorder,
+            )
+        )
+    return indices

@@ -1,0 +1,82 @@
+"""Smoothing filters for PPG preprocessing.
+
+The paper uses a median filter for noise removal (non-linear, preserves
+waveform detail while killing impulse noise from the low-cost front
+end) and a Savitzky-Golay filter before the extreme-point search in the
+calibration module (removes locally unimportant fluctuation while
+retaining the wave's shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+from ..errors import ConfigurationError, SignalError
+
+
+def _check_1d(samples: np.ndarray, name: str) -> np.ndarray:
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise SignalError(f"{name} expects a 1-D signal, got shape {samples.shape}")
+    if samples.size == 0:
+        raise SignalError(f"{name} received an empty signal")
+    return samples
+
+
+def median_filter(samples: np.ndarray, kernel: int = 5) -> np.ndarray:
+    """Median-filter a 1-D signal (the Noise Removal module).
+
+    Args:
+        samples: input signal.
+        kernel: odd window length.
+
+    Returns:
+        Filtered signal of the same length.
+    """
+    samples = _check_1d(samples, "median_filter")
+    if kernel < 1 or kernel % 2 == 0:
+        raise ConfigurationError(f"median kernel must be a positive odd int: {kernel}")
+    if kernel == 1 or samples.size < kernel:
+        return samples.copy()
+    return sps.medfilt(samples, kernel_size=kernel)
+
+
+def savitzky_golay(
+    samples: np.ndarray, window: int = 11, polyorder: int = 3
+) -> np.ndarray:
+    """Savitzky-Golay smoothing (the SG filter of the calibration step).
+
+    Args:
+        samples: input signal.
+        window: odd window length, must exceed ``polyorder``.
+        polyorder: fitted polynomial order.
+
+    Returns:
+        Smoothed signal of the same length.
+    """
+    samples = _check_1d(samples, "savitzky_golay")
+    if window % 2 == 0 or window <= polyorder:
+        raise ConfigurationError(
+            f"SG window must be odd and > polyorder: window={window}, "
+            f"polyorder={polyorder}"
+        )
+    if samples.size < window:
+        return samples.copy()
+    return sps.savgol_filter(samples, window_length=window, polyorder=polyorder)
+
+
+def moving_average(samples: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge truncation.
+
+    Used by the evaluation utilities; not part of the paper pipeline.
+    """
+    samples = _check_1d(samples, "moving_average")
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return samples.copy()
+    kernel = np.ones(window)
+    sums = np.convolve(samples, kernel, mode="same")
+    counts = np.convolve(np.ones_like(samples), kernel, mode="same")
+    return sums / counts

@@ -1,0 +1,41 @@
+"""Local extreme-point search.
+
+The calibration module's candidate set ``S`` (Eq. 1) is the set of
+local maxima and minima of the Savitzky-Golay-filtered signal within
+the search window around the phone-reported keystroke time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+
+
+def local_extrema(samples: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima and minima of a 1-D signal.
+
+    A point is an extremum if it is strictly greater (or strictly
+    smaller) than both neighbours; plateau interiors are skipped, and
+    the first/last samples are always included as window-edge
+    candidates so a monotone window still yields a usable set.
+
+    Returns:
+        Sorted array of candidate indices.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise SignalError(f"expected a 1-D signal, got shape {samples.shape}")
+    n = samples.size
+    if n == 0:
+        raise SignalError("received an empty signal")
+    if n <= 2:
+        return np.arange(n)
+
+    interior = samples[1:-1]
+    left = samples[:-2]
+    right = samples[2:]
+    is_max = (interior > left) & (interior > right)
+    is_min = (interior < left) & (interior < right)
+    candidates = np.flatnonzero(is_max | is_min) + 1
+    return np.unique(np.concatenate([[0], candidates, [n - 1]]))

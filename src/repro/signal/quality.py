@@ -1,0 +1,179 @@
+"""Signal-quality assessment for PPG recordings.
+
+A deployed authenticator should refuse to make a biometric decision on
+garbage input rather than silently rejecting (poor usability) or —
+worse — training on it at enrollment. This module scores a recording
+before it enters the pipeline:
+
+- **wideband noise level** per channel, from the median absolute
+  first difference (robust to artifacts);
+- **artifact-to-background ratio**: the peak short-time energy around
+  the reported keystrokes against the quiescent background — the
+  quantity the whole detection stage relies on;
+- **dead/saturated channel detection**;
+- an overall :class:`QualityReport` with a usability verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import SignalError
+from ..types import KeystrokeEvent, PPGRecording
+from .detrend import smoothness_priors_detrend
+from .energy import short_time_energy
+
+#: A channel whose sample variance falls below this is considered dead.
+DEAD_CHANNEL_VARIANCE = 1e-12
+
+#: Fraction of samples at the ADC rails above which a channel is
+#: considered saturated.
+SATURATION_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class ChannelQuality:
+    """Quality metrics of one PPG channel.
+
+    Attributes:
+        noise_level: robust wideband noise estimate (median absolute
+            first difference / 0.6745, the usual MAD-to-sigma factor).
+        dynamic_range: peak-to-peak amplitude.
+        dead: variance below :data:`DEAD_CHANNEL_VARIANCE`.
+        saturated: too many samples pinned at the extremes.
+    """
+
+    noise_level: float
+    dynamic_range: float
+    dead: bool
+    saturated: bool
+
+    @property
+    def usable(self) -> bool:
+        """Whether this channel can contribute to authentication."""
+        return not (self.dead or self.saturated)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Overall quality of a recording for authentication purposes.
+
+    Attributes:
+        channels: per-channel metrics.
+        artifact_ratio: peak keystroke-window energy over the median
+            background energy (``None`` when no events were supplied).
+        usable_channels: count of channels passing the per-channel
+            checks.
+        ok: overall verdict — enough usable channels and, when events
+            are given, clearly visible keystroke artifacts.
+    """
+
+    channels: Tuple[ChannelQuality, ...]
+    artifact_ratio: Optional[float]
+    usable_channels: int
+    ok: bool
+
+
+def channel_quality(
+    samples: np.ndarray, full_scale: Optional[float] = None
+) -> ChannelQuality:
+    """Assess one channel.
+
+    Args:
+        samples: 1-D channel samples.
+        full_scale: ADC full-scale amplitude for saturation detection;
+            inferred as the max absolute value when omitted (in which
+            case saturation means "stuck at its own extreme").
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size < 3:
+        raise SignalError("channel quality needs a 1-D signal of >= 3 samples")
+
+    variance = float(np.var(samples))
+    dead = variance < DEAD_CHANNEL_VARIANCE
+
+    diffs = np.abs(np.diff(samples))
+    noise = float(np.median(diffs)) / 0.6745
+
+    rail = full_scale if full_scale is not None else float(np.max(np.abs(samples)))
+    if rail <= 0:
+        saturated = False
+    else:
+        at_rail = np.mean(np.abs(samples) >= 0.999 * rail)
+        # With an inferred rail some samples always touch it; only an
+        # excessive dwell time counts.
+        saturated = bool(at_rail > SATURATION_FRACTION) and not dead
+
+    return ChannelQuality(
+        noise_level=noise,
+        dynamic_range=float(np.ptp(samples)),
+        dead=dead,
+        saturated=saturated,
+    )
+
+
+def assess_recording(
+    recording: PPGRecording,
+    events: Sequence[KeystrokeEvent] = (),
+    config: Optional[PipelineConfig] = None,
+    min_usable_channels: int = 1,
+    min_artifact_ratio: float = 3.0,
+) -> QualityReport:
+    """Assess a whole recording, optionally against expected keystrokes.
+
+    Args:
+        recording: the PPG recording.
+        events: phone-reported keystrokes; when given, the keystroke
+            artifact visibility is checked too.
+        config: pipeline constants.
+        min_usable_channels: verdict threshold.
+        min_artifact_ratio: minimum peak-to-background energy ratio for
+            the keystrokes to count as visible.
+
+    Returns:
+        The :class:`QualityReport`.
+    """
+    config = config or PipelineConfig()
+    channels = tuple(
+        channel_quality(row) for row in recording.samples
+    )
+    usable = sum(1 for c in channels if c.usable)
+
+    artifact_ratio: Optional[float] = None
+    if events and usable > 0:
+        usable_rows = [
+            row for row, c in zip(recording.samples, channels) if c.usable
+        ]
+        reference = smoothness_priors_detrend(
+            np.mean(usable_rows, axis=0), config.detrend_lambda
+        )
+        energy = short_time_energy(reference, config.energy_window)
+        background = float(np.median(energy))
+        peaks = []
+        for event in events:
+            index = int(round((event.reported_time - recording.start_time)
+                              * recording.fs))
+            if 0 <= index < energy.size:
+                half = config.calibration_window // 2
+                lo, hi = max(0, index - half), min(energy.size, index + half + 1)
+                peaks.append(float(np.max(energy[lo:hi])))
+        if peaks and background > 0:
+            artifact_ratio = float(np.median(peaks)) / background
+        elif peaks:
+            artifact_ratio = float("inf")
+
+    ok = usable >= min_usable_channels
+    if events:
+        ok = ok and artifact_ratio is not None and (
+            artifact_ratio >= min_artifact_ratio
+        )
+    return QualityReport(
+        channels=channels,
+        artifact_ratio=artifact_ratio,
+        usable_channels=usable,
+        ok=ok,
+    )

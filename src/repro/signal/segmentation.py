@@ -1,0 +1,56 @@
+"""Waveform segmentation around calibrated keystroke moments.
+
+Section IV-B.2.5: with precise keystroke moments known, a window of 90
+samples around each moment isolates the single-keystroke pulse wave.
+The mean inter-key gap is about 1.1 s, so 90 samples at 100 Hz avoids
+overlapping adjacent keystrokes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, SegmentationError
+
+
+def segment_around(
+    samples: np.ndarray, center: int, window: int = 90
+) -> np.ndarray:
+    """Cut the window of length ``window`` centered at ``center``.
+
+    If the window would run past either edge of the signal it is
+    shifted inward so the output always has exactly ``window`` columns;
+    this mirrors how a streaming implementation would buffer.
+
+    Args:
+        samples: array of shape ``(n_channels, n)`` or ``(n,)``.
+        center: calibrated keystroke sample index.
+        window: segment length in samples.
+
+    Returns:
+        Array of shape ``(n_channels, window)``.
+
+    Raises:
+        SegmentationError: if the signal is shorter than ``window`` or
+            ``center`` lies outside it.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim == 1:
+        samples = samples[np.newaxis, :]
+    if samples.ndim != 2:
+        raise SegmentationError(
+            f"expected 1-D or 2-D input, got shape {samples.shape}"
+        )
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    n = samples.shape[1]
+    if n < window:
+        raise SegmentationError(
+            f"signal of length {n} shorter than segment window {window}"
+        )
+    if not 0 <= center < n:
+        raise SegmentationError(f"center {center} outside signal of length {n}")
+
+    lo = center - window // 2
+    lo = max(0, min(lo, n - window))
+    return samples[:, lo : lo + window]

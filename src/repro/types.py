@@ -1,0 +1,325 @@
+"""Core data types shared across the P2Auth reproduction.
+
+The types here mirror the artifacts that flow through the paper's
+pipeline (Fig. 4): raw multi-channel PPG recordings, keystroke events
+with both the coarse phone-reported timestamp and the ground-truth
+moment, whole PIN-entry trials, and segmented single-keystroke
+waveforms.
+
+All signal payloads are ``numpy`` arrays with shape conventions:
+
+- multi-channel recording samples: ``(n_channels, n_samples)``
+- single-channel waveform: ``(n_samples,)``
+- segmented multi-channel keystroke: ``(n_channels, window)``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Keys available on the simulated 3x4 PIN pad.
+PIN_PAD_KEYS: Tuple[str, ...] = tuple("1234567890")
+
+
+class Hand(enum.Enum):
+    """Which hand performed a keystroke.
+
+    The smartwatch is worn on the left wrist in the paper's study, so
+    only ``LEFT`` keystrokes leave a usable artifact in the PPG trace.
+    """
+
+    LEFT = "left"
+    RIGHT = "right"
+
+
+class InputCase(enum.Enum):
+    """Input case decided by the PIN Input Case Identification module."""
+
+    ONE_HANDED = "one_handed"
+    TWO_HANDED_3 = "two_handed_3"
+    TWO_HANDED_2 = "two_handed_2"
+    REJECT = "reject"
+
+
+class Wavelength(enum.Enum):
+    """LED wavelength of a PPG channel (MAX30101 has red and infrared)."""
+
+    RED = "red"
+    INFRARED = "infrared"
+
+
+@dataclass(frozen=True)
+class ChannelInfo:
+    """Metadata describing one PPG channel.
+
+    Attributes:
+        sensor_site: index of the physical sensor module on the wrist
+            band (the prototype has two modules on either side of the
+            wrist).
+        wavelength: LED wavelength used by this channel.
+    """
+
+    sensor_site: int
+    wavelength: Wavelength
+
+    @property
+    def label(self) -> str:
+        """Human-readable channel label, e.g. ``"s0/infrared"``."""
+        return f"s{self.sensor_site}/{self.wavelength.value}"
+
+
+#: Channel layout of the wearable prototype: two sensor modules, each
+#: with a red and an infrared LED, giving four channels total.
+PROTOTYPE_CHANNELS: Tuple[ChannelInfo, ...] = (
+    ChannelInfo(sensor_site=0, wavelength=Wavelength.INFRARED),
+    ChannelInfo(sensor_site=0, wavelength=Wavelength.RED),
+    ChannelInfo(sensor_site=1, wavelength=Wavelength.INFRARED),
+    ChannelInfo(sensor_site=1, wavelength=Wavelength.RED),
+)
+
+
+@dataclass(frozen=True)
+class PPGRecording:
+    """A multi-channel PPG recording.
+
+    Attributes:
+        samples: array of shape ``(n_channels, n_samples)``.
+        fs: sampling rate in Hz.
+        channels: per-channel metadata, one entry per row of ``samples``.
+        start_time: wall-clock time (seconds) of the first sample;
+            keystroke timestamps are expressed on the same clock.
+    """
+
+    samples: np.ndarray
+    fs: float
+    channels: Tuple[ChannelInfo, ...] = PROTOTYPE_CHANNELS
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim == 1:
+            samples = samples[np.newaxis, :]
+        if samples.ndim != 2:
+            raise ConfigurationError(
+                f"PPG samples must be 1-D or 2-D, got shape {samples.shape}"
+            )
+        if self.fs <= 0:
+            raise ConfigurationError(f"sampling rate must be positive, got {self.fs}")
+        if len(self.channels) != samples.shape[0]:
+            raise ConfigurationError(
+                f"{samples.shape[0]} channel rows but "
+                f"{len(self.channels)} channel descriptors"
+            )
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of PPG channels."""
+        return self.samples.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per channel."""
+        return self.samples.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Recording duration in seconds."""
+        return self.n_samples / self.fs
+
+    def time_axis(self) -> np.ndarray:
+        """Wall-clock time of each sample, shape ``(n_samples,)``."""
+        return self.start_time + np.arange(self.n_samples) / self.fs
+
+    def sample_index(self, time: float) -> int:
+        """Return the sample index closest to wall-clock ``time``.
+
+        Raises:
+            ConfigurationError: if ``time`` falls outside the recording.
+        """
+        idx = int(round((time - self.start_time) * self.fs))
+        if idx < 0 or idx >= self.n_samples:
+            raise ConfigurationError(
+                f"time {time:.3f}s outside recording "
+                f"[{self.start_time:.3f}, {self.start_time + self.duration:.3f}]s"
+            )
+        return idx
+
+    def select_channels(self, indices: Sequence[int]) -> "PPGRecording":
+        """Return a new recording containing only the given channel rows."""
+        indices = list(indices)
+        if not indices:
+            raise ConfigurationError("at least one channel must be selected")
+        return replace(
+            self,
+            samples=self.samples[indices],
+            channels=tuple(self.channels[i] for i in indices),
+        )
+
+    def with_samples(self, samples: np.ndarray) -> "PPGRecording":
+        """Return a copy with ``samples`` replaced (same channel layout)."""
+        return replace(self, samples=samples)
+
+
+@dataclass(frozen=True)
+class AccelRecording:
+    """A 3-axis accelerometer recording at ``fs`` Hz.
+
+    Attributes:
+        samples: array of shape ``(3, n_samples)`` in g units.
+        fs: sampling rate in Hz (75 Hz on the prototype's LIS2DH12).
+        start_time: wall-clock time of the first sample.
+    """
+
+    samples: np.ndarray
+    fs: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[0] != 3:
+            raise ConfigurationError(
+                f"accelerometer samples must have shape (3, n), got {samples.shape}"
+            )
+        if self.fs <= 0:
+            raise ConfigurationError(f"sampling rate must be positive, got {self.fs}")
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per axis."""
+        return self.samples.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Recording duration in seconds."""
+        return self.n_samples / self.fs
+
+
+@dataclass(frozen=True)
+class KeystrokeEvent:
+    """One keystroke within a PIN-entry trial.
+
+    Attributes:
+        key: the digit pressed, one of :data:`PIN_PAD_KEYS`.
+        true_time: ground-truth moment of the press (simulator clock,
+            seconds). Unavailable to the authentication pipeline; kept
+            for evaluation of the calibration module.
+        reported_time: the coarse timestamp recorded by the phone and
+            transmitted to the wearable, offset by communication delay.
+        hand: which hand pressed the key.
+    """
+
+    key: str
+    true_time: float
+    reported_time: float
+    hand: Hand = Hand.LEFT
+
+    def __post_init__(self) -> None:
+        if self.key not in PIN_PAD_KEYS:
+            raise ConfigurationError(f"unknown PIN pad key: {self.key!r}")
+
+
+@dataclass(frozen=True)
+class PinEntryTrial:
+    """A complete PIN-entry attempt captured by the prototype.
+
+    This is the unit of data the pipeline consumes: the raw PPG
+    recording plus the phone-reported keystroke events, the typed PIN,
+    and (for evaluation only) the identity of the person who typed it.
+
+    Attributes:
+        recording: multi-channel PPG covering the whole entry.
+        events: keystroke events in press order, one per typed digit.
+        pin: the digits typed, e.g. ``"1628"``.
+        user_id: simulator identity of the typist (evaluation only).
+        one_handed: whether the typist used a single thumb for all keys.
+        accel: optional simultaneous accelerometer recording.
+    """
+
+    recording: PPGRecording
+    events: Tuple[KeystrokeEvent, ...]
+    pin: str
+    user_id: int
+    one_handed: bool = True
+    accel: Optional[AccelRecording] = None
+
+    def __post_init__(self) -> None:
+        if len(self.events) != len(self.pin):
+            raise ConfigurationError(
+                f"{len(self.events)} events but PIN has {len(self.pin)} digits"
+            )
+        for event, digit in zip(self.events, self.pin):
+            if event.key != digit:
+                raise ConfigurationError(
+                    f"event key {event.key!r} does not match PIN digit {digit!r}"
+                )
+
+    @property
+    def watch_hand_events(self) -> Tuple[KeystrokeEvent, ...]:
+        """Events performed by the hand wearing the watch (left)."""
+        return tuple(e for e in self.events if e.hand is Hand.LEFT)
+
+
+@dataclass(frozen=True)
+class SegmentedKeystroke:
+    """A single-keystroke waveform cut from a preprocessed recording.
+
+    Attributes:
+        samples: array of shape ``(n_channels, window)``.
+        key: the digit this waveform corresponds to.
+        center_index: sample index of the calibrated keystroke moment in
+            the source recording.
+        fs: sampling rate of the source recording.
+    """
+
+    samples: np.ndarray
+    key: str
+    center_index: int
+    fs: float
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim != 2:
+            raise ConfigurationError(
+                f"segmented keystroke must be 2-D (channels, window), "
+                f"got shape {samples.shape}"
+            )
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels in the segment."""
+        return self.samples.shape[0]
+
+    @property
+    def window(self) -> int:
+        """Segment length in samples."""
+        return self.samples.shape[1]
+
+
+@dataclass(frozen=True)
+class LabeledWaveform:
+    """A training/test waveform with its identity label.
+
+    Attributes:
+        samples: array of shape ``(n_channels, n_samples)``.
+        user_id: identity of the person who produced it.
+        key: the key pressed, or ``None`` for fused/full waveforms.
+    """
+
+    samples: np.ndarray
+    user_id: int
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim == 1:
+            samples = samples[np.newaxis, :]
+        object.__setattr__(self, "samples", samples)

@@ -1,0 +1,51 @@
+"""Unit tests for the attack models."""
+
+import numpy as np
+import pytest
+
+from repro.core import EmulatingAttacker, RandomAttacker
+from repro.errors import ConfigurationError
+from repro.physio import TrialSynthesizer
+
+
+@pytest.fixture()
+def synth(sim_config):
+    return TrialSynthesizer(sim_config)
+
+
+class TestRandomAttacker:
+    def test_guesses_are_valid_pins(self, population, synth, rng):
+        attacker = RandomAttacker(population[1], synth, rng)
+        for _ in range(10):
+            guess = attacker.guess_pin()
+            assert len(guess) == 4
+            assert guess.isdigit()
+
+    def test_guesses_vary(self, population, synth, rng):
+        attacker = RandomAttacker(population[1], synth, rng)
+        guesses = {attacker.guess_pin() for _ in range(20)}
+        assert len(guesses) > 5
+
+    def test_attempt_produces_trial_by_attacker(self, population, synth, rng):
+        attacker = RandomAttacker(population[1], synth, rng)
+        trial = attacker.attempt()
+        assert trial.user_id == population[1].user_id
+        assert len(trial.pin) == 4
+
+    def test_invalid_pin_length(self, population, synth, rng):
+        with pytest.raises(ConfigurationError):
+            RandomAttacker(population[1], synth, rng, pin_length=0)
+
+
+class TestEmulatingAttacker:
+    def test_attempt_types_victim_pin(self, population, synth, rng):
+        attacker = EmulatingAttacker(population[1], population[0], synth, rng)
+        trial = attacker.attempt("1628")
+        assert trial.pin == "1628"
+        assert trial.user_id == population[1].user_id
+
+    def test_two_handed_attempt(self, population, synth, rng):
+        attacker = EmulatingAttacker(population[1], population[0], synth, rng)
+        trial = attacker.attempt("1628", one_handed=False, forced_left_count=2)
+        assert not trial.one_handed
+        assert len(trial.watch_hand_events) == 2

@@ -1,0 +1,177 @@
+"""Unit tests for the enrollment phase."""
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core import (
+    EnrollmentOptions,
+    WaveformModel,
+    enroll_models,
+    extract_full_waveform,
+    extract_fused_waveform,
+    extract_segments,
+    preprocess_trial,
+)
+from repro.core.enrollment import fixed_window
+from repro.data import StudyData, ThirdPartyStore
+from repro.errors import EnrollmentError, NotFittedError
+from repro.ml import KNNClassifier
+
+PIN = "1628"
+FEATURES = 840
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=6, seed=9)
+
+
+@pytest.fixture(scope="module")
+def enroll_trials(data):
+    return data.trials(0, PIN, "one_handed", 6)
+
+
+@pytest.fixture(scope="module")
+def third_trials(data):
+    return ThirdPartyStore(data, [1, 2, 3], PIN).sample(18)
+
+
+@pytest.fixture(scope="module")
+def models(enroll_trials, third_trials):
+    return enroll_models(
+        enroll_trials,
+        third_trials,
+        options=EnrollmentOptions(num_features=FEATURES, privacy_boost=True),
+    )
+
+
+class TestFixedWindow:
+    def test_plain_cut(self):
+        x = np.arange(100.0)[np.newaxis, :]
+        out = fixed_window(x, 10, 20)
+        assert out.shape == (1, 20)
+        assert out[0, 0] == 10.0
+
+    def test_edge_padding(self):
+        x = np.arange(10.0)[np.newaxis, :]
+        out = fixed_window(x, 5, 10)
+        assert out.shape == (1, 10)
+        assert np.all(out[0, 5:] == 9.0)
+
+    def test_negative_start_clamped(self):
+        x = np.arange(50.0)[np.newaxis, :]
+        out = fixed_window(x, -10, 20)
+        assert out[0, 0] == 0.0
+
+
+class TestExtraction:
+    def test_full_waveform_shape(self, enroll_trials, pipeline_config):
+        pre = preprocess_trial(enroll_trials[0], pipeline_config)
+        wf = extract_full_waveform(pre, window=480, margin=45)
+        assert wf.shape == (4, 480)
+
+    def test_segments_one_per_detected_keystroke(
+        self, enroll_trials, pipeline_config
+    ):
+        pre = preprocess_trial(enroll_trials[0], pipeline_config)
+        segments = extract_segments(pre, pipeline_config)
+        assert len(segments) == pre.detected_count
+        for segment in segments:
+            assert segment.samples.shape == (4, pipeline_config.segment_window)
+
+    def test_fused_waveform_is_sum_of_segments(
+        self, enroll_trials, pipeline_config
+    ):
+        pre = preprocess_trial(enroll_trials[0], pipeline_config)
+        segments = extract_segments(pre, pipeline_config)
+        fused = extract_fused_waveform(pre, pipeline_config)
+        assert np.allclose(fused, np.sum([s.samples for s in segments], axis=0))
+
+
+class TestWaveformModel:
+    def test_fit_and_score(self, enroll_trials, third_trials, pipeline_config):
+        pos = np.stack(
+            [
+                extract_full_waveform(preprocess_trial(t, pipeline_config))
+                for t in enroll_trials
+            ]
+        )
+        neg = np.stack(
+            [
+                extract_full_waveform(preprocess_trial(t, pipeline_config))
+                for t in third_trials
+            ]
+        )
+        model = WaveformModel(num_features=FEATURES).fit(pos, neg)
+        assert model.accepts(pos[0])
+        scores = model.decision_function(neg)
+        assert scores.mean() < 0.0
+
+    def test_custom_classifier_factory(self, enroll_trials, third_trials, pipeline_config):
+        pos = np.stack(
+            [
+                extract_full_waveform(preprocess_trial(t, pipeline_config))
+                for t in enroll_trials[:4]
+            ]
+        )
+        neg = np.stack(
+            [
+                extract_full_waveform(preprocess_trial(t, pipeline_config))
+                for t in third_trials[:8]
+            ]
+        )
+        model = WaveformModel(
+            num_features=FEATURES, classifier_factory=lambda: KNNClassifier(3)
+        ).fit(pos, neg)
+        assert isinstance(model.accepts(pos[0]), bool)
+
+    def test_unfitted_rejected(self):
+        model = WaveformModel(num_features=FEATURES)
+        with pytest.raises(NotFittedError):
+            model.decision_function(np.zeros((4, 480)))
+
+    def test_bad_training_shapes(self):
+        model = WaveformModel(num_features=FEATURES)
+        with pytest.raises(EnrollmentError):
+            model.fit(np.zeros((3, 480)), np.zeros((3, 4, 480)))
+        with pytest.raises(EnrollmentError):
+            model.fit(np.zeros((0, 4, 480)), np.zeros((3, 4, 480)))
+
+    def test_unknown_feature_method(self):
+        with pytest.raises(EnrollmentError):
+            WaveformModel(feature_method="wavelets")
+
+
+class TestEnrollModels:
+    def test_all_models_present(self, models):
+        assert models.full_model is not None
+        assert models.fused_model is not None
+        assert set(models.keys_enrolled) == set(PIN)
+
+    def test_key_models_match_enrolled_keys(self, models):
+        assert set(models.key_models) == set(PIN)
+
+    def test_no_legit_trials_rejected(self, third_trials):
+        with pytest.raises(EnrollmentError):
+            enroll_models([], third_trials)
+
+    def test_no_third_party_rejected(self, enroll_trials):
+        with pytest.raises(EnrollmentError):
+            enroll_models(enroll_trials, [])
+
+    def test_no_boost_means_no_fused_model(self, enroll_trials, third_trials):
+        models = enroll_models(
+            enroll_trials,
+            third_trials,
+            options=EnrollmentOptions(num_features=FEATURES),
+        )
+        assert models.fused_model is None
+
+    def test_options_validation(self):
+        with pytest.raises(EnrollmentError):
+            EnrollmentOptions(feature_method="wavelets")
+        with pytest.raises(EnrollmentError):
+            EnrollmentOptions(full_window=2)
+        with pytest.raises(EnrollmentError):
+            EnrollmentOptions(min_positive_samples=0)

@@ -1,0 +1,59 @@
+"""Unit tests for privacy-boost waveform fusion (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import fuse_waveforms
+from repro.errors import SignalError
+from repro.types import SegmentedKeystroke
+
+
+def _segment(samples, key="1"):
+    return SegmentedKeystroke(
+        samples=samples, key=key, center_index=0, fs=100.0
+    )
+
+
+class TestFusion:
+    def test_additive(self):
+        a = _segment(np.ones((2, 10)))
+        b = _segment(2.0 * np.ones((2, 10)), key="2")
+        fused = fuse_waveforms([a, b])
+        assert np.allclose(fused, 3.0)
+
+    def test_single_segment_identity(self):
+        a = _segment(np.random.default_rng(0).normal(size=(2, 10)))
+        assert np.allclose(fuse_waveforms([a]), a.samples)
+
+    def test_order_invariant(self):
+        rng = np.random.default_rng(1)
+        segs = [_segment(rng.normal(size=(2, 10)), key=k) for k in "1628"]
+        assert np.allclose(fuse_waveforms(segs), fuse_waveforms(segs[::-1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            fuse_waveforms([])
+
+    def test_shape_mismatch_rejected(self):
+        a = _segment(np.ones((2, 10)))
+        b = _segment(np.ones((2, 12)), key="2")
+        with pytest.raises(SignalError):
+            fuse_waveforms([a, b])
+
+    def test_fusion_hides_individual_waveforms(self):
+        """The privacy argument: one cannot read a single keystroke's
+        waveform off the fused template when others overlap it."""
+        rng = np.random.default_rng(2)
+        segs = [_segment(rng.normal(size=(1, 30)), key=k) for k in "1628"]
+        fused = fuse_waveforms(segs)
+        for seg in segs:
+            assert not np.allclose(fused, seg.samples)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_property(self, count, window):
+        rng = np.random.default_rng(count * 100 + window)
+        arrays = [rng.normal(size=(2, window)) for _ in range(count)]
+        segs = [_segment(a, key="5") for a in arrays]
+        assert np.allclose(fuse_waveforms(segs), np.sum(arrays, axis=0))

@@ -1,0 +1,55 @@
+"""Unit tests for PIN input case identification."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import identify_input_case, preprocess_trial
+from repro.core.pipeline import PreprocessedTrial
+from repro.types import InputCase
+
+
+def _with_detected(preprocessed: PreprocessedTrial, flags):
+    return dataclasses.replace(preprocessed, keystroke_detected=tuple(flags))
+
+
+@pytest.fixture(scope="module")
+def preprocessed(one_trial, pipeline_config):
+    return preprocess_trial(one_trial, pipeline_config)
+
+
+class TestIdentifyInputCase:
+    def test_all_detected_is_one_handed(self, preprocessed):
+        pre = _with_detected(preprocessed, [True] * 4)
+        assert identify_input_case(pre) is InputCase.ONE_HANDED
+
+    def test_three_detected_is_double3(self, preprocessed):
+        pre = _with_detected(preprocessed, [True, True, False, True])
+        assert identify_input_case(pre) is InputCase.TWO_HANDED_3
+
+    def test_two_detected_is_double2(self, preprocessed):
+        pre = _with_detected(preprocessed, [True, False, False, True])
+        assert identify_input_case(pre) is InputCase.TWO_HANDED_2
+
+    def test_one_detected_rejected(self, preprocessed):
+        pre = _with_detected(preprocessed, [False, False, True, False])
+        assert identify_input_case(pre) is InputCase.REJECT
+
+    def test_none_detected_rejected(self, preprocessed):
+        pre = _with_detected(preprocessed, [False] * 4)
+        assert identify_input_case(pre) is InputCase.REJECT
+
+    def test_real_one_handed_trial(self, preprocessed):
+        assert identify_input_case(preprocessed) is InputCase.ONE_HANDED
+
+    def test_real_two_handed_trial(self, population, synthesizer, pipeline_config):
+        rng = np.random.default_rng(42)
+        trial = synthesizer.synthesize_trial(
+            population[1], "1628", rng, one_handed=False, forced_left_count=3
+        )
+        pre = preprocess_trial(trial, pipeline_config)
+        assert identify_input_case(pre) in (
+            InputCase.TWO_HANDED_3,
+            InputCase.TWO_HANDED_2,  # detector may drop one keystroke
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for authenticator save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnrollmentOptions,
+    P2Auth,
+    load_authenticator,
+    save_authenticator,
+)
+from repro.data import StudyData, ThirdPartyStore
+from repro.errors import ConfigurationError, EnrollmentError
+from repro.ml import KNNClassifier
+
+PIN = "1628"
+FEATURES = 840
+
+
+@pytest.fixture(scope="module")
+def archive_path(enrolled_auth, tmp_path_factory):
+    path = tmp_path_factory.mktemp("models") / "user0.npz"
+    save_authenticator(enrolled_auth, path)
+    return path
+
+
+class TestSaveLoad:
+    def test_round_trip_decisions_identical(
+        self, enrolled_auth, archive_path, study_data
+    ):
+        restored = load_authenticator(archive_path)
+        probes = study_data.trials(0, PIN, "one_handed", 10)[7:]
+        for probe in probes:
+            original = enrolled_auth.authenticate(probe)
+            loaded = restored.authenticate(probe)
+            assert original.accepted == loaded.accepted
+            assert np.allclose(original.scores, loaded.scores)
+
+    def test_round_trip_scores_identical_per_key(
+        self, enrolled_auth, archive_path, study_data
+    ):
+        restored = load_authenticator(archive_path)
+        probe = study_data.trials(0, PIN, "double3", 1)[0]
+        original = enrolled_auth.authenticate(probe)
+        loaded = restored.authenticate(probe)
+        assert original.keys_checked == loaded.keys_checked
+        assert np.allclose(original.scores, loaded.scores)
+
+    def test_pin_digest_restored_without_pin(self, archive_path, study_data):
+        restored = load_authenticator(archive_path)
+        assert not restored.no_pin_mode
+        probe = study_data.trials(0, PIN, "one_handed", 8)[7]
+        # Wrong PIN still rejected by the restored digest.
+        assert not restored.authenticate(probe, claimed_pin="0000").accepted
+
+    def test_keys_enrolled_preserved(self, enrolled_auth, archive_path):
+        restored = load_authenticator(archive_path)
+        assert restored.models.keys_enrolled == enrolled_auth.models.keys_enrolled
+
+    def test_unenrolled_rejected(self, tmp_path):
+        with pytest.raises(EnrollmentError):
+            save_authenticator(P2Auth(pin=PIN), tmp_path / "x.npz")
+
+    def test_custom_classifier_rejected(self, study_data, tmp_path):
+        auth = P2Auth(
+            pin=PIN,
+            options=EnrollmentOptions(
+                num_features=FEATURES,
+                classifier_factory=lambda: KNNClassifier(3),
+            ),
+        )
+        store = ThirdPartyStore(study_data, [1, 2, 3], PIN)
+        auth.enroll(study_data.trials(0, PIN, "one_handed", 5), store.sample(15))
+        with pytest.raises(EnrollmentError):
+            save_authenticator(auth, tmp_path / "knn.npz")
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_authenticator(path)
+
+    def test_privacy_boost_round_trip(self, enrolled_auth_boost, tmp_path, study_data):
+        path = tmp_path / "boost.npz"
+        save_authenticator(enrolled_auth_boost, path)
+        restored = load_authenticator(path)
+        probe = study_data.trials(0, PIN, "one_handed", 8)[7]
+        assert (
+            restored.authenticate(probe).accepted
+            == enrolled_auth_boost.authenticate(probe).accepted
+        )

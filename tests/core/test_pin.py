@@ -1,0 +1,50 @@
+"""Unit tests for PIN verification."""
+
+import pytest
+
+from repro.core import PinVerifier
+from repro.errors import ConfigurationError
+
+
+class TestPinVerifier:
+    def test_correct_pin_accepted(self):
+        verifier = PinVerifier("1628")
+        assert verifier.verify("1628")
+
+    def test_wrong_pin_rejected(self):
+        verifier = PinVerifier("1628")
+        assert not verifier.verify("1629")
+        assert not verifier.verify("162")
+        assert not verifier.verify("")
+
+    def test_none_claim_rejected_with_pin(self):
+        assert not PinVerifier("1628").verify(None)
+
+    def test_non_digit_claim_rejected(self):
+        assert not PinVerifier("1628").verify("abcd")
+
+    def test_no_pin_mode_accepts_everything(self):
+        verifier = PinVerifier(None)
+        assert not verifier.has_pin
+        assert verifier.verify(None)
+        assert verifier.verify("0000")
+
+    def test_has_pin(self):
+        assert PinVerifier("1628").has_pin
+
+    def test_invalid_pin_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            PinVerifier("")
+        with pytest.raises(ConfigurationError):
+            PinVerifier("12a4")
+
+    def test_fixed_salt_is_deterministic(self):
+        a = PinVerifier("1628", salt=b"0" * 16)
+        b = PinVerifier("1628", salt=b"0" * 16)
+        assert a.verify("1628") and b.verify("1628")
+
+    def test_different_salts_still_verify(self):
+        # Salts differ per instance but verification is self-consistent.
+        a = PinVerifier("1628")
+        b = PinVerifier("1628")
+        assert a.verify("1628") and b.verify("1628")

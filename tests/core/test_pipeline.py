@@ -1,0 +1,81 @@
+"""Unit tests for the preprocessing pipeline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core import preprocess_trial
+from repro.errors import SignalError
+from repro.signal import decimate_recording
+
+
+@pytest.fixture(scope="module")
+def preprocessed(one_trial, pipeline_config):
+    return preprocess_trial(one_trial, pipeline_config)
+
+
+class TestPreprocessTrial:
+    def test_shapes(self, preprocessed, one_trial):
+        rec = one_trial.recording
+        assert preprocessed.filtered.shape == rec.samples.shape
+        assert preprocessed.detrended.shape == rec.samples.shape
+        assert preprocessed.reference.shape == (rec.n_samples,)
+
+    def test_one_keystroke_index_per_digit(self, preprocessed, one_trial):
+        assert len(preprocessed.keystroke_indices) == len(one_trial.pin)
+
+    def test_all_one_handed_keystrokes_detected(self, preprocessed):
+        """Section III: keystroke artifacts dominate the heartbeat, so
+        a clean one-handed entry detects all four keystrokes."""
+        assert preprocessed.detected_count == 4
+
+    def test_detected_positions(self, preprocessed):
+        assert preprocessed.detected_positions() == [0, 1, 2, 3]
+
+    def test_calibrated_indices_near_true_presses(self, preprocessed, one_trial):
+        fs = one_trial.recording.fs
+        for index, event in zip(
+            preprocessed.keystroke_indices, one_trial.events
+        ):
+            assert abs(index - event.true_time * fs) < 35
+
+    def test_detrended_reference_is_roughly_zero_mean(self, preprocessed):
+        assert abs(np.mean(preprocessed.reference)) < 0.2
+
+    def test_fs_mismatch_rejected(self, one_trial):
+        config = PipelineConfig().scaled_to(50.0)
+        with pytest.raises(SignalError):
+            preprocess_trial(one_trial, config)
+
+    def test_decimated_trial_with_scaled_config(self, one_trial):
+        config = PipelineConfig().scaled_to(50.0)
+        trial = dataclasses.replace(
+            one_trial, recording=decimate_recording(one_trial.recording, 50.0)
+        )
+        pre = preprocess_trial(trial, config)
+        assert pre.detected_count >= 3
+
+    def test_segment_extraction(self, preprocessed, pipeline_config):
+        seg = preprocessed.segment(1, pipeline_config.segment_window)
+        assert seg.samples.shape == (4, pipeline_config.segment_window)
+        assert seg.key == "6"
+
+    def test_segment_position_out_of_range(self, preprocessed):
+        with pytest.raises(SignalError):
+            preprocessed.segment(7)
+
+    def test_two_handed_detects_only_watch_hand(
+        self, population, synthesizer, pipeline_config
+    ):
+        hits = []
+        for seed in range(6):
+            rng = np.random.default_rng(300 + seed)
+            trial = synthesizer.synthesize_trial(
+                population[0], "1628", rng, one_handed=False, forced_left_count=2
+            )
+            pre = preprocess_trial(trial, pipeline_config)
+            hits.append(pre.detected_count)
+        # Most two-left-keystroke trials detect exactly 2 keystrokes.
+        assert np.median(hits) == 2

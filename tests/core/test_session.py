@@ -1,0 +1,100 @@
+"""Unit tests for the session state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core import P2Auth
+from repro.core.session import SessionManager, SessionState
+from repro.errors import AuthenticationError
+from repro.physio.cardiac import synthesize_cardiac
+from repro.types import PPGRecording
+
+PIN = "1628"
+
+
+@pytest.fixture()
+def session(enrolled_auth):
+    return SessionManager(enrolled_auth)
+
+
+@pytest.fixture(scope="module")
+def worn_recording(study_data, rng=None):
+    user = study_data.user(0)
+    generator = np.random.default_rng(0)
+    cardiac = synthesize_cardiac(800, 100.0, user.cardiac, generator)
+    samples = np.tile(cardiac, (4, 1)) + generator.normal(0, 0.15, size=(4, 800))
+    return PPGRecording(samples=samples, fs=100.0)
+
+
+@pytest.fixture(scope="module")
+def off_recording():
+    generator = np.random.default_rng(1)
+    return PPGRecording(
+        samples=generator.normal(0, 0.3, size=(4, 800)), fs=100.0
+    )
+
+
+class TestLifecycle:
+    def test_starts_off_wrist(self, session):
+        assert session.state is SessionState.OFF_WRIST
+        assert not session.authenticated
+
+    def test_requires_enrolled_auth(self):
+        with pytest.raises(AuthenticationError):
+            SessionManager(P2Auth(pin=PIN))
+
+    def test_wear_gain_transitions_to_worn(self, session, worn_recording):
+        status = session.process_wear_check(worn_recording)
+        assert status.worn
+        assert session.state is SessionState.WORN
+
+    def test_entry_off_wrist_rejected_outright(self, session, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        with pytest.raises(AuthenticationError):
+            session.submit_entry(trial)
+
+    def test_accepted_entry_authenticates(
+        self, session, worn_recording, study_data
+    ):
+        session.process_wear_check(worn_recording)
+        trial = study_data.trials(0, PIN, "one_handed", 10)[8]
+        decision = session.submit_entry(trial)
+        if decision.accepted:
+            assert session.state is SessionState.AUTHENTICATED
+
+    def test_wear_loss_ends_authenticated_session(
+        self, session, worn_recording, off_recording, study_data
+    ):
+        session.process_wear_check(worn_recording)
+        trial = study_data.trials(0, PIN, "one_handed", 10)[9]
+        session.submit_entry(trial)
+        session.process_wear_check(off_recording)
+        assert session.state is SessionState.OFF_WRIST
+        assert not session.authenticated
+
+    def test_reauth_demotes_to_worn(self, session, worn_recording, study_data):
+        session.process_wear_check(worn_recording)
+        # Force authenticated state via an accepted entry (retry a few).
+        for trial in study_data.trials(0, PIN, "one_handed", 12)[7:]:
+            if session.submit_entry(trial).accepted:
+                break
+        if session.state is SessionState.AUTHENTICATED:
+            session.require_reauth("payment")
+            assert session.state is SessionState.WORN
+
+    def test_rejected_entry_does_not_authenticate(
+        self, session, worn_recording, study_data
+    ):
+        session.process_wear_check(worn_recording)
+        imposter_trial = study_data.trials(5, PIN, "one_handed", 1)[0]
+        decision = session.submit_entry(imposter_trial)
+        assert not decision.accepted
+        assert session.state is SessionState.WORN
+
+    def test_log_records_events(self, session, worn_recording, study_data):
+        session.process_wear_check(worn_recording)
+        trial = study_data.trials(0, PIN, "one_handed", 8)[7]
+        session.submit_entry(trial)
+        kinds = [event.kind for event in session.log]
+        assert "wear_check" in kinds
+        assert "entry" in kinds

@@ -1,0 +1,87 @@
+"""WaveformModel across its three feature methods.
+
+The Fig. 11/15 comparisons hinge on WaveformModel behaving uniformly
+whether it extracts MiniRocket features, manual statistical+DTW
+features, or hands the raw series to a neural classifier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WaveformModel
+from repro.ml import KNNClassifier, ResNet1DClassifier, RNNFNNClassifier
+
+
+@pytest.fixture(scope="module")
+def task():
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 6.28, 120)
+
+    def batch(freq, n):
+        return np.stack(
+            [
+                np.stack(
+                    [np.sin(freq * t + rng.uniform(0, 6))
+                     + 0.15 * rng.normal(size=t.size) for _ in range(2)]
+                )
+                for _ in range(n)
+            ]
+        )
+
+    return {
+        "pos": batch(2.0, 10),
+        "neg": batch(3.2, 20),
+        "pos_test": batch(2.0, 6),
+        "neg_test": batch(3.2, 6),
+    }
+
+
+class TestFeatureMethods:
+    @pytest.mark.parametrize("method", ["rocket", "manual"])
+    def test_separates_simple_task(self, task, method):
+        model = WaveformModel(feature_method=method, num_features=840)
+        model.fit(task["pos"], task["neg"])
+        pos_scores = model.decision_function(task["pos_test"])
+        neg_scores = model.decision_function(task["neg_test"])
+        assert pos_scores.mean() > neg_scores.mean()
+
+    def test_raw_method_with_resnet(self, task):
+        model = WaveformModel(
+            feature_method="raw",
+            classifier_factory=lambda: ResNet1DClassifier(epochs=40),
+        )
+        model.fit(task["pos"], task["neg"])
+        assert (
+            model.decision_function(task["pos_test"]).mean()
+            > model.decision_function(task["neg_test"]).mean()
+        )
+
+    def test_raw_method_with_rnn(self, task):
+        model = WaveformModel(
+            feature_method="raw",
+            classifier_factory=lambda: RNNFNNClassifier(epochs=60),
+        )
+        model.fit(task["pos"], task["neg"])
+        assert (
+            model.decision_function(task["pos_test"]).mean()
+            > model.decision_function(task["neg_test"]).mean()
+        )
+
+    def test_balanced_fallback_for_weightless_classifier(self, task):
+        """balanced=True with a classifier lacking sample_weight support
+        must silently fall back, not crash (KNN has no weights)."""
+        model = WaveformModel(
+            feature_method="rocket",
+            num_features=840,
+            classifier_factory=lambda: KNNClassifier(3),
+            balanced=True,
+        )
+        model.fit(task["pos"], task["neg"])
+        assert isinstance(model.accepts(task["pos_test"][0]), bool)
+
+    def test_single_waveform_and_batch_agree(self, task):
+        model = WaveformModel(feature_method="rocket", num_features=840)
+        model.fit(task["pos"], task["neg"])
+        single = model.decision_function(task["pos_test"][0])
+        batch = model.decision_function(task["pos_test"])
+        assert single[0] == pytest.approx(batch[0])

@@ -1,0 +1,61 @@
+"""Unit tests for watch-wear detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_wear
+from repro.errors import SignalError
+from repro.physio.cardiac import synthesize_cardiac
+from repro.types import PPGRecording, PROTOTYPE_CHANNELS
+
+
+def _recording(samples, fs=100.0):
+    samples = np.atleast_2d(samples)
+    if samples.shape[0] == 1:
+        samples = np.repeat(samples, 4, axis=0)
+    return PPGRecording(samples=samples, fs=fs, channels=PROTOTYPE_CHANNELS)
+
+
+class TestDetectWear:
+    def test_worn_on_real_trial(self, one_trial):
+        status = detect_wear(one_trial.recording)
+        assert status.worn
+        assert 40.0 <= status.heart_rate_bpm <= 180.0
+
+    def test_heart_rate_estimate_close(self, population, rng):
+        user = population[0]
+        cardiac = synthesize_cardiac(1500, 100.0, user.cardiac, rng)
+        status = detect_wear(_recording(cardiac))
+        assert status.worn
+        assert abs(status.heart_rate_bpm - user.cardiac.heart_rate) < 12.0
+
+    def test_off_wrist_noise_not_worn(self, rng):
+        noise = rng.normal(0.0, 0.3, size=(4, 800))
+        status = detect_wear(_recording(noise))
+        assert not status.worn
+        assert status.heart_rate_bpm is None
+
+    def test_flat_signal_not_worn(self):
+        status = detect_wear(_recording(np.zeros((4, 500))))
+        assert not status.worn
+        assert status.confidence == 0.0
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(SignalError):
+            detect_wear(_recording(rng.normal(size=(4, 100))))
+
+    def test_confidence_in_unit_interval(self, one_trial, rng):
+        for recording in (
+            one_trial.recording,
+            _recording(rng.normal(size=(4, 500))),
+        ):
+            status = detect_wear(recording)
+            assert 0.0 <= status.confidence <= 1.0
+
+    def test_cardiac_survives_baseline_drift(self, population, rng):
+        user = population[0]
+        cardiac = synthesize_cardiac(1500, 100.0, user.cardiac, rng)
+        t = np.arange(1500) / 100.0
+        drift = 3.0 * np.sin(2 * np.pi * 0.05 * t)
+        status = detect_wear(_recording(cardiac + drift))
+        assert status.worn

@@ -1,0 +1,80 @@
+"""Unit tests for trial dataset export."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_trials, save_trials
+from repro.errors import ConfigurationError
+
+PIN = "1628"
+
+
+@pytest.fixture(scope="module")
+def archive(study_data, tmp_path_factory):
+    trials = study_data.trials(0, PIN, "one_handed", 3)
+    trials += study_data.trials(1, PIN, "double3", 2)
+    path = tmp_path_factory.mktemp("data") / "trials.npz"
+    save_trials(path, trials)
+    return path, trials
+
+
+class TestRoundTrip:
+    def test_count_and_order(self, archive):
+        path, originals = archive
+        loaded = load_trials(path)
+        assert len(loaded) == len(originals)
+        assert [t.user_id for t in loaded] == [t.user_id for t in originals]
+
+    def test_samples_bit_identical(self, archive):
+        path, originals = archive
+        loaded = load_trials(path)
+        for a, b in zip(originals, loaded):
+            assert np.array_equal(a.recording.samples, b.recording.samples)
+            assert a.recording.fs == b.recording.fs
+
+    def test_events_preserved(self, archive):
+        path, originals = archive
+        loaded = load_trials(path)
+        for a, b in zip(originals, loaded):
+            assert a.events == b.events
+            assert a.pin == b.pin
+            assert a.one_handed == b.one_handed
+
+    def test_channel_metadata_preserved(self, archive):
+        path, originals = archive
+        loaded = load_trials(path)
+        assert loaded[0].recording.channels == originals[0].recording.channels
+
+    def test_accel_round_trip(self, tmp_path):
+        from repro.data import StudyData
+
+        data = StudyData(n_users=2, seed=1, include_accel=True)
+        trials = data.trials(0, PIN, "one_handed", 2)
+        path = tmp_path / "a.npz"
+        save_trials(path, trials)
+        loaded = load_trials(path)
+        assert loaded[0].accel is not None
+        assert np.array_equal(loaded[0].accel.samples, trials[0].accel.samples)
+
+    def test_loaded_trials_authenticate_identically(
+        self, archive, enrolled_auth
+    ):
+        path, originals = archive
+        loaded = load_trials(path)
+        for a, b in zip(originals[:3], loaded[:3]):
+            da = enrolled_auth.authenticate(a)
+            db = enrolled_auth.authenticate(b)
+            assert da.accepted == db.accepted
+            assert np.allclose(da.scores, db.scores)
+
+
+class TestValidation:
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trials(tmp_path / "x.npz", [])
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, nothing=np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            load_trials(path)

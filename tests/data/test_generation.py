@@ -1,0 +1,96 @@
+"""Unit tests for study data generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import CONDITIONS, StudyData
+from repro.data.generation import generate_study
+from repro.errors import ConfigurationError
+from repro.types import Hand
+
+PIN = "1628"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=5, seed=3)
+
+
+class TestTrialsGeneration:
+    def test_count(self, data):
+        assert len(data.trials(0, PIN, "one_handed", 4)) == 4
+
+    def test_deterministic_across_instances(self):
+        a = StudyData(n_users=4, seed=8).trials(1, PIN, "one_handed", 2)
+        b = StudyData(n_users=4, seed=8).trials(1, PIN, "one_handed", 2)
+        for ta, tb in zip(a, b):
+            assert np.allclose(ta.recording.samples, tb.recording.samples)
+
+    def test_prefix_stable_when_extending(self, data):
+        first = data.trials(0, PIN, "one_handed", 2)
+        extended = data.trials(0, PIN, "one_handed", 5)
+        for ta, tb in zip(first, extended[:2]):
+            assert np.array_equal(ta.recording.samples, tb.recording.samples)
+
+    def test_trials_differ_across_repetitions(self, data):
+        trials = data.trials(0, PIN, "one_handed", 3)
+        n = min(t.recording.n_samples for t in trials)
+        assert not np.allclose(
+            trials[0].recording.samples[:, :n], trials[1].recording.samples[:, :n]
+        )
+
+    def test_double3_condition(self, data):
+        for trial in data.trials(0, PIN, "double3", 3):
+            left = sum(1 for e in trial.events if e.hand is Hand.LEFT)
+            assert left == 3
+            assert not trial.one_handed
+
+    def test_double2_condition(self, data):
+        for trial in data.trials(0, PIN, "double2", 3):
+            left = sum(1 for e in trial.events if e.hand is Hand.LEFT)
+            assert left == 2
+
+    def test_random_condition_varies_pins(self, data):
+        pins = {t.pin for t in data.trials(0, PIN, "random", 8)}
+        assert len(pins) > 3
+
+    def test_unknown_condition_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            data.trials(0, PIN, "three_handed", 2)
+
+    def test_unknown_user_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            data.trials(99, PIN, "one_handed", 2)
+
+    def test_conditions_registry(self):
+        assert set(CONDITIONS) == {"one_handed", "double3", "double2", "random"}
+
+
+class TestAttackGeneration:
+    def test_emulating_trials_use_victim_pin(self, data):
+        trials = data.emulating_trials(3, 0, PIN, 3)
+        assert all(t.pin == PIN for t in trials)
+        assert all(t.user_id == 3 for t in trials)
+
+    def test_emulating_no_pin_randomizes(self, data):
+        trials = data.emulating_trials(3, 0, None, 6)
+        assert len({t.pin for t in trials}) > 2
+
+    def test_random_attack_guesses(self, data):
+        trials = data.random_attack_trials(3, 6)
+        assert len({t.pin for t in trials}) > 2
+        assert all(t.user_id == 3 for t in trials)
+
+    def test_random_attack_with_pool(self, data):
+        pool = ("1628", "3570")
+        trials = data.random_attack_trials(3, 8, pin_pool=pool)
+        assert {t.pin for t in trials} <= set(pool)
+
+
+class TestGenerateStudy:
+    def test_warm_cache(self):
+        data = generate_study(n_users=3, repetitions=2, pins=("1628",))
+        # Pre-warmed: same objects come back without regeneration.
+        first = data.trials(0, "1628", "one_handed", 2)
+        again = data.trials(0, "1628", "one_handed", 2)
+        assert first[0] is again[0]

@@ -1,0 +1,30 @@
+"""Unit tests for enrollment/test splitting."""
+
+import pytest
+
+from repro.data import StudyData, enroll_test_split
+from repro.errors import ConfigurationError
+
+
+class TestEnrollTestSplit:
+    def test_split_sizes(self, study_data):
+        trials = study_data.trials(0, "1628", "one_handed", 7)
+        enroll, test = enroll_test_split(trials, 5)
+        assert len(enroll) == 5
+        assert len(test) == 2
+
+    def test_chronological_order_kept(self, study_data):
+        trials = study_data.trials(0, "1628", "one_handed", 6)
+        enroll, test = enroll_test_split(trials, 4)
+        assert enroll == trials[:4]
+        assert test == trials[4:]
+
+    def test_no_test_data_rejected(self, study_data):
+        trials = study_data.trials(0, "1628", "one_handed", 4)
+        with pytest.raises(ConfigurationError):
+            enroll_test_split(trials, 4)
+
+    def test_invalid_enroll_n(self, study_data):
+        trials = study_data.trials(0, "1628", "one_handed", 4)
+        with pytest.raises(ConfigurationError):
+            enroll_test_split(trials, 0)

@@ -1,0 +1,58 @@
+"""Unit tests for the third-party sample store."""
+
+import pytest
+
+from repro.data import StudyData, ThirdPartyStore
+from repro.errors import ConfigurationError
+
+PIN = "1628"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=5, seed=2)
+
+
+class TestThirdPartyStore:
+    def test_sample_size(self, data):
+        store = ThirdPartyStore(data, [1, 2, 3], PIN)
+        assert len(store.sample(10)) == 10
+
+    def test_round_robin_balance(self, data):
+        store = ThirdPartyStore(data, [1, 2, 3], PIN)
+        trials = store.sample(9)
+        per_user = {uid: 0 for uid in (1, 2, 3)}
+        for trial in trials:
+            per_user[trial.user_id] += 1
+        assert set(per_user.values()) == {3}
+
+    def test_uneven_sample_size(self, data):
+        store = ThirdPartyStore(data, [1, 2, 3], PIN)
+        trials = store.sample(7)
+        counts = {}
+        for trial in trials:
+            counts[trial.user_id] = counts.get(trial.user_id, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_deterministic(self, data):
+        store = ThirdPartyStore(data, [1, 2], PIN)
+        a = store.sample(6)
+        b = store.sample(6)
+        assert all(x is y for x, y in zip(a, b))
+
+    def test_contributors_listed(self, data):
+        store = ThirdPartyStore(data, [2, 4], PIN)
+        assert store.contributors == [2, 4]
+
+    def test_empty_contributors_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            ThirdPartyStore(data, [], PIN)
+
+    def test_invalid_sample_size(self, data):
+        store = ThirdPartyStore(data, [1], PIN)
+        with pytest.raises(ConfigurationError):
+            store.sample(0)
+
+    def test_grows_on_demand(self, data):
+        store = ThirdPartyStore(data, [1, 2], PIN)
+        assert len(store.sample(20)) == 20

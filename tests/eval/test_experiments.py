@@ -1,0 +1,77 @@
+"""Unit tests for the experiment harness (fast pieces only).
+
+The full experiment runners are exercised by the benchmark suite; here
+we test the shared machinery plus the cheapest runner end to end.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.data import StudyData
+from repro.errors import ConfigurationError
+from repro.eval.experiments import (
+    DEFAULT,
+    PAPER,
+    RUNNERS,
+    SMOKE,
+    ExperimentResult,
+    ExperimentScale,
+    channel_subset,
+    decimate_to,
+    run_fig9,
+)
+
+
+class TestScale:
+    def test_presets_are_consistent(self):
+        for scale in (SMOKE, DEFAULT, PAPER):
+            assert scale.n_victims + scale.n_attackers <= scale.n_users
+
+    def test_paper_scale_matches_protocol(self):
+        assert PAPER.n_users == 15
+        assert PAPER.n_attackers == 4
+        assert PAPER.third_party_n == 100
+        assert PAPER.enroll_n == 9
+
+    def test_victims_and_attackers_disjoint(self):
+        for scale in (SMOKE, DEFAULT, PAPER):
+            assert not set(scale.victim_ids) & set(scale.attacker_ids)
+
+    def test_oversubscribed_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(n_users=4, n_victims=3, n_attackers=2)
+
+
+class TestTransforms:
+    def test_channel_subset(self, one_trial):
+        out = channel_subset([0, 2])(one_trial)
+        assert out.recording.n_channels == 2
+        assert out.pin == one_trial.pin
+
+    def test_decimate_to(self, one_trial):
+        out = decimate_to(50.0)(one_trial)
+        assert out.recording.fs == 50.0
+        assert out.events == one_trial.events  # wall-clock times unchanged
+
+    def test_transforms_compose(self, one_trial):
+        out = decimate_to(50.0)(channel_subset([1])(one_trial))
+        assert out.recording.n_channels == 1
+        assert out.recording.fs == 50.0
+
+
+class TestRunners:
+    def test_registry_covers_all_artifacts(self):
+        assert set(RUNNERS) == {
+            "fig8", "fig9", "fig10", "fig11", "fig12", "tab1",
+            "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17",
+        }
+
+    def test_fig9_smoke(self):
+        result = run_fig9(SMOKE)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment == "fig9"
+        # The separation that makes authentication possible at all.
+        assert result.summary["ratio"] > 1.0
+        assert "inter" in result.summary
+        assert str(result)  # renders without error

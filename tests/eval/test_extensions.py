@@ -1,0 +1,80 @@
+"""Unit tests for the extension experiments (tiny scale)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import SMOKE
+from repro.eval.extensions import (
+    EXTENSION_RUNNERS,
+    run_aging_sweep,
+    run_eer_analysis,
+)
+from repro.physio import TrialSynthesizer, sample_population
+from repro.physio.artifacts import drift_params
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return dataclasses.replace(SMOKE, n_victims=1, test_n=3)
+
+
+class TestDriftParams:
+    def test_zero_aging_is_identity(self, population):
+        params = population[0].artifacts.params_for("5", "mechanical")
+        assert drift_params(params, 7, 0.0) == params
+
+    def test_deterministic(self, population):
+        params = population[0].artifacts.params_for("5", "mechanical")
+        assert drift_params(params, 7, 0.2) == drift_params(params, 7, 0.2)
+
+    def test_magnitude_scales(self, population):
+        params = population[0].artifacts.params_for("5", "mechanical")
+        small = drift_params(params, 7, 0.05)
+        large = drift_params(params, 7, 0.4)
+        delta_small = abs(small.amplitude - params.amplitude)
+        delta_large = abs(large.amplitude - params.amplitude)
+        assert delta_large >= delta_small
+
+    def test_negative_aging_rejected(self, population):
+        params = population[0].artifacts.params_for("5", "mechanical")
+        with pytest.raises(ConfigurationError):
+            drift_params(params, 7, -0.1)
+
+    def test_aged_trial_reproducible(self):
+        users = sample_population(1, seed=4)
+        synth = TrialSynthesizer()
+        a = synth.synthesize_trial(
+            users[0], "1628", np.random.default_rng(3), aging=0.2
+        )
+        b = synth.synthesize_trial(
+            users[0], "1628", np.random.default_rng(3), aging=0.2
+        )
+        assert np.allclose(a.recording.samples, b.recording.samples)
+
+    def test_aging_changes_the_signal(self):
+        users = sample_population(1, seed=4)
+        synth = TrialSynthesizer()
+        fresh = synth.synthesize_trial(
+            users[0], "1628", np.random.default_rng(3), aging=0.0
+        )
+        aged = synth.synthesize_trial(
+            users[0], "1628", np.random.default_rng(3), aging=0.4
+        )
+        assert not np.allclose(fresh.recording.samples, aged.recording.samples)
+
+
+class TestRunners:
+    def test_registry(self):
+        assert set(EXTENSION_RUNNERS) == {"ext-aging", "ext-enroll", "ext-eer"}
+
+    def test_aging_sweep_smoke(self, tiny):
+        result = run_aging_sweep(tiny, ages=(0.0, 0.4))
+        assert "acc_age_0" in result.summary
+        assert 0.0 <= result.summary["acc_age_0.4"] <= 1.0
+
+    def test_eer_smoke(self, tiny):
+        result = run_eer_analysis(tiny)
+        assert 0.0 <= result.summary["eer"] <= 1.0

@@ -1,0 +1,44 @@
+"""Unit tests for markdown rendering of experiment results."""
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.markdown import result_to_markdown, results_to_markdown
+
+
+def _result():
+    return ExperimentResult(
+        experiment="figX",
+        title="Fig. X — example",
+        headers=("case", "accuracy"),
+        rows=(("one", 0.987654), ("two", 0.5)),
+        summary={"one": 0.987654},
+    )
+
+
+class TestMarkdown:
+    def test_single_result_table(self):
+        md = result_to_markdown(_result())
+        lines = md.splitlines()
+        assert lines[0] == "### Fig. X — example"
+        assert "| case | accuracy |" in md
+        assert "| --- | --- |" in md
+        assert "| one | 0.988 |" in md
+
+    def test_document_assembly(self):
+        md = results_to_markdown(
+            [_result(), _result()],
+            title="Measured",
+            preamble=("A note.",),
+        )
+        assert md.startswith("## Measured")
+        assert "A note." in md
+        assert md.count("### Fig. X") == 2
+        assert md.endswith("\n")
+
+    def test_integer_cells_plain(self):
+        result = ExperimentResult(
+            experiment="t",
+            title="T",
+            headers=("n",),
+            rows=((42,),),
+        )
+        assert "| 42 |" in result_to_markdown(result)

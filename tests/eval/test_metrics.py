@@ -1,0 +1,56 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import accuracy, equal_error_rate, true_rejection_rate
+
+
+class TestAccuracy:
+    def test_all_accepted(self):
+        assert accuracy([True, True, True]) == 1.0
+
+    def test_mixed(self):
+        assert accuracy([True, False, True, False]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accuracy([])
+
+
+class TestTrueRejectionRate:
+    def test_all_rejected(self):
+        assert true_rejection_rate([False, False]) == 1.0
+
+    def test_mixed(self):
+        assert true_rejection_rate([True, False, False, False]) == 0.75
+
+    def test_complementary_to_acceptance(self):
+        decisions = [True, False, True]
+        assert true_rejection_rate(decisions) == pytest.approx(
+            1.0 - accuracy(decisions)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            true_rejection_rate([])
+
+
+class TestEqualErrorRate:
+    def test_perfectly_separated(self):
+        assert equal_error_rate([2.0, 3.0, 4.0], [-1.0, -2.0]) == 0.0
+
+    def test_fully_overlapping(self):
+        scores = [0.0, 1.0, 2.0]
+        eer = equal_error_rate(scores, scores)
+        assert 0.3 <= eer <= 0.7
+
+    def test_partial_overlap(self):
+        genuine = [1.0, 2.0, 3.0, 4.0]
+        impostor = [0.0, 0.5, 1.5, 2.5]
+        eer = equal_error_rate(genuine, impostor)
+        assert 0.0 < eer < 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equal_error_rate([], [1.0])

@@ -1,0 +1,44 @@
+"""Unit tests for profiling helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.profiling import profile_call, time_call
+
+
+class TestProfileCall:
+    def test_captures_result_and_time(self):
+        run = profile_call(lambda: sum(range(1000)))
+        assert run.result == 499500
+        assert run.seconds >= 0.0
+
+    def test_captures_allocation(self):
+        run = profile_call(lambda: np.zeros(1_000_000))
+        assert run.peak_mib > 5.0  # 8 MB of float64
+
+    def test_small_allocation_small_peak(self):
+        run = profile_call(lambda: [1, 2, 3])
+        assert run.peak_mib < 1.0
+
+    def test_exception_propagates_and_stops_tracing(self):
+        with pytest.raises(ValueError):
+            profile_call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        # tracemalloc must be stopped; a second call works fine.
+        assert profile_call(lambda: 1).result == 1
+
+
+class TestTimeCall:
+    def test_mean_of_repeats(self):
+        seconds, result = time_call(lambda: 7, repeat=3)
+        assert result == 7
+        assert seconds >= 0.0
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: 1, repeat=0)
+
+    def test_measures_sleep(self):
+        seconds, _ = time_call(lambda: time.sleep(0.01))
+        assert seconds >= 0.009

@@ -1,0 +1,104 @@
+"""Unit tests for the evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import StudyData
+from repro.errors import ConfigurationError
+from repro.eval import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
+
+PIN = "1628"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=6, seed=4)
+
+
+@pytest.fixture(scope="module")
+def result(data):
+    return evaluate_user(
+        data,
+        0,
+        PIN,
+        attacker_ids=[4, 5],
+        enroll_n=5,
+        test_n=4,
+        third_party_n=12,
+        ra_per_attacker=2,
+        ea_per_attacker=2,
+        num_features=840,
+    )
+
+
+class TestEvaluateUser:
+    def test_counts(self, result):
+        assert result.n_test == 4
+        assert result.n_random == 4
+        assert result.n_emulating == 4
+
+    def test_rates_in_unit_interval(self, result):
+        for value in (result.accuracy, result.trr_random, result.trr_emulating):
+            assert 0.0 <= value <= 1.0
+
+    def test_victim_cannot_attack_self(self, data):
+        with pytest.raises(ConfigurationError):
+            evaluate_user(data, 0, PIN, attacker_ids=[0])
+
+    def test_no_attackers_gives_nan_trr(self, data):
+        result = evaluate_user(
+            data,
+            0,
+            PIN,
+            attacker_ids=[],
+            enroll_n=5,
+            test_n=3,
+            third_party_n=10,
+            num_features=840,
+        )
+        assert np.isnan(result.trr_random)
+        assert np.isnan(result.trr_emulating)
+
+    def test_transform_applied(self, data):
+        """A channel-dropping transform must flow through end to end."""
+        from repro.eval.experiments import channel_subset
+
+        result = evaluate_user(
+            data,
+            0,
+            PIN,
+            attacker_ids=[5],
+            enroll_n=5,
+            test_n=3,
+            third_party_n=10,
+            ra_per_attacker=1,
+            ea_per_attacker=1,
+            num_features=840,
+            transform=channel_subset([0]),
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestEvaluateCondition:
+    def test_aggregation(self, data):
+        result = evaluate_condition(
+            data,
+            victim_ids=[0, 1],
+            attacker_ids=[5],
+            pin=PIN,
+            enroll_n=5,
+            test_n=3,
+            third_party_n=10,
+            ra_per_attacker=1,
+            ea_per_attacker=1,
+            num_features=840,
+        )
+        assert isinstance(result, ConditionResult)
+        assert len(result.per_user) == 2
+        assert result.accuracy == pytest.approx(
+            np.mean([u.accuracy for u in result.per_user])
+        )
+
+    def test_empty_victims_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            evaluate_condition(data, victim_ids=[], attacker_ids=[5])

@@ -1,0 +1,39 @@
+"""Unit tests for table rendering."""
+
+from repro.eval import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(
+            ["name", "value"], [("alpha", 1.0), ("beta", 0.5)], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2].replace(" ", "")) == {"-"}
+        assert "alpha" in lines[3]
+
+    def test_floats_rounded(self):
+        out = format_table(["x"], [(0.123456,)])
+        assert "0.123" in out
+        assert "0.1234" not in out
+
+    def test_integers_rendered_plain(self):
+        out = format_table(["n"], [(42,)])
+        assert "42" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_columns_aligned(self):
+        out = format_table(
+            ["long_header", "x"], [("v", 1.0), ("much_longer_value", 2.0)]
+        )
+        lines = out.splitlines()
+        # Header and rows share column positions: the second column
+        # starts at the same offset everywhere.
+        positions = {line.index("1.000") for line in lines if "1.000" in line}
+        positions |= {line.index("2.000") for line in lines if "2.000" in line}
+        assert len(positions) == 1

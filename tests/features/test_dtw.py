@@ -1,0 +1,91 @@
+"""Unit and property tests for banded DTW."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.features import dtw_distance
+
+
+class TestDTW:
+    def test_identical_sequences_zero(self):
+        x = np.sin(np.linspace(0, 6, 100))
+        assert dtw_distance(x, x) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_tolerates_small_time_shift(self):
+        """DTW must forgive a shift that Euclidean distance punishes."""
+        t = np.linspace(0, 6.28, 200)
+        a = np.sin(t)
+        b = np.sin(t + 0.2)
+        dtw = dtw_distance(a, b, band_fraction=0.2)
+        euclid = float(np.mean((a - b) ** 2))
+        assert dtw < 0.3 * euclid
+
+    def test_different_shapes_cost_more(self):
+        t = np.linspace(0, 6.28, 100)
+        sin_cos = dtw_distance(np.sin(t), np.cos(t))
+        sin_shift = dtw_distance(np.sin(t), np.sin(t + 0.1))
+        assert sin_cos > 5 * sin_shift
+
+    def test_unequal_lengths(self):
+        a = np.sin(np.linspace(0, 6.28, 100))
+        b = np.sin(np.linspace(0, 6.28, 80))
+        d = dtw_distance(a, b, band_fraction=0.1)
+        assert np.isfinite(d)
+        assert d < 0.05
+
+    def test_wider_band_never_increases_cost(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=60), rng.normal(size=60)
+        narrow = dtw_distance(a, b, band_fraction=0.05)
+        wide = dtw_distance(a, b, band_fraction=1.0)
+        assert wide <= narrow + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            dtw_distance(np.array([]), np.zeros(5))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SignalError):
+            dtw_distance(np.zeros((2, 5)), np.zeros(5))
+
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            dtw_distance(np.zeros(5), np.zeros(5), band_fraction=0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative_and_symmetric(self, xs, ys):
+        a, b = np.asarray(xs), np.asarray(ys)
+        d = dtw_distance(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(dtw_distance(b, a))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero(self, xs):
+        a = np.asarray(xs)
+        assert dtw_distance(a, a) == pytest.approx(0.0)

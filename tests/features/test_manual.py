@@ -1,0 +1,86 @@
+"""Unit tests for the manual feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, SignalError
+from repro.features import ManualFeatureExtractor, manual_feature_names
+from repro.features.manual import _STAT_NAMES
+
+
+@pytest.fixture(scope="module")
+def waveforms():
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 6.28, 120)
+    return np.stack(
+        [
+            np.stack([np.sin(2 * t) + 0.1 * rng.normal(size=t.size) for _ in range(2)])
+            for _ in range(6)
+        ]
+    )  # (6, 2, 120)
+
+
+class TestFeatureNames:
+    def test_count(self):
+        names = manual_feature_names(4)
+        assert len(names) == 4 * len(_STAT_NAMES)
+
+    def test_channel_prefixes(self):
+        names = manual_feature_names(2)
+        assert names[0].startswith("ch0_")
+        assert names[-1].startswith("ch1_")
+
+
+class TestExtractor:
+    def test_transform_shape(self, waveforms):
+        extractor = ManualFeatureExtractor().fit(waveforms)
+        features = extractor.transform(waveforms)
+        assert features.shape == (6, 2 * len(_STAT_NAMES))
+
+    def test_dtw_column_small_for_enrollment_data(self, waveforms):
+        extractor = ManualFeatureExtractor().fit(waveforms)
+        features = extractor.transform(waveforms)
+        dtw_cols = features[:, len(_STAT_NAMES) - 1 :: len(_STAT_NAMES)]
+        # Distances to the medoid template of the same data are small.
+        assert np.mean(dtw_cols) < 0.2
+
+    def test_transform_before_fit_rejected(self, waveforms):
+        with pytest.raises(NotFittedError):
+            ManualFeatureExtractor().transform(waveforms)
+
+    def test_channel_mismatch_rejected(self, waveforms):
+        extractor = ManualFeatureExtractor().fit(waveforms)
+        with pytest.raises(SignalError):
+            extractor.transform(waveforms[:, :1, :])
+
+    def test_single_enrollment_sample(self):
+        x = np.random.default_rng(0).normal(size=(1, 2, 50))
+        extractor = ManualFeatureExtractor().fit(x)
+        assert extractor.transform(x).shape[0] == 1
+
+    def test_template_distances_discriminate(self):
+        rng = np.random.default_rng(1)
+        t = np.linspace(0, 6.28, 100)
+        own = np.stack(
+            [np.stack([np.sin(2 * t) + 0.05 * rng.normal(size=t.size)]) for _ in range(5)]
+        )
+        other = np.stack(
+            [np.stack([np.sin(3.2 * t) + 0.05 * rng.normal(size=t.size)]) for _ in range(5)]
+        )
+        extractor = ManualFeatureExtractor().fit(own)
+        d_own = extractor.template_distances(own)
+        d_other = extractor.template_distances(other)
+        assert d_other.mean() > 3 * d_own.mean()
+
+    def test_invalid_stride(self):
+        with pytest.raises(SignalError):
+            ManualFeatureExtractor(dtw_stride=0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SignalError):
+            ManualFeatureExtractor().fit(np.zeros((0, 2, 50)))
+
+    def test_stride_reduces_cost_not_shape(self, waveforms):
+        fast = ManualFeatureExtractor(dtw_stride=4).fit(waveforms)
+        features = fast.transform(waveforms)
+        assert features.shape == (6, 2 * len(_STAT_NAMES))

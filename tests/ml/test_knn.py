@@ -1,0 +1,52 @@
+"""Unit tests for the k-NN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import KNNClassifier
+
+
+class TestKNN:
+    def test_nearest_neighbour_classification(self):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.predict(np.array([[0.05, 0.0]]))[0] == 1.0
+        assert clf.predict(np.array([[5.05, 5.0]]))[0] == -1.0
+
+    def test_decision_is_mean_neighbour_label(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0]])
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        clf = KNNClassifier(k=3).fit(x, y)
+        # Neighbours of 0.5 within k=3: 0, 1, 2 -> labels 1, 1, -1.
+        assert clf.decision_function(np.array([[0.5]]))[0] == pytest.approx(1 / 3)
+
+    def test_k_larger_than_train_set_clipped(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([1.0, -1.0])
+        clf = KNNClassifier(k=10).fit(x, y)
+        assert clf.decision_function(np.array([[0.0]]))[0] == pytest.approx(0.0)
+
+    def test_1d_query_promoted(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([1.0, -1.0])
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.predict(np.array([0.1, 0.1]))[0] == 1.0
+
+    def test_scores_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 4))
+        y = np.sign(rng.normal(size=30))
+        y[y == 0] = 1.0
+        clf = KNNClassifier(k=5).fit(x, y)
+        scores = clf.decision_function(rng.normal(size=(10, 4)))
+        assert np.all((scores >= -1.0) & (scores <= 1.0))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNNClassifier().predict(np.zeros((1, 2)))

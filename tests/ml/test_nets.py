@@ -1,0 +1,148 @@
+"""Unit tests for the ResNet-1D and RNN-FNN classifiers.
+
+Both are numpy implementations with manual backprop, so beyond the
+learn-a-separable-task checks we verify the conv gradients numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import ResNet1DClassifier, RNNFNNClassifier
+from repro.ml.resnet import (
+    _conv_backward_input,
+    _conv_backward_weights,
+    _conv_forward,
+    _downsample,
+)
+
+
+def _task(n=20, length=120, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 6.28, length)
+    pos = np.array(
+        [np.sin(2 * t + rng.uniform(0, 6)) + 0.2 * rng.normal(size=length)
+         for _ in range(n)]
+    )
+    neg = np.array(
+        [np.sin(4 * t + rng.uniform(0, 6)) + 0.2 * rng.normal(size=length)
+         for _ in range(n)]
+    )
+    x = np.vstack([pos, neg])[:, np.newaxis, :]
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return x, y
+
+
+class TestConvPrimitives:
+    def test_forward_matches_manual(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 10))
+        w = rng.normal(size=(4, 3, 5))
+        out = _conv_forward(x, w)
+        assert out.shape == (2, 4, 10)
+        # Check one output element by hand (same padding, pad=2).
+        xp = np.pad(x, ((0, 0), (0, 0), (2, 2)))
+        expected = sum(
+            xp[0, c, 3 + k] * w[1, c, k] for c in range(3) for k in range(5)
+        )
+        assert out[0, 1, 3] == pytest.approx(expected)
+
+    def test_weight_gradient_numerically(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 12))
+        w = rng.normal(size=(3, 2, 5))
+
+        def loss(weights):
+            return 0.5 * np.sum(_conv_forward(x, weights) ** 2)
+
+        dz = _conv_forward(x, w)
+        grad = _conv_backward_weights(dz, x, 5)
+        eps = 1e-6
+        for index in [(0, 0, 0), (1, 1, 2), (2, 0, 4)]:
+            w_plus = w.copy()
+            w_plus[index] += eps
+            w_minus = w.copy()
+            w_minus[index] -= eps
+            numeric = (loss(w_plus) - loss(w_minus)) / (2 * eps)
+            assert grad[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_input_gradient_numerically(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 10))
+        w = rng.normal(size=(3, 2, 5))
+
+        def loss(inputs):
+            return 0.5 * np.sum(_conv_forward(inputs, w) ** 2)
+
+        dz = _conv_forward(x, w)
+        grad = _conv_backward_input(dz, w)
+        eps = 1e-6
+        for index in [(0, 0, 0), (0, 1, 5), (0, 0, 9)]:
+            x_plus = x.copy()
+            x_plus[index] += eps
+            x_minus = x.copy()
+            x_minus[index] -= eps
+            numeric = (loss(x_plus) - loss(x_minus)) / (2 * eps)
+            assert grad[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_downsample(self):
+        x = np.arange(12.0).reshape(1, 1, 12)
+        out = _downsample(x, 6)
+        assert out.shape == (1, 1, 6)
+        assert out[0, 0, 0] == pytest.approx(0.5)
+
+    def test_downsample_noop_when_short(self):
+        x = np.zeros((1, 1, 10))
+        assert _downsample(x, 20).shape == (1, 1, 10)
+
+
+class TestResNet:
+    def test_learns_separable_task(self):
+        x, y = _task(seed=0)
+        xt, yt = _task(seed=1)
+        clf = ResNet1DClassifier(epochs=60, seed=0).fit(x, y)
+        assert np.mean(clf.predict(xt) == yt) >= 0.8
+
+    def test_decision_shape(self):
+        x, y = _task(n=8)
+        clf = ResNet1DClassifier(epochs=5).fit(x, y)
+        assert clf.decision_function(x).shape == (16,)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ResNet1DClassifier().predict(np.zeros((1, 1, 50)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            ResNet1DClassifier(filters=0)
+        with pytest.raises(ValueError):
+            ResNet1DClassifier(epochs=0)
+
+    def test_deterministic_given_seed(self):
+        x, y = _task(n=6)
+        a = ResNet1DClassifier(epochs=5, seed=3).fit(x, y).decision_function(x)
+        b = ResNet1DClassifier(epochs=5, seed=3).fit(x, y).decision_function(x)
+        assert np.allclose(a, b)
+
+
+class TestRNNFNN:
+    def test_learns_separable_task(self):
+        x, y = _task(seed=0)
+        xt, yt = _task(seed=1)
+        clf = RNNFNNClassifier(epochs=100, seed=0).fit(x, y)
+        assert np.mean(clf.predict(xt) == yt) >= 0.75
+
+    def test_decision_shape(self):
+        x, y = _task(n=8)
+        clf = RNNFNNClassifier(epochs=5).fit(x, y)
+        assert clf.decision_function(x).shape == (16,)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RNNFNNClassifier().predict(np.zeros((1, 1, 50)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RNNFNNClassifier(hidden=0)
+        with pytest.raises(ValueError):
+            RNNFNNClassifier(max_steps=1)

@@ -1,0 +1,138 @@
+"""Unit tests for the ridge classifier with LOO-CV."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import RidgeClassifier
+
+
+def _separable(n_per_class=20, n_features=10, gap=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n_per_class, n_features)) + gap / 2
+    neg = rng.normal(size=(n_per_class, n_features)) - gap / 2
+    x = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n_per_class), -np.ones(n_per_class)])
+    return x, y
+
+
+class TestFit:
+    def test_separable_data_perfect_train_accuracy(self):
+        x, y = _separable()
+        clf = RidgeClassifier().fit(x, y)
+        assert np.all(clf.predict(x) == y)
+
+    def test_generalizes(self):
+        x, y = _separable(seed=0)
+        xt, yt = _separable(seed=1)
+        clf = RidgeClassifier().fit(x, y)
+        assert np.mean(clf.predict(xt) == yt) > 0.95
+
+    def test_matches_closed_form_solution(self):
+        """Coefficients must equal the direct normal-equation solution."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 8))
+        y = np.sign(rng.normal(size=30))
+        y[y == 0] = 1.0
+        alpha = 10.0
+        clf = RidgeClassifier(alphas=[alpha]).fit(x, y)
+        xc = x - x.mean(axis=0)
+        yc = y - y.mean()
+        expected = np.linalg.solve(
+            xc.T @ xc + alpha * np.eye(8), xc.T @ yc
+        )
+        assert np.allclose(clf.coef_, expected, atol=1e-8)
+        assert clf.alpha_ == alpha
+
+    def test_loo_prefers_strong_regularization_on_noise(self):
+        """Pure-noise labels should drive alpha to the top of the grid.
+
+        This holds in the classical n > f regime (in the
+        over-parameterized f >> n regime minimum-norm interpolation can
+        legitimately achieve low LOO error, so no assertion is made
+        there).
+        """
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 5))
+        y = np.sign(rng.normal(size=100))
+        y[y == 0] = 1.0
+        clf = RidgeClassifier(alphas=[1e-2, 1e6]).fit(x, y)
+        assert clf.alpha_ == 1e6
+
+    def test_loo_prefers_weak_regularization_on_clean_signal(self):
+        x, y = _separable(gap=10.0)
+        clf = RidgeClassifier(alphas=[1e-2, 1e6]).fit(x, y)
+        assert clf.alpha_ == 1e-2
+
+    def test_more_features_than_samples(self):
+        x, y = _separable(n_per_class=10, n_features=500)
+        clf = RidgeClassifier().fit(x, y)
+        assert np.all(clf.predict(x) == y)
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = _separable()
+        clf = RidgeClassifier().fit(x, y)
+        scores = clf.decision_function(x)
+        assert np.all((scores > 0) == (clf.predict(x) > 0))
+
+
+class TestSampleWeight:
+    def test_balanced_weights_recenter_imbalanced_fit(self):
+        """With 5 positives vs 100 negatives, balanced weights must
+        move the boundary toward the negative mass."""
+        rng = np.random.default_rng(0)
+        pos = rng.normal(size=(5, 10)) + 1.0
+        neg = rng.normal(size=(100, 10)) - 1.0
+        x = np.vstack([pos, neg])
+        y = np.concatenate([np.ones(5), -np.ones(100)])
+        n = len(y)
+        weights = np.where(y > 0, n / (2 * 5), n / (2 * 100))
+
+        plain = RidgeClassifier(alphas=[1.0]).fit(x, y)
+        balanced = RidgeClassifier(alphas=[1.0]).fit(x, y, sample_weight=weights)
+
+        fresh_pos = rng.normal(size=(50, 10)) + 1.0
+        assert (
+            balanced.decision_function(fresh_pos).mean()
+            > plain.decision_function(fresh_pos).mean()
+        )
+
+    def test_uniform_weights_match_unweighted(self):
+        x, y = _separable()
+        a = RidgeClassifier(alphas=[1.0]).fit(x, y)
+        b = RidgeClassifier(alphas=[1.0]).fit(x, y, sample_weight=np.ones(len(y)))
+        assert np.allclose(a.coef_, b.coef_)
+        assert a.intercept_ == pytest.approx(b.intercept_)
+
+    def test_invalid_weights_rejected(self):
+        x, y = _separable()
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(x, y, sample_weight=np.ones(3))
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(x, y, sample_weight=-np.ones(len(y)))
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RidgeClassifier().predict(np.zeros((2, 3)))
+
+    def test_bad_labels_rejected(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(x, np.array([0, 1, 2, 3]))
+
+    def test_single_class_rejected(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(x, np.ones(4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(np.zeros((4, 2)), np.ones(3))
+
+    def test_invalid_alphas(self):
+        with pytest.raises(ValueError):
+            RidgeClassifier(alphas=[])
+        with pytest.raises(ValueError):
+            RidgeClassifier(alphas=[-1.0])

@@ -1,0 +1,56 @@
+"""Unit tests for feature standardization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=(100, 5))
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.ones((10, 3))
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out, 0.0)
+
+    def test_transform_uses_training_statistics(self):
+        train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(train)
+        out = scaler.transform(np.array([[4.0]]))
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_order(self, rows):
+        """Standardization is monotone per column (up to float ties)."""
+        x = np.asarray(rows)
+        out = StandardScaler().fit_transform(x)
+        for col in range(x.shape[1]):
+            order = np.argsort(x[:, col], kind="stable")
+            assert np.all(np.diff(out[order, col]) >= -1e-9)

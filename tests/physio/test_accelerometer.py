@@ -1,0 +1,55 @@
+"""Unit tests for the simulated accelerometer."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.accelerometer import synthesize_accelerometer
+from repro.types import Hand, KeystrokeEvent
+
+
+def _events(times, hand=Hand.LEFT):
+    return [
+        KeystrokeEvent(key="5", true_time=t, reported_time=t, hand=hand)
+        for t in times
+    ]
+
+
+class TestAccelerometer:
+    def test_shape_and_rate(self, population, rng):
+        config = SimulationConfig()
+        rec = synthesize_accelerometer(
+            population[0], _events([1.0, 2.0]), 4.0, config, rng
+        )
+        assert rec.samples.shape == (3, int(round(4.0 * config.accel_fs)))
+        assert rec.fs == config.accel_fs
+
+    def test_keystroke_amplitude_is_small(self, population, rng):
+        """Fig. 12 premise: static typing barely moves the wrist."""
+        config = SimulationConfig()
+        rec = synthesize_accelerometer(
+            population[0], _events([1.0, 2.0, 3.0]), 5.0, config, rng
+        )
+        assert np.max(np.abs(rec.samples)) < 0.5  # well under 0.5 g
+
+    def test_right_hand_presses_leave_no_transient(self, population):
+        config = SimulationConfig()
+        user = population[0]
+        left = synthesize_accelerometer(
+            user, _events([1.0], Hand.LEFT), 3.0, config, np.random.default_rng(3)
+        )
+        right = synthesize_accelerometer(
+            user, _events([1.0], Hand.RIGHT), 3.0, config, np.random.default_rng(3)
+        )
+        idx = int(round(1.0 * config.accel_fs))
+        window = slice(idx, idx + 20)
+        left_power = float(np.sum(left.samples[:, window] ** 2))
+        right_power = float(np.sum(right.samples[:, window] ** 2))
+        assert left_power > right_power
+
+    def test_invalid_duration(self, population, rng):
+        with pytest.raises(ConfigurationError):
+            synthesize_accelerometer(
+                population[0], [], 0.0, SimulationConfig(), rng
+            )

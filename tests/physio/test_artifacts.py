@@ -1,0 +1,162 @@
+"""Unit tests for the keystroke-artifact model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.artifacts import (
+    ArtifactParams,
+    ArtifactResponseField,
+    COMPONENTS,
+    artifact_waveform,
+    perturb_params,
+)
+from repro.types import PIN_PAD_KEYS
+
+
+@pytest.fixture()
+def field(rng):
+    return ArtifactResponseField.sample(rng, SimulationConfig())
+
+
+def _params(**overrides):
+    base = dict(
+        amplitude=3.0,
+        peak_time=0.08,
+        peak_width=0.05,
+        trough_ratio=0.5,
+        trough_delay=0.15,
+        trough_width=0.08,
+        osc_freq=4.0,
+        osc_amp=0.1,
+        osc_decay=0.12,
+    )
+    base.update(overrides)
+    return ArtifactParams(**base)
+
+
+class TestWaveform:
+    def test_length(self):
+        wave = artifact_waveform(_params(), duration=1.0, fs=100.0)
+        assert wave.shape == (100,)
+
+    def test_peak_near_peak_time(self):
+        wave = artifact_waveform(_params(), duration=1.0, fs=1000.0)
+        peak_at = np.argmax(wave) / 1000.0
+        assert abs(peak_at - 0.08) < 0.02
+
+    def test_has_rebound_trough(self):
+        wave = artifact_waveform(_params(trough_ratio=0.8), duration=1.0, fs=100.0)
+        assert wave.min() < 0.0
+
+    def test_amplitude_scales_linearly(self):
+        a = artifact_waveform(_params(amplitude=1.0), duration=1.0, fs=100.0)
+        b = artifact_waveform(_params(amplitude=2.0), duration=1.0, fs=100.0)
+        assert np.allclose(2.0 * a, b)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            artifact_waveform(_params(), duration=0.0, fs=100.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            _params(amplitude=-1.0)
+        with pytest.raises(ConfigurationError):
+            _params(peak_width=0.0)
+        with pytest.raises(ConfigurationError):
+            _params(osc_decay=0.0)
+
+
+class TestResponseField:
+    def test_has_both_components(self, field):
+        for component in COMPONENTS:
+            assert component in field.base
+
+    def test_params_for_every_key(self, field):
+        for key in PIN_PAD_KEYS:
+            for component in COMPONENTS:
+                params = field.params_for(key, component)
+                assert params.amplitude > 0
+
+    def test_unknown_component_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            field.params_for("1", "acoustic")
+
+    def test_same_key_deterministic(self, field):
+        a = field.params_for("5", "mechanical")
+        b = field.params_for("5", "mechanical")
+        assert a == b
+
+    def test_different_keys_differ(self, field):
+        a = field.params_for("1", "mechanical")
+        b = field.params_for("9", "mechanical")
+        assert a != b
+
+    def test_different_users_differ(self):
+        config = SimulationConfig()
+        f1 = ArtifactResponseField.sample(np.random.default_rng(1), config)
+        f2 = ArtifactResponseField.sample(np.random.default_rng(2), config)
+        assert f1.params_for("5", "vascular") != f2.params_for("5", "vascular")
+
+    def test_intra_user_closer_than_inter_user(self):
+        """Section III: same-user keys are more alike than other users."""
+        config = SimulationConfig()
+        fields = [
+            ArtifactResponseField.sample(np.random.default_rng(s), config)
+            for s in range(8)
+        ]
+
+        def vec(field, key):
+            p = field.params_for(key, "mechanical")
+            return np.array(
+                [p.amplitude, p.peak_time * 10, p.peak_width * 10, p.trough_ratio]
+            )
+
+        intra = np.mean(
+            [
+                np.linalg.norm(vec(f, "1") - vec(f, "9"))
+                for f in fields
+            ]
+        )
+        inter = np.mean(
+            [
+                np.linalg.norm(vec(fields[i], "5") - vec(fields[j], "5"))
+                for i in range(len(fields))
+                for j in range(i + 1, len(fields))
+            ]
+        )
+        assert inter > intra
+
+    def test_vascular_slower_than_mechanical_on_average(self):
+        config = SimulationConfig()
+        rng = np.random.default_rng(0)
+        latencies = {"mechanical": [], "vascular": []}
+        for _ in range(10):
+            field = ArtifactResponseField.sample(rng, config)
+            for component in COMPONENTS:
+                latencies[component].append(field.base[component].peak_time)
+        assert np.mean(latencies["vascular"]) > np.mean(latencies["mechanical"])
+
+
+class TestPerturbation:
+    def test_zero_scale_identity(self, field, rng):
+        params = field.params_for("1", "mechanical")
+        assert perturb_params(params, rng, scale=0.0) == params
+
+    def test_small_scale_small_change(self, field, rng):
+        params = field.params_for("1", "mechanical")
+        perturbed = perturb_params(params, rng, scale=0.05)
+        assert perturbed.amplitude == pytest.approx(params.amplitude, rel=0.3)
+
+    def test_respects_floors(self, field):
+        params = field.params_for("1", "mechanical")
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = perturb_params(params, rng, scale=1.5)
+            assert p.peak_width > 0
+            assert p.osc_decay > 0
+
+    def test_negative_scale_rejected(self, field, rng):
+        with pytest.raises(ConfigurationError):
+            perturb_params(field.params_for("1", "vascular"), rng, scale=-0.1)

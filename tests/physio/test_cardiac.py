@@ -1,0 +1,105 @@
+"""Unit tests for the cardiac pulse model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.cardiac import (
+    CardiacParams,
+    pulse_template,
+    sample_cardiac_params,
+    synthesize_cardiac,
+)
+
+
+@pytest.fixture()
+def params(rng):
+    return sample_cardiac_params(rng, SimulationConfig())
+
+
+class TestSampling:
+    def test_heart_rate_in_configured_range(self, rng):
+        config = SimulationConfig()
+        for _ in range(20):
+            p = sample_cardiac_params(rng, config)
+            low, high = config.heart_rate_range
+            assert low <= p.heart_rate <= high
+
+    def test_dicrotic_after_systolic(self, rng):
+        for _ in range(20):
+            p = sample_cardiac_params(rng, SimulationConfig())
+            assert p.dicrotic_phase > p.systolic_phase
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CardiacParams(
+                heart_rate=-60.0,
+                systolic_phase=0.2,
+                systolic_width=0.08,
+                dicrotic_phase=0.5,
+                dicrotic_width=0.1,
+                dicrotic_ratio=0.3,
+                amplitude=1.0,
+                hrv_std=0.03,
+                resp_rate=0.25,
+                resp_depth=0.03,
+            )
+
+
+class TestTemplate:
+    def test_periodic(self, params):
+        phase = np.linspace(0.0, 1.0, 100, endpoint=False)
+        a = pulse_template(phase, params)
+        b = pulse_template(phase + 3.0, params)
+        assert np.allclose(a, b)
+
+    def test_peak_near_systolic_phase(self, params):
+        phase = np.linspace(0.0, 1.0, 1000, endpoint=False)
+        wave = pulse_template(phase, params)
+        peak_phase = phase[np.argmax(wave)]
+        assert abs(peak_phase - params.systolic_phase) < 0.05
+
+    def test_non_negative(self, params):
+        phase = np.linspace(0.0, 1.0, 1000)
+        assert np.all(pulse_template(phase, params) >= 0.0)
+
+
+class TestSynthesis:
+    def test_output_length(self, params, rng):
+        wave = synthesize_cardiac(500, 100.0, params, rng)
+        assert wave.shape == (500,)
+
+    def test_dominant_frequency_matches_heart_rate(self, rng):
+        config = SimulationConfig()
+        params = sample_cardiac_params(rng, config)
+        fs = 100.0
+        n = 4000
+        wave = synthesize_cardiac(n, fs, params, rng)
+        spectrum = np.abs(np.fft.rfft(wave - wave.mean()))
+        freqs = np.fft.rfftfreq(n, 1.0 / fs)
+        # Restrict to the physiological band to skip respiration lines.
+        band = (freqs > 0.6) & (freqs < 3.5)
+        dominant = freqs[band][np.argmax(spectrum[band])]
+        expected = params.heart_rate / 60.0
+        assert abs(dominant - expected) < 0.25
+
+    def test_beats_are_bounded_by_amplitude(self, params, rng):
+        wave = synthesize_cardiac(2000, 100.0, params, rng)
+        assert np.max(wave) <= params.amplitude * (1.0 + params.dicrotic_ratio) + 1e-9
+
+    def test_invalid_args(self, params, rng):
+        with pytest.raises(ConfigurationError):
+            synthesize_cardiac(0, 100.0, params, rng)
+        with pytest.raises(ConfigurationError):
+            synthesize_cardiac(100, 0.0, params, rng)
+
+    def test_different_rng_different_realization(self, params):
+        a = synthesize_cardiac(500, 100.0, params, np.random.default_rng(1))
+        b = synthesize_cardiac(500, 100.0, params, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_same_rng_reproducible(self, params):
+        a = synthesize_cardiac(500, 100.0, params, np.random.default_rng(1))
+        b = synthesize_cardiac(500, 100.0, params, np.random.default_rng(1))
+        assert np.allclose(a, b)

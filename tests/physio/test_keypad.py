@@ -1,0 +1,97 @@
+"""Unit tests for PIN pad geometry and hand assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.keypad import PinPad, all_keys, key_position
+from repro.types import Hand
+
+
+class TestKeyPosition:
+    def test_corner_keys(self):
+        assert key_position("1") == (-1.0, -1.0)
+        assert key_position("3") == (1.0, -1.0)
+
+    def test_zero_is_bottom_middle(self):
+        x, y = key_position("0")
+        assert x == 0.0
+        assert y == 1.0
+
+    def test_center_key(self):
+        x, y = key_position("5")
+        assert x == 0.0
+        assert abs(y) < 0.5
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_position("#")
+
+    def test_all_keys_have_distinct_positions(self):
+        positions = {key_position(k) for k in all_keys()}
+        assert len(positions) == 10
+
+
+class TestHandAssignment:
+    def test_one_handed_all_left(self):
+        pad = PinPad()
+        assert pad.assign_hands("1628", one_handed=True) == (Hand.LEFT,) * 4
+
+    def test_left_column_goes_left(self):
+        pad = PinPad()
+        assert pad.hand_for_key("1", one_handed=False) is Hand.LEFT
+        assert pad.hand_for_key("4", one_handed=False) is Hand.LEFT
+        assert pad.hand_for_key("7", one_handed=False) is Hand.LEFT
+
+    def test_right_column_goes_right(self):
+        pad = PinPad()
+        for key in "369":
+            assert pad.hand_for_key(key, one_handed=False) is Hand.RIGHT
+
+    def test_middle_column_follows_habit(self):
+        pad = PinPad(
+            middle_column_left=(("2", True), ("5", False), ("8", True), ("0", False))
+        )
+        assert pad.hand_for_key("2", one_handed=False) is Hand.LEFT
+        assert pad.hand_for_key("5", one_handed=False) is Hand.RIGHT
+
+    def test_habit_must_cover_middle_column(self):
+        with pytest.raises(ConfigurationError):
+            PinPad(middle_column_left=(("2", True),))
+
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 4])
+    def test_forced_left_count(self, count):
+        pad = PinPad()
+        rng = np.random.default_rng(0)
+        hands = pad.assign_hands(
+            "1628", one_handed=False, forced_left_count=count, rng=rng
+        )
+        assert sum(1 for h in hands if h is Hand.LEFT) == count
+
+    def test_forced_count_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            PinPad().assign_hands("1628", one_handed=False, forced_left_count=2)
+
+    def test_forced_count_infeasible(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            PinPad().assign_hands(
+                "1628", one_handed=False, forced_left_count=5, rng=rng
+            )
+
+    def test_forced_count_in_one_handed_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinPad().assign_hands("1628", one_handed=True, forced_left_count=2)
+
+    def test_one_handed_forced_full_count_allowed(self):
+        hands = PinPad().assign_hands("1628", one_handed=True, forced_left_count=4)
+        assert hands == (Hand.LEFT,) * 4
+
+    def test_unknown_digit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinPad().assign_hands("12x8", one_handed=True)
+
+    def test_sample_is_deterministic_per_generator(self):
+        a = PinPad.sample(np.random.default_rng(3))
+        b = PinPad.sample(np.random.default_rng(3))
+        assert a == b

@@ -1,0 +1,102 @@
+"""Unit tests for the noise model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.noise import (
+    NoiseParams,
+    baseline_wander,
+    fidget_bumps,
+    impulse_noise,
+    sample_noise_params,
+    synthesize_noise,
+)
+
+
+@pytest.fixture()
+def params(rng):
+    return sample_noise_params(rng, SimulationConfig())
+
+
+class TestSampling:
+    def test_instability_in_range(self, rng):
+        config = SimulationConfig()
+        low, high = config.user_instability_range
+        for _ in range(20):
+            p = sample_noise_params(rng, config)
+            assert low <= p.instability <= high
+
+    def test_fidget_rate_scales_with_instability(self, rng):
+        config = SimulationConfig()
+        p = sample_noise_params(rng, config)
+        assert p.fidget_rate == pytest.approx(
+            config.fidget_rate * p.instability
+        )
+
+    def test_negative_values_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(params, noise_std=-0.1)
+
+
+class TestComponents:
+    def test_baseline_wander_is_slow(self, params, rng):
+        fs = 100.0
+        wander = baseline_wander(3000, fs, params, rng)
+        spectrum = np.abs(np.fft.rfft(wander - wander.mean())) ** 2
+        freqs = np.fft.rfftfreq(3000, 1.0 / fs)
+        low_power = spectrum[freqs < 1.0].sum()
+        assert low_power / spectrum.sum() > 0.95
+
+    def test_impulse_noise_is_sparse(self, params, rng):
+        noise = impulse_noise(5000, 100.0, params, rng)
+        nonzero = np.count_nonzero(noise)
+        assert nonzero < 100
+
+    def test_fidget_rate_zero_means_silence(self, params, rng):
+        quiet = dataclasses.replace(params, fidget_rate=0.0)
+        assert np.all(fidget_bumps(1000, 100.0, quiet, rng) == 0.0)
+
+    def test_restless_users_fidget_more(self, rng):
+        base = sample_noise_params(rng, SimulationConfig())
+        calm = dataclasses.replace(base, fidget_rate=0.01)
+        restless = dataclasses.replace(base, fidget_rate=2.0)
+        calm_power = np.mean(
+            fidget_bumps(5000, 100.0, calm, np.random.default_rng(1)) ** 2
+        )
+        restless_power = np.mean(
+            fidget_bumps(5000, 100.0, restless, np.random.default_rng(1)) ** 2
+        )
+        assert restless_power > calm_power
+
+    @pytest.mark.parametrize("fn", [baseline_wander, impulse_noise, fidget_bumps])
+    def test_invalid_args(self, fn, params, rng):
+        with pytest.raises(ConfigurationError):
+            fn(0, 100.0, params, rng)
+        with pytest.raises(ConfigurationError):
+            fn(100, 0.0, params, rng)
+
+
+class TestFullNoise:
+    def test_shape(self, params, rng):
+        assert synthesize_noise(700, 100.0, params, rng).shape == (700,)
+
+    def test_reproducible(self, params):
+        a = synthesize_noise(500, 100.0, params, np.random.default_rng(9))
+        b = synthesize_noise(500, 100.0, params, np.random.default_rng(9))
+        assert np.allclose(a, b)
+
+    def test_wideband_level_tracks_noise_std(self, rng):
+        config = SimulationConfig()
+        base = sample_noise_params(rng, config)
+        quiet = dataclasses.replace(
+            base, noise_std=0.01, impulse_rate=0.0, fidget_rate=0.0,
+            baseline_amplitude=0.0,
+        )
+        loud = dataclasses.replace(quiet, noise_std=1.0)
+        q = synthesize_noise(2000, 100.0, quiet, np.random.default_rng(2))
+        l = synthesize_noise(2000, 100.0, loud, np.random.default_rng(2))
+        assert np.std(l) > 10 * np.std(q)

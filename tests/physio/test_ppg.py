@@ -1,0 +1,146 @@
+"""Unit tests for whole-trial synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio import TrialSynthesizer
+from repro.types import Hand
+
+PIN = "1628"
+
+
+class TestTrialStructure:
+    def test_event_count_matches_pin(self, one_trial):
+        assert len(one_trial.events) == 4
+        assert one_trial.pin == PIN
+
+    def test_events_in_chronological_order(self, one_trial):
+        times = [e.true_time for e in one_trial.events]
+        assert times == sorted(times)
+
+    def test_recording_covers_all_events(self, one_trial):
+        duration = one_trial.recording.duration
+        assert all(0 < e.true_time < duration for e in one_trial.events)
+
+    def test_four_channels_by_default(self, one_trial):
+        assert one_trial.recording.n_channels == 4
+
+    def test_reported_times_within_jitter(self, one_trial, sim_config):
+        for event in one_trial.events:
+            assert abs(event.reported_time - event.true_time) <= (
+                sim_config.timestamp_jitter + 1e-9
+            )
+
+    def test_one_handed_all_left(self, one_trial):
+        assert all(e.hand is Hand.LEFT for e in one_trial.events)
+
+    def test_accel_included_on_request(self, accel_trial, sim_config):
+        assert accel_trial.accel is not None
+        assert accel_trial.accel.fs == sim_config.accel_fs
+
+    def test_accel_absent_by_default(self, one_trial):
+        assert one_trial.accel is None
+
+    def test_invalid_pin_rejected(self, population, synthesizer, rng):
+        with pytest.raises(ConfigurationError):
+            synthesizer.synthesize_trial(population[0], "12a8", rng)
+        with pytest.raises(ConfigurationError):
+            synthesizer.synthesize_trial(population[0], "", rng)
+
+
+class TestTwoHanded:
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_forced_left_count(self, population, synthesizer, rng, count):
+        trial = synthesizer.synthesize_trial(
+            population[0], PIN, rng, one_handed=False, forced_left_count=count
+        )
+        left = sum(1 for e in trial.events if e.hand is Hand.LEFT)
+        assert left == count
+        assert not trial.one_handed
+
+    def test_off_hand_keystroke_leaves_little_signal(
+        self, population, synthesizer
+    ):
+        """Right-hand presses must not register on the left-wrist PPG."""
+        user = population[0]
+        rng_a = np.random.default_rng(100)
+        rng_b = np.random.default_rng(100)
+        # Same randomness, different hand assignment via forced counts.
+        all_left = synthesizer.synthesize_trial(
+            user, PIN, rng_a, one_handed=True
+        )
+        none_left = synthesizer.synthesize_trial(
+            user, PIN, rng_b, one_handed=False, forced_left_count=0
+        )
+        # Keystroke energy around the presses should be far smaller in
+        # the none-left trial.
+        def press_energy(trial):
+            rec = trial.recording
+            total = 0.0
+            for event in trial.events:
+                idx = int(round(event.true_time * rec.fs))
+                lo, hi = max(0, idx - 10), min(rec.n_samples, idx + 40)
+                chunk = rec.samples[:, lo:hi]
+                total += float(np.sum((chunk - chunk.mean(axis=1, keepdims=True)) ** 2))
+            return total
+
+        assert press_energy(all_left) > 2.0 * press_energy(none_left)
+
+
+class TestEmulation:
+    def test_rhythm_from_changes_timing_statistics(self, population, synthesizer):
+        victim, attacker = population[0], population[1]
+        config = SimulationConfig()
+
+        def mean_gap(user, rhythm_from, seed):
+            gaps = []
+            for i in range(20):
+                rng = np.random.default_rng(seed + i)
+                trial = synthesizer.synthesize_trial(
+                    user, PIN, rng, rhythm_from=rhythm_from
+                )
+                times = [e.true_time for e in trial.events]
+                gaps.extend(np.diff(times))
+            return float(np.mean(gaps))
+
+        victim_gap = mean_gap(victim, None, 0)
+        emulated_gap = mean_gap(attacker, victim, 1000)
+        own_gap = mean_gap(attacker, None, 2000)
+        # The emulated cadence should sit closer to the victim's than
+        # to the attacker's own (unless they happen to coincide).
+        if abs(own_gap - victim_gap) > 0.05:
+            assert abs(emulated_gap - victim_gap) < abs(emulated_gap - own_gap)
+
+    def test_emulation_keeps_attacker_physiology(self, population, synthesizer):
+        victim, attacker = population[0], population[1]
+        rng = np.random.default_rng(5)
+        trial = synthesizer.synthesize_trial(
+            attacker, PIN, rng, rhythm_from=victim
+        )
+        assert trial.user_id == attacker.user_id
+
+
+class TestDeterminism:
+    def test_same_rng_same_trial(self, population, synthesizer):
+        a = synthesizer.synthesize_trial(
+            population[0], PIN, np.random.default_rng(77)
+        )
+        b = synthesizer.synthesize_trial(
+            population[0], PIN, np.random.default_rng(77)
+        )
+        assert np.allclose(a.recording.samples, b.recording.samples)
+        assert a.events == b.events
+
+    def test_different_users_different_signals(self, population, synthesizer):
+        a = synthesizer.synthesize_trial(
+            population[0], PIN, np.random.default_rng(77)
+        )
+        b = synthesizer.synthesize_trial(
+            population[1], PIN, np.random.default_rng(77)
+        )
+        n = min(a.recording.n_samples, b.recording.n_samples)
+        assert not np.allclose(
+            a.recording.samples[:, :n], b.recording.samples[:, :n]
+        )

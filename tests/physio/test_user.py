@@ -1,0 +1,101 @@
+"""Unit tests for user profiles and population sampling."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.user import TypingRhythm, UserProfile, sample_population, sample_user
+
+
+class TestTypingRhythm:
+    def test_sample_valid(self, rng):
+        rhythm = TypingRhythm.sample(rng)
+        assert rhythm.speed_factor > 0
+        assert set(rhythm.key_bias) == set("0123456789")
+
+    def test_intervals_count_and_positivity(self, rng):
+        rhythm = TypingRhythm.sample(rng)
+        gaps = rhythm.intervals("1628", SimulationConfig(), rng)
+        assert gaps.shape == (3,)
+        assert np.all(gaps > 0)
+
+    def test_single_digit_pin_has_no_gaps(self, rng):
+        rhythm = TypingRhythm.sample(rng)
+        assert rhythm.intervals("5", SimulationConfig(), rng).shape == (0,)
+
+    def test_empty_pin_rejected(self, rng):
+        rhythm = TypingRhythm.sample(rng)
+        with pytest.raises(ConfigurationError):
+            rhythm.intervals("", SimulationConfig(), rng)
+
+    def test_fast_typist_shorter_gaps(self):
+        config = SimulationConfig()
+        base = TypingRhythm.sample(np.random.default_rng(0))
+        fast = TypingRhythm(
+            speed_factor=0.6, jitter_factor=0.0, key_bias=dict.fromkeys("0123456789", 0.0)
+        )
+        slow = TypingRhythm(
+            speed_factor=1.4, jitter_factor=0.0, key_bias=dict.fromkeys("0123456789", 0.0)
+        )
+        rng = np.random.default_rng(0)
+        assert fast.intervals("1628", config, rng).mean() < slow.intervals(
+            "1628", config, np.random.default_rng(0)
+        ).mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TypingRhythm(speed_factor=0.0, jitter_factor=1.0, key_bias={})
+
+
+class TestUserProfile:
+    def test_sample_user_complete(self, rng):
+        user = sample_user(3, rng)
+        assert user.user_id == 3
+        assert user.site_coupling.shape == (2, 3)
+        assert user.press_variability >= 0
+
+    def test_bad_site_coupling_rejected(self, rng):
+        user = sample_user(0, rng)
+        with pytest.raises(ConfigurationError):
+            UserProfile(
+                user_id=0,
+                cardiac=user.cardiac,
+                artifacts=user.artifacts,
+                noise=user.noise,
+                pad=user.pad,
+                rhythm=user.rhythm,
+                site_coupling=np.zeros((3, 2)),
+                press_variability=0.1,
+            )
+
+
+class TestPopulation:
+    def test_size(self):
+        assert len(sample_population(5, seed=1)) == 5
+
+    def test_user_ids_sequential(self):
+        users = sample_population(4, seed=1)
+        assert [u.user_id for u in users] == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        a = sample_population(3, seed=9)
+        b = sample_population(3, seed=9)
+        assert a[2].cardiac == b[2].cardiac
+        assert a[2].rhythm == b[2].rhythm
+
+    def test_prefix_stable_under_growth(self):
+        """User i is the same person regardless of population size."""
+        small = sample_population(3, seed=4)
+        large = sample_population(6, seed=4)
+        for u_small, u_large in zip(small, large):
+            assert u_small.cardiac == u_large.cardiac
+
+    def test_users_are_distinct(self):
+        users = sample_population(6, seed=2)
+        rates = {u.cardiac.heart_rate for u in users}
+        assert len(rates) == 6
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_population(0)

@@ -1,0 +1,59 @@
+"""Unit tests for ADC quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sensing.adc import quantize
+
+
+class TestQuantize:
+    def test_values_land_on_grid(self):
+        out = quantize(np.array([0.1234, -3.5]), bits=8, full_scale=4.0)
+        step = 4.0 / 2 ** 7
+        assert np.allclose(np.round(out / step), out / step)
+
+    def test_clipping(self):
+        out = quantize(np.array([100.0, -100.0]), bits=8, full_scale=4.0)
+        assert out[0] <= 4.0
+        assert out[1] >= -4.0
+
+    def test_high_resolution_nearly_identity(self):
+        x = np.linspace(-1, 1, 101)
+        out = quantize(x, bits=18, full_scale=24.0)
+        assert np.max(np.abs(out - x)) < 1e-3
+
+    def test_idempotent(self):
+        x = np.random.default_rng(0).normal(size=100)
+        once = quantize(x, bits=10, full_scale=8.0)
+        twice = quantize(once, bits=10, full_scale=8.0)
+        assert np.array_equal(once, twice)
+
+    def test_preserves_shape(self):
+        x = np.zeros((4, 7))
+        assert quantize(x).shape == (4, 7)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.zeros(3), bits=1)
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.zeros(3), full_scale=0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(min_value=2, max_value=20),
+    )
+    def test_error_bounded_by_step(self, values, bits):
+        """Quantization error never exceeds one step (inside range)."""
+        full_scale = 16.0
+        x = np.clip(np.asarray(values), -full_scale, full_scale - 1e-9)
+        out = quantize(x, bits=bits, full_scale=full_scale)
+        step = full_scale / 2 ** (bits - 1)
+        assert np.all(np.abs(out - x) <= step + 1e-12)

@@ -1,0 +1,120 @@
+"""Unit tests for optical channel mixing."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.physio.noise import sample_noise_params
+from repro.sensing.channels import ChannelMixer, SourceSignals
+from repro.types import PROTOTYPE_CHANNELS, ChannelInfo, Wavelength
+
+
+@pytest.fixture()
+def sources(rng):
+    n = 400
+    return SourceSignals(
+        cardiac=rng.normal(size=n),
+        mechanical=rng.normal(size=n),
+        vascular=rng.normal(size=n),
+        fs=100.0,
+    )
+
+
+@pytest.fixture()
+def mixer():
+    return ChannelMixer(SimulationConfig())
+
+
+@pytest.fixture()
+def coupling():
+    return np.ones((2, 3))
+
+
+class TestSourceSignals:
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            SourceSignals(
+                cardiac=np.zeros(10),
+                mechanical=np.zeros(11),
+                vascular=np.zeros(10),
+                fs=100.0,
+            )
+
+    def test_stack_order(self, sources):
+        stacked = sources.stack()
+        assert stacked.shape == (3, sources.n_samples)
+        assert np.array_equal(stacked[0], sources.cardiac)
+        assert np.array_equal(stacked[2], sources.vascular)
+
+
+class TestMixingMatrix:
+    def test_shape(self, mixer, coupling):
+        assert mixer.mixing_matrix(coupling).shape == (4, 3)
+
+    def test_infrared_sees_more_cardiac_than_red(self, mixer, coupling):
+        matrix = mixer.mixing_matrix(coupling)
+        by_channel = dict(zip(mixer.channels, matrix))
+        for site in (0, 1):
+            ir = by_channel[ChannelInfo(site, Wavelength.INFRARED)]
+            red = by_channel[ChannelInfo(site, Wavelength.RED)]
+            assert ir[0] > red[0]
+
+    def test_red_overweights_vascular_relative_to_mechanical(
+        self, mixer, coupling
+    ):
+        matrix = mixer.mixing_matrix(coupling)
+        by_channel = dict(zip(mixer.channels, matrix))
+        red = by_channel[ChannelInfo(0, Wavelength.RED)]
+        ir = by_channel[ChannelInfo(0, Wavelength.INFRARED)]
+        assert red[2] / red[1] > ir[2] / ir[1]
+
+    def test_site_coupling_scales_rows(self, mixer):
+        coupling = np.ones((2, 3))
+        coupling[1] *= 2.0
+        matrix = mixer.mixing_matrix(coupling)
+        site0_rows = [i for i, c in enumerate(mixer.channels) if c.sensor_site == 0]
+        site1_rows = [i for i, c in enumerate(mixer.channels) if c.sensor_site == 1]
+        assert np.allclose(matrix[site1_rows], 2.0 * matrix[site0_rows])
+
+    def test_bad_coupling_shape_rejected(self, mixer):
+        with pytest.raises(ConfigurationError):
+            mixer.mixing_matrix(np.ones((3, 2)))
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelMixer(SimulationConfig(), channels=())
+
+
+class TestMix:
+    def test_output_shape(self, mixer, sources, coupling, rng):
+        noise = sample_noise_params(rng, SimulationConfig())
+        out = mixer.mix(sources, coupling, noise, rng)
+        assert out.shape == (4, sources.n_samples)
+
+    def test_red_channels_are_noisier(self, rng):
+        """red_noise_factor must surface as extra wideband noise."""
+        config = SimulationConfig()
+        mixer = ChannelMixer(config)
+        n = 5000
+        silent = SourceSignals(
+            cardiac=np.zeros(n),
+            mechanical=np.zeros(n),
+            vascular=np.zeros(n),
+            fs=100.0,
+        )
+        noise = sample_noise_params(rng, config)
+        red_levels, ir_levels = [], []
+        for seed in range(5):
+            out = mixer.mix(
+                silent, np.ones((2, 3)), noise, np.random.default_rng(seed)
+            )
+            for row, info in zip(out, mixer.channels):
+                # Compare wideband content via first differences, which
+                # suppresses the shared baseline wander.
+                level = np.std(np.diff(row))
+                if info.wavelength is Wavelength.RED:
+                    red_levels.append(level)
+                else:
+                    ir_levels.append(level)
+        assert np.mean(red_levels) > 1.2 * np.mean(ir_levels)

@@ -1,0 +1,53 @@
+"""Unit tests for the wearable prototype facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.physio.noise import sample_noise_params
+from repro.sensing.channels import SourceSignals
+from repro.sensing.device import WearablePrototype
+from repro.types import PROTOTYPE_CHANNELS
+
+
+@pytest.fixture()
+def device():
+    return WearablePrototype(SimulationConfig())
+
+
+class TestCapture:
+    def test_recording_structure(self, device, rng):
+        n = 300
+        sources = SourceSignals(
+            cardiac=rng.normal(size=n),
+            mechanical=np.zeros(n),
+            vascular=np.zeros(n),
+            fs=100.0,
+        )
+        noise = sample_noise_params(rng, device.config)
+        rec = device.capture(sources, np.ones((2, 3)), noise, rng)
+        assert rec.n_channels == 4
+        assert rec.n_samples == n
+        assert rec.fs == 100.0
+        assert rec.channels == PROTOTYPE_CHANNELS
+
+    def test_samples_are_quantized(self, device, rng):
+        n = 200
+        sources = SourceSignals(
+            cardiac=rng.normal(size=n),
+            mechanical=np.zeros(n),
+            vascular=np.zeros(n),
+            fs=100.0,
+        )
+        noise = sample_noise_params(rng, device.config)
+        rec = device.capture(sources, np.ones((2, 3)), noise, rng)
+        step = device.config.adc_full_scale / 2 ** (device.config.adc_bits - 1)
+        ratio = rec.samples / step
+        assert np.allclose(ratio, np.round(ratio))
+
+
+class TestReportTimes:
+    def test_jitter_from_config(self, device, rng):
+        times = np.linspace(1, 5, 20)
+        out = device.report_times(times, rng)
+        assert np.all(np.abs(out - times) <= device.config.timestamp_jitter)

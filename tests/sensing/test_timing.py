@@ -1,0 +1,40 @@
+"""Unit tests for the keystroke timestamp channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sensing.timing import report_keystroke_times
+
+
+class TestReportTimes:
+    def test_zero_jitter_is_identity(self, rng):
+        times = [1.0, 2.2, 3.1]
+        out = report_keystroke_times(times, 0.0, rng)
+        assert np.allclose(out, times)
+
+    def test_offsets_bounded(self, rng):
+        times = np.linspace(1, 10, 50)
+        out = report_keystroke_times(times, 0.12, rng)
+        assert np.all(np.abs(out - times) <= 0.12)
+
+    def test_negative_jitter_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            report_keystroke_times([1.0], -0.1, rng)
+
+    def test_length_preserved(self, rng):
+        assert report_keystroke_times([1.0, 2.0], 0.1, rng).shape == (2,)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_property_bounded_jitter(self, times, jitter):
+        rng = np.random.default_rng(0)
+        out = report_keystroke_times(times, jitter, rng)
+        assert np.all(np.abs(out - np.asarray(times)) <= jitter + 1e-12)

@@ -1,0 +1,107 @@
+"""Unit and property tests for smoothness-priors detrending."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.signal.detrend import estimate_trend, smoothness_priors_detrend
+
+
+class TestTrendEstimation:
+    def test_linear_trend_recovered(self):
+        t = np.linspace(0, 10, 300)
+        x = 2.0 * t + 1.0
+        trend = estimate_trend(x, lam=50.0)
+        assert np.allclose(trend, x, atol=0.05)
+
+    def test_detrending_removes_linear_trend(self):
+        t = np.linspace(0, 10, 300)
+        x = 2.0 * t + 1.0
+        out = smoothness_priors_detrend(x, lam=50.0)
+        assert np.max(np.abs(out)) < 0.05
+
+    def test_detrending_removes_slow_sinusoid(self):
+        fs = 100.0
+        t = np.arange(2000) / fs
+        slow = np.sin(2 * np.pi * 0.1 * t)
+        out = smoothness_priors_detrend(slow, lam=50.0)
+        assert np.std(out) < 0.3 * np.std(slow)
+
+    def test_detrending_keeps_sharp_transient(self):
+        """Keystroke-like bumps must survive (the detector depends on it)."""
+        fs = 100.0
+        t = np.arange(1000) / fs
+        bump = 3.0 * np.exp(-0.5 * ((t - 5.0) / 0.05) ** 2)
+        drift = 2.0 * np.sin(2 * np.pi * 0.08 * t)
+        out = smoothness_priors_detrend(bump + drift, lam=50.0)
+        # The bump survives mostly intact (some attenuation is the
+        # price of the trend removal) while the drift disappears.
+        assert out[int(5.0 * fs)] > 1.0
+        assert np.std(out[:300]) < 0.3
+
+    def test_larger_lambda_smoother_trend(self):
+        rng = np.random.default_rng(0)
+        x = np.cumsum(rng.normal(size=500))
+        gentle = estimate_trend(x, lam=500.0)
+        tight = estimate_trend(x, lam=5.0)
+        # A smoother trend follows the signal less closely.
+        assert np.mean((x - gentle) ** 2) > np.mean((x - tight) ** 2)
+
+    def test_2d_input_processed_per_channel(self):
+        t = np.linspace(0, 10, 200)
+        x = np.vstack([t, 2 * t])
+        out = smoothness_priors_detrend(x, lam=50.0)
+        assert out.shape == x.shape
+        assert np.max(np.abs(out)) < 0.1
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ConfigurationError):
+            smoothness_priors_detrend(np.zeros(10), lam=0.0)
+
+    def test_too_short_signal(self):
+        with pytest.raises(SignalError):
+            smoothness_priors_detrend(np.zeros(2))
+
+    def test_3d_rejected(self):
+        with pytest.raises(SignalError):
+            smoothness_priors_detrend(np.zeros((2, 3, 4)))
+
+
+class TestDetrendProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=3,
+            max_size=120,
+        ),
+        st.floats(min_value=0.5, max_value=500.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_is_exact(self, values, lam):
+        """trend + detrended == original, always."""
+        x = np.asarray(values)
+        trend = estimate_trend(x, lam=lam)
+        detrended = smoothness_priors_detrend(x, lam=lam)
+        assert np.allclose(trend + detrended, x, atol=1e-6)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=5,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, values):
+        x = np.asarray(values)
+        a = smoothness_priors_detrend(2.0 * x, lam=20.0)
+        b = 2.0 * smoothness_priors_detrend(x, lam=20.0)
+        assert np.allclose(a, b, atol=1e-6)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_maps_to_zero(self, value):
+        x = np.full(50, value)
+        out = smoothness_priors_detrend(x, lam=20.0)
+        assert np.max(np.abs(out)) < 1e-6

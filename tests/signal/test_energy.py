@@ -1,0 +1,72 @@
+"""Unit tests for short-time energy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.signal import short_time_energy, window_energy
+
+
+class TestShortTimeEnergy:
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        window = 7
+        out = short_time_energy(x, window)
+        half = window // 2
+        for i in range(len(x)):
+            lo, hi = max(0, i - half), min(len(x), i + half + 1)
+            assert out[i] == pytest.approx(np.sum(x[lo:hi] ** 2))
+
+    def test_peak_at_burst(self):
+        x = np.zeros(200)
+        x[100:105] = 5.0
+        energy = short_time_energy(x, 20)
+        assert 95 <= np.argmax(energy) <= 110
+
+    def test_zero_signal_zero_energy(self):
+        assert np.all(short_time_energy(np.zeros(50), 10) == 0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            short_time_energy(np.zeros(10), 0)
+
+    def test_empty_signal(self):
+        with pytest.raises(SignalError):
+            short_time_energy(np.array([]), 5)
+
+    def test_2d_rejected(self):
+        with pytest.raises(SignalError):
+            short_time_energy(np.zeros((2, 10)), 5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative(self, values, window):
+        assert np.all(short_time_energy(np.asarray(values), window) >= 0.0)
+
+
+class TestWindowEnergy:
+    def test_interior_window(self):
+        x = np.arange(10.0)
+        # window=3 centered at 5 covers indices 4..6
+        assert window_energy(x, 5, 3) == pytest.approx(16.0 + 25.0 + 36.0)
+
+    def test_edge_truncated(self):
+        x = np.ones(10)
+        assert window_energy(x, 0, 5) == pytest.approx(3.0)
+
+    def test_center_out_of_range(self):
+        with pytest.raises(SignalError):
+            window_energy(np.zeros(10), 10, 3)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            window_energy(np.zeros(10), 5, 0)

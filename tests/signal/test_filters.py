@@ -1,0 +1,106 @@
+"""Unit tests for the smoothing filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.signal import median_filter, moving_average, savitzky_golay
+
+
+class TestMedianFilter:
+    def test_removes_isolated_impulses(self):
+        x = np.zeros(100)
+        x[50] = 100.0
+        out = median_filter(x, kernel=5)
+        assert abs(out[50]) < 1e-9
+
+    def test_preserves_constant_signal(self):
+        x = np.full(50, 3.0)
+        assert np.allclose(median_filter(x, 5), x)
+
+    def test_preserves_slow_ramp_interior(self):
+        x = np.linspace(0, 1, 100)
+        out = median_filter(x, 5)
+        assert np.allclose(out[5:-5], x[5:-5], atol=1e-9)
+
+    def test_kernel_one_is_identity(self):
+        x = np.random.default_rng(0).normal(size=30)
+        assert np.allclose(median_filter(x, 1), x)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median_filter(np.zeros(10), 4)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(SignalError):
+            median_filter(np.array([]), 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(SignalError):
+            median_filter(np.zeros((2, 10)), 3)
+
+    def test_short_signal_passthrough(self):
+        x = np.array([1.0, 2.0])
+        assert np.allclose(median_filter(x, 5), x)
+
+
+class TestSavitzkyGolay:
+    def test_polynomial_reproduced_exactly(self):
+        """SG of order p reproduces degree-<=p polynomials exactly."""
+        t = np.linspace(0, 1, 100)
+        x = 2.0 + 3.0 * t - t ** 2
+        out = savitzky_golay(x, window=11, polyorder=3)
+        assert np.allclose(out, x, atol=1e-10)
+
+    def test_attenuates_high_frequency_noise(self):
+        rng = np.random.default_rng(1)
+        t = np.linspace(0, 1, 500)
+        clean = np.sin(2 * np.pi * 2 * t)
+        noisy = clean + 0.5 * rng.normal(size=t.size)
+        out = savitzky_golay(noisy, window=21, polyorder=3)
+        assert np.mean((out - clean) ** 2) < np.mean((noisy - clean) ** 2)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            savitzky_golay(np.zeros(50), window=10)
+
+    def test_window_not_above_polyorder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            savitzky_golay(np.zeros(50), window=3, polyorder=3)
+
+    def test_short_signal_passthrough(self):
+        x = np.arange(5.0)
+        assert np.allclose(savitzky_golay(x, window=11, polyorder=3), x)
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        x = np.full(20, 7.0)
+        assert np.allclose(moving_average(x, 5), x)
+
+    def test_window_one_identity(self):
+        x = np.random.default_rng(2).normal(size=30)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_edges_use_truncated_window(self):
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        out = moving_average(x, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.zeros(5), 0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    def test_output_bounded_by_input_range(self, values):
+        x = np.asarray(values)
+        out = moving_average(x, 5)
+        assert np.all(out >= x.min() - 1e-9)
+        assert np.all(out <= x.max() + 1e-9)

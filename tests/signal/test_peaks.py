@@ -1,0 +1,68 @@
+"""Unit tests for local extreme-point search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.signal import local_extrema
+
+
+class TestLocalExtrema:
+    def test_finds_peak_and_trough(self):
+        x = np.array([0.0, 1.0, 3.0, 1.0, -2.0, 0.0])
+        extrema = set(local_extrema(x))
+        assert 2 in extrema  # the peak at value 3
+        assert 4 in extrema  # the trough at value -2
+
+    def test_endpoints_always_candidates(self):
+        x = np.linspace(0, 1, 20)  # strictly monotone
+        extrema = local_extrema(x)
+        assert extrema[0] == 0
+        assert extrema[-1] == 19
+
+    def test_monotone_has_only_endpoints(self):
+        x = np.linspace(0, 1, 20)
+        assert list(local_extrema(x)) == [0, 19]
+
+    def test_plateau_interior_skipped(self):
+        x = np.array([0.0, 1.0, 1.0, 1.0, 0.0])
+        extrema = set(local_extrema(x))
+        assert extrema <= {0, 4}
+
+    def test_short_signals(self):
+        assert list(local_extrema(np.array([1.0]))) == [0]
+        assert list(local_extrema(np.array([1.0, 2.0]))) == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            local_extrema(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SignalError):
+            local_extrema(np.zeros((2, 5)))
+
+    def test_sine_extrema_near_quarter_periods(self):
+        t = np.linspace(0, 2 * np.pi, 1000)
+        x = np.sin(t)
+        extrema = local_extrema(x)
+        interior = [i for i in extrema if 0 < i < 999]
+        # One max near pi/2, one min near 3pi/2.
+        assert len(interior) == 2
+        assert abs(t[interior[0]] - np.pi / 2) < 0.05
+        assert abs(t[interior[1]] - 3 * np.pi / 2) < 0.05
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_indices_sorted_unique_and_in_range(self, values):
+        x = np.asarray(values)
+        extrema = local_extrema(x)
+        assert np.all(np.diff(extrema) > 0)
+        assert extrema[0] >= 0
+        assert extrema[-1] < len(x)

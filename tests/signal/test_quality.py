@@ -1,0 +1,72 @@
+"""Unit tests for signal-quality assessment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signal import assess_recording, channel_quality
+from repro.types import PPGRecording
+
+
+class TestChannelQuality:
+    def test_clean_channel_usable(self, rng):
+        quality = channel_quality(np.sin(np.linspace(0, 30, 500)))
+        assert quality.usable
+        assert not quality.dead
+        assert not quality.saturated
+
+    def test_dead_channel(self):
+        quality = channel_quality(np.full(100, 3.0))
+        assert quality.dead
+        assert not quality.usable
+
+    def test_saturated_channel(self):
+        x = np.sin(np.linspace(0, 30, 500))
+        x[:100] = 24.0  # pinned at the rail for 20% of the time
+        quality = channel_quality(x, full_scale=24.0)
+        assert quality.saturated
+        assert not quality.usable
+
+    def test_noise_level_tracks_noise(self, rng):
+        quiet = channel_quality(0.01 * rng.normal(size=1000))
+        loud = channel_quality(1.0 * rng.normal(size=1000))
+        assert loud.noise_level > 10 * quiet.noise_level
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SignalError):
+            channel_quality(np.zeros(2))
+
+
+class TestAssessRecording:
+    def test_real_trial_is_ok(self, one_trial):
+        report = assess_recording(one_trial.recording, one_trial.events)
+        assert report.ok
+        assert report.usable_channels == 4
+        assert report.artifact_ratio is not None
+        assert report.artifact_ratio > 3.0
+
+    def test_no_events_checks_channels_only(self, one_trial):
+        report = assess_recording(one_trial.recording)
+        assert report.ok
+        assert report.artifact_ratio is None
+
+    def test_dead_recording_not_ok(self):
+        recording = PPGRecording(samples=np.zeros((4, 500)), fs=100.0)
+        report = assess_recording(recording)
+        assert not report.ok
+        assert report.usable_channels == 0
+
+    def test_noise_only_fails_artifact_check(self, one_trial, rng):
+        noise = rng.normal(0.0, 0.3, size=one_trial.recording.samples.shape)
+        recording = one_trial.recording.with_samples(noise)
+        report = assess_recording(recording, one_trial.events)
+        assert not report.ok
+        assert report.usable_channels == 4  # channels fine, artifacts absent
+
+    def test_one_dead_channel_still_ok(self, one_trial):
+        corrupted = one_trial.recording.samples.copy()
+        corrupted[2] = 5.0
+        recording = one_trial.recording.with_samples(corrupted)
+        report = assess_recording(recording, one_trial.events)
+        assert report.usable_channels == 3
+        assert report.ok

@@ -1,0 +1,65 @@
+"""Unit tests for sampling-rate conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal import decimate_recording, decimate_signal
+from repro.types import PPGRecording
+
+
+class TestDecimateSignal:
+    def test_output_length(self):
+        x = np.zeros(600)
+        out = decimate_signal(x, 100.0, 50.0)
+        assert out.shape == (300,)
+
+    def test_non_integer_ratio(self):
+        x = np.zeros(600)
+        out = decimate_signal(x, 100.0, 75.0)
+        assert out.shape == (450,)
+
+    def test_identity_when_rates_equal(self):
+        x = np.random.default_rng(0).normal(size=100)
+        out = decimate_signal(x, 100.0, 100.0)
+        assert np.array_equal(out, x)
+        assert out is not x  # a copy, not a view
+
+    def test_low_frequency_content_preserved(self):
+        fs = 100.0
+        t = np.arange(2000) / fs
+        x = np.sin(2 * np.pi * 2.0 * t)
+        out = decimate_signal(x, fs, 30.0)
+        t2 = np.arange(out.size) / 30.0
+        expected = np.sin(2 * np.pi * 2.0 * t2)
+        # Ignore filter edge effects.
+        core = slice(30, -30)
+        assert np.max(np.abs(out[core] - expected[core])) < 0.05
+
+    def test_high_frequency_content_removed(self):
+        fs = 100.0
+        t = np.arange(2000) / fs
+        x = np.sin(2 * np.pi * 40.0 * t)  # above 15 Hz Nyquist of 30 Hz
+        out = decimate_signal(x, fs, 30.0)
+        assert np.std(out[30:-30]) < 0.1
+
+    def test_2d_input(self):
+        x = np.zeros((4, 600))
+        assert decimate_signal(x, 100.0, 50.0).shape == (4, 300)
+
+    def test_upsampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decimate_signal(np.zeros(100), 50.0, 100.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            decimate_signal(np.zeros(100), 0.0, 50.0)
+
+
+class TestDecimateRecording:
+    def test_recording_fields_updated(self):
+        rec = PPGRecording(samples=np.zeros((4, 600)), fs=100.0)
+        out = decimate_recording(rec, 30.0)
+        assert out.fs == 30.0
+        assert out.n_samples == 180
+        assert out.channels == rec.channels

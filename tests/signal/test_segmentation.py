@@ -1,0 +1,67 @@
+"""Unit tests for waveform segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SegmentationError
+from repro.signal import segment_around
+
+
+class TestSegmentAround:
+    def test_centered_window(self):
+        x = np.arange(100.0)[np.newaxis, :]
+        seg = segment_around(x, center=50, window=10)
+        assert seg.shape == (1, 10)
+        assert seg[0, 0] == 45.0
+
+    def test_left_edge_shifted_inward(self):
+        x = np.arange(100.0)[np.newaxis, :]
+        seg = segment_around(x, center=2, window=20)
+        assert seg[0, 0] == 0.0
+        assert seg.shape == (1, 20)
+
+    def test_right_edge_shifted_inward(self):
+        x = np.arange(100.0)[np.newaxis, :]
+        seg = segment_around(x, center=98, window=20)
+        assert seg[0, -1] == 99.0
+        assert seg.shape == (1, 20)
+
+    def test_multichannel(self):
+        x = np.random.default_rng(0).normal(size=(4, 200))
+        seg = segment_around(x, 100, 90)
+        assert seg.shape == (4, 90)
+        assert np.array_equal(seg, x[:, 55:145])
+
+    def test_1d_promoted(self):
+        seg = segment_around(np.arange(50.0), 25, 10)
+        assert seg.shape == (1, 10)
+
+    def test_signal_shorter_than_window(self):
+        with pytest.raises(SegmentationError):
+            segment_around(np.zeros((1, 50)), 25, 90)
+
+    def test_center_out_of_range(self):
+        with pytest.raises(SegmentationError):
+            segment_around(np.zeros((1, 100)), 150, 10)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            segment_around(np.zeros((1, 100)), 50, 0)
+
+    @given(
+        st.integers(min_value=10, max_value=200),
+        st.integers(min_value=0, max_value=199),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_always_exact_and_contiguous(self, n, center, window):
+        if center >= n or window > n:
+            return
+        x = np.arange(float(n))[np.newaxis, :]
+        seg = segment_around(x, center, window)
+        assert seg.shape == (1, window)
+        # Contiguity: the values are consecutive integers.
+        assert np.allclose(np.diff(seg[0]), 1.0)
+        # The center is inside the chosen window (by construction).
+        assert seg[0, 0] <= center <= seg[0, -1]

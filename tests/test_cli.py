@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig9"])
+        assert args.id == "fig9"
+        assert args.scale == "smoke"
+
+    def test_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--user", "2", "--pin", "3570", "--two-handed"]
+        )
+        assert args.user == 2
+        assert args.pin == "3570"
+        assert args.two_handed
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "tab1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "inter/intra ratio" in out
+
+    def test_simulate_to_file(self, tmp_path, capsys):
+        path = tmp_path / "trial.csv"
+        assert main(["simulate", "--out", str(path), "--pin", "1628"]) == 0
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("time,")
+        assert len(lines) > 100
+        err = capsys.readouterr().err
+        assert "pin=1628" in err
+        assert err.count("# key") == 4
+
+    def test_simulate_stdout(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time,")

@@ -1,0 +1,122 @@
+"""Unit tests for the configuration objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    PAPER_PINS,
+    PipelineConfig,
+    ProtocolConfig,
+    SimulationConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = SimulationConfig()
+        assert config.fs == 100.0
+        assert config.accel_fs == 75.0
+        assert config.inter_key_interval == pytest.approx(1.1)
+
+    def test_artifacts_dominate_heartbeat(self):
+        # Section III: keystrokes produce larger peaks than heartbeats.
+        config = SimulationConfig()
+        assert config.artifact_amplitude_range[0] > config.pulse_amplitude
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("fs", 0.0),
+            ("accel_fs", -1.0),
+            ("heart_rate_range", (0.0, 80.0)),
+            ("heart_rate_range", (90.0, 60.0)),
+            ("artifact_amplitude_range", (-1.0, 2.0)),
+            ("inter_key_interval", 0.0),
+            ("timestamp_jitter", -0.1),
+            ("adc_bits", 1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SimulationConfig(), **{field: value})
+
+
+class TestPipelineConfig:
+    def test_paper_constants(self):
+        config = PipelineConfig()
+        assert config.calibration_window == 30
+        assert config.energy_window == 20
+        assert config.energy_threshold_ratio == 0.5
+        assert config.segment_window == 90
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("fs", 0.0),
+            ("median_kernel", 4),
+            ("median_kernel", -3),
+            ("sg_window", 10),
+            ("sg_window", 3),
+            ("calibration_window", 1),
+            ("detrend_lambda", 0.0),
+            ("energy_window", 0),
+            ("energy_threshold_ratio", 0.0),
+            ("energy_threshold_ratio", 1.0),
+            ("segment_window", 2),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(PipelineConfig(), **{field: value})
+
+    def test_scaled_to_halves_windows(self):
+        scaled = PipelineConfig().scaled_to(50.0)
+        assert scaled.fs == 50.0
+        assert scaled.calibration_window == 15
+        assert scaled.energy_window == 10
+        assert scaled.segment_window == 45
+
+    def test_scaled_to_keeps_windows_odd_where_required(self):
+        scaled = PipelineConfig().scaled_to(30.0)
+        assert scaled.median_kernel % 2 == 1
+        assert scaled.sg_window % 2 == 1
+        assert scaled.sg_window > scaled.sg_polyorder
+
+    def test_scaled_to_identity(self):
+        config = PipelineConfig()
+        assert config.scaled_to(100.0) == config
+
+    def test_scaled_to_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig().scaled_to(0.0)
+
+
+class TestProtocolConfig:
+    def test_paper_protocol(self):
+        config = ProtocolConfig()
+        assert config.n_users == 15
+        assert config.pins == PAPER_PINS
+        assert config.enroll_samples == 9
+        assert config.third_party_samples == 100
+        assert config.random_attack_entries == 150
+        assert config.n_attackers == 4
+
+    def test_paper_pins_are_the_study_pins(self):
+        assert PAPER_PINS == ("1628", "3570", "5094", "6938", "7412")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_users", 1),
+            ("pins", ()),
+            ("pins", ("12a4",)),
+            ("repetitions", 1),
+            ("enroll_samples", 0),
+            ("third_party_samples", -1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(ProtocolConfig(), **{field: value})

@@ -1,0 +1,37 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    EnrollmentError,
+    NotFittedError,
+    P2AuthError,
+    SegmentationError,
+    SignalError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        ConfigurationError,
+        SignalError,
+        SegmentationError,
+        EnrollmentError,
+        AuthenticationError,
+        NotFittedError,
+    ],
+)
+def test_all_errors_derive_from_base(exc):
+    assert issubclass(exc, P2AuthError)
+
+
+def test_segmentation_is_a_signal_error():
+    assert issubclass(SegmentationError, SignalError)
+
+
+def test_base_catches_everything():
+    with pytest.raises(P2AuthError):
+        raise SegmentationError("window too large")

@@ -1,0 +1,123 @@
+"""Failure-injection tests: corrupt inputs must never authenticate.
+
+For an authentication system the failure mode that matters is silent
+*acceptance* of garbage. These tests feed broken trials — saturated
+ADC, NaNs, dead channels, dropped events, mismatched sampling rates —
+through the full stack and assert the system either raises a typed
+error or rejects; it must never accept.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import P2AuthError
+from repro.types import KeystrokeEvent, PinEntryTrial, PPGRecording
+
+PIN = "1628"
+
+
+def _corrupt_recording(trial, samples):
+    recording = trial.recording.with_samples(samples)
+    return dataclasses.replace(trial, recording=recording)
+
+
+def _authenticate_never_accepts(auth, trial):
+    """Corrupt input: a typed error or a rejection, never an accept."""
+    try:
+        decision = auth.authenticate(trial)
+    except P2AuthError:
+        return
+    assert not decision.accepted
+
+
+class TestCorruptSignals:
+    def test_saturated_adc(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        saturated = np.full_like(trial.recording.samples, 24.0)
+        _authenticate_never_accepts(
+            enrolled_auth, _corrupt_recording(trial, saturated)
+        )
+
+    def test_all_zero_signal(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        zeros = np.zeros_like(trial.recording.samples)
+        _authenticate_never_accepts(enrolled_auth, _corrupt_recording(trial, zeros))
+
+    def test_nan_burst(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        corrupted = trial.recording.samples.copy()
+        corrupted[:, 100:140] = np.nan
+        _authenticate_never_accepts(
+            enrolled_auth, _corrupt_recording(trial, corrupted)
+        )
+
+    def test_pure_noise_replacement(self, enrolled_auth, study_data, rng):
+        """An attacker substituting a noise stream must be rejected."""
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        noise = rng.normal(0.0, 1.0, size=trial.recording.samples.shape)
+        _authenticate_never_accepts(enrolled_auth, _corrupt_recording(trial, noise))
+
+    def test_replayed_third_party_trial(self, enrolled_auth, study_data):
+        """Replaying someone else's capture with the right PIN fails."""
+        other = study_data.trials(3, PIN, "one_handed", 1)[0]
+        decision = enrolled_auth.authenticate(other)
+        assert not decision.accepted
+
+
+class TestStructuralCorruption:
+    def test_wrong_sampling_rate(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        recording = PPGRecording(
+            samples=trial.recording.samples,
+            fs=50.0,
+            channels=trial.recording.channels,
+        )
+        bad = dataclasses.replace(trial, recording=recording)
+        with pytest.raises(P2AuthError):
+            enrolled_auth.authenticate(bad)
+
+    def test_wrong_channel_count(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        sub = dataclasses.replace(
+            trial, recording=trial.recording.select_channels([0, 1])
+        )
+        _authenticate_never_accepts(enrolled_auth, sub)
+
+    def test_events_outside_recording(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        shifted = tuple(
+            KeystrokeEvent(
+                key=e.key,
+                true_time=e.true_time,
+                reported_time=e.reported_time + 100.0,
+                hand=e.hand,
+            )
+            for e in trial.events
+        )
+        bad = dataclasses.replace(trial, events=shifted)
+        _authenticate_never_accepts(enrolled_auth, bad)
+
+    def test_truncated_recording(self, enrolled_auth, study_data):
+        trial = study_data.trials(0, PIN, "one_handed", 1)[0]
+        truncated = _corrupt_recording(trial, trial.recording.samples[:, :120])
+        _authenticate_never_accepts(enrolled_auth, truncated)
+
+
+class TestDeadChannels:
+    def test_one_dead_channel_still_usable(self, enrolled_auth, study_data):
+        """A single dead (constant) channel degrades but must not crash."""
+        accepted = []
+        for trial in study_data.trials(0, PIN, "one_handed", 10)[7:]:
+            corrupted = trial.recording.samples.copy()
+            corrupted[3] = 0.0
+            try:
+                decision = enrolled_auth.authenticate(
+                    _corrupt_recording(trial, corrupted)
+                )
+                accepted.append(decision.accepted)
+            except P2AuthError:
+                accepted.append(False)
+        # No crash; decisions were produced (either way) for all probes.
+        assert len(accepted) == 3

@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole system.
+
+These cover the full Fig. 4 workflow — simulator, sensing, pipeline,
+enrollment, authentication, and attacks — at a small but meaningful
+scale, asserting the *relationships* the paper's evaluation rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import P2Auth, PAPER_PINS
+from repro.core import EnrollmentOptions
+from repro.data import StudyData, ThirdPartyStore
+
+PIN = PAPER_PINS[0]
+FEATURES = 840
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = StudyData(n_users=8, seed=77)
+    store = ThirdPartyStore(data, [1, 2, 3, 4], PIN)
+    return data, store
+
+
+def _enroll(data, store, **options):
+    auth = P2Auth(
+        pin=PIN,
+        options=EnrollmentOptions(num_features=FEATURES, **options),
+    )
+    auth.enroll(data.trials(0, PIN, "one_handed", 7), store.sample(28))
+    return auth
+
+
+class TestAuthenticationRelationships:
+    def test_legit_beats_every_attacker(self, world):
+        data, store = world
+        auth = _enroll(data, store)
+        legit = np.mean(
+            [
+                auth.authenticate(t).accepted
+                for t in data.trials(0, PIN, "one_handed", 12)[7:]
+            ]
+        )
+        emulating = np.mean(
+            [
+                auth.authenticate(t).accepted
+                for t in data.emulating_trials(6, 0, PIN, 8)
+            ]
+        )
+        random_attack = np.mean(
+            [
+                auth.authenticate(t).accepted
+                for t in data.random_attack_trials(7, 8, pin_pool=(PIN,))
+            ]
+        )
+        assert legit >= 0.6
+        assert emulating <= 0.25
+        assert random_attack <= 0.25
+        assert legit > max(emulating, random_attack)
+
+    def test_wrong_pin_always_rejected_regardless_of_biometrics(self, world):
+        data, store = world
+        auth = _enroll(data, store)
+        # Even the legitimate user fails with a wrong PIN claim.
+        trial = data.trials(0, PIN, "one_handed", 8)[7]
+        assert not auth.authenticate(trial, claimed_pin="0000").accepted
+
+    def test_two_handed_cases_work_end_to_end(self, world):
+        data, store = world
+        auth = _enroll(data, store)
+        for condition in ("double3", "double2"):
+            accepted = [
+                auth.authenticate(t).accepted
+                for t in data.trials(0, PIN, condition, 6)
+            ]
+            assert np.mean(accepted) >= 0.5, condition
+
+    def test_privacy_boost_trades_accuracy_for_template_hiding(self, world):
+        data, store = world
+        plain = _enroll(data, store)
+        boost = _enroll(data, store, privacy_boost=True)
+        probes = data.trials(0, PIN, "one_handed", 15)[7:]
+        acc_plain = np.mean([plain.authenticate(t).accepted for t in probes])
+        acc_boost = np.mean([boost.authenticate(t).accepted for t in probes])
+        # Fusion may cost accuracy (Fig. 10) but must stay usable.
+        assert acc_boost >= 0.5
+        assert acc_plain >= acc_boost - 0.15
+
+    def test_attackers_rejected_under_privacy_boost(self, world):
+        data, store = world
+        auth = _enroll(data, store, privacy_boost=True)
+        emulating = [
+            auth.authenticate(t).accepted
+            for t in data.emulating_trials(5, 0, PIN, 8)
+        ]
+        assert np.mean(emulating) <= 0.25
+
+
+class TestCrossUserSymmetry:
+    def test_models_are_user_specific(self, world):
+        """Each user's model scores its owner above other users.
+
+        Compared on mean decision scores over several probes — at this
+        tiny training scale a single thresholded probe can flip (the
+        paper itself reports 98% TRR, not 100%), but the score
+        ordering must hold on average across users.
+        """
+        data, _ = world
+        margins = []
+        for victim in (0, 1, 2):
+            imposters = [u for u in (0, 1, 2) if u != victim]
+            store = ThirdPartyStore(data, [3, 4, 5], PIN)
+            auth = P2Auth(
+                pin=PIN, options=EnrollmentOptions(num_features=FEATURES)
+            )
+            auth.enroll(
+                data.trials(victim, PIN, "one_handed", 7), store.sample(24)
+            )
+            own_scores = [
+                auth.authenticate(t).scores[0]
+                for t in data.trials(victim, PIN, "one_handed", 13)[7:]
+            ]
+            other_scores = [
+                auth.authenticate(t).scores[0]
+                for u in imposters
+                for t in data.trials(u, PIN, "one_handed", 4)
+            ]
+            margins.append(np.mean(own_scores) - np.mean(other_scores))
+        # Every victim separates on average, and the population-level
+        # margin is clearly positive.
+        assert np.mean(margins) > 0.2
+        assert sum(m > 0 for m in margins) >= 2

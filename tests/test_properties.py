@@ -1,0 +1,96 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module property tests with system-level
+invariants: recording time arithmetic, rhythm positivity, artifact
+linearity, and the stability guarantees the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimulationConfig
+from repro.physio import TrialSynthesizer, sample_user
+from repro.physio.artifacts import ArtifactResponseField
+from repro.physio.keypad import key_position
+from repro.types import PIN_PAD_KEYS, PPGRecording
+
+pins = st.text(alphabet="0123456789", min_size=1, max_size=6)
+
+
+class TestRecordingInvariants:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_index_inverts_time_axis(self, n, fs, start):
+        rec = PPGRecording(
+            samples=np.zeros((4, n)), fs=fs, start_time=start
+        )
+        axis = rec.time_axis()
+        for i in (0, n // 2, n - 1):
+            assert rec.sample_index(float(axis[i])) == i
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_duration_consistent(self, n):
+        rec = PPGRecording(samples=np.zeros((4, n)), fs=100.0)
+        assert rec.duration * rec.fs == pytest.approx(n)
+
+
+class TestRhythmInvariants:
+    @given(pins, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_intervals_always_positive(self, pin, seed):
+        rng = np.random.default_rng(seed)
+        user = sample_user(0, np.random.default_rng(1))
+        gaps = user.rhythm.intervals(pin, SimulationConfig(), rng)
+        assert gaps.shape == (len(pin) - 1,)
+        assert np.all(gaps > 0)
+
+
+class TestTrialInvariants:
+    @given(pins.filter(lambda p: len(p) >= 2), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_trial_structure_for_any_pin(self, pin, seed):
+        synth = TrialSynthesizer()
+        user = sample_user(0, np.random.default_rng(2))
+        trial = synth.synthesize_trial(user, pin, np.random.default_rng(seed))
+        assert trial.pin == pin
+        assert len(trial.events) == len(pin)
+        times = [e.true_time for e in trial.events]
+        assert times == sorted(times)
+        assert trial.recording.duration > times[-1]
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_trial_for_any_user_seed(self, user_seed):
+        synth = TrialSynthesizer()
+        user = sample_user(0, np.random.default_rng(user_seed))
+        a = synth.synthesize_trial(user, "1628", np.random.default_rng(5))
+        b = synth.synthesize_trial(user, "1628", np.random.default_rng(5))
+        assert np.array_equal(a.recording.samples, b.recording.samples)
+
+
+class TestArtifactFieldInvariants:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_every_key_has_physical_parameters(self, seed):
+        field = ArtifactResponseField.sample(
+            np.random.default_rng(seed), SimulationConfig()
+        )
+        for key in PIN_PAD_KEYS:
+            for component in ("mechanical", "vascular"):
+                params = field.params_for(key, component)
+                assert params.amplitude >= 0
+                assert params.peak_width > 0
+                assert params.trough_width > 0
+                assert params.osc_decay > 0
+
+    def test_key_positions_bounded(self):
+        for key in PIN_PAD_KEYS:
+            x, y = key_position(key)
+            assert -1.0 <= x <= 1.0
+            assert -1.0 <= y <= 1.0

@@ -1,0 +1,72 @@
+"""Public API surface contracts.
+
+Every name promised by an ``__all__`` must resolve, and the top-level
+package must re-export the documented entry points. These tests catch
+broken re-exports before a user does.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.data",
+    "repro.eval",
+    "repro.features",
+    "repro.ml",
+    "repro.physio",
+    "repro.sensing",
+    "repro.signal",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_top_level_entry_points():
+    import repro
+
+    for name in (
+        "P2Auth",
+        "TrialSynthesizer",
+        "sample_population",
+        "PinEntryTrial",
+        "AuthDecision",
+        "SimulationConfig",
+        "PipelineConfig",
+        "ProtocolConfig",
+        "P2AuthError",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_is_a_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_error_hierarchy_exported_consistently():
+    import repro
+    from repro import errors
+
+    assert repro.P2AuthError is errors.P2AuthError
+    assert issubclass(repro.SignalError, repro.P2AuthError)
+
+
+def test_docstrings_on_public_callables():
+    """Every public callable in the top-level namespace is documented."""
+    import repro
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"

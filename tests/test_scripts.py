@@ -1,0 +1,42 @@
+"""Tests for the repository scripts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.fixture(scope="module")
+def run_experiments():
+    spec = importlib.util.spec_from_file_location(
+        "run_experiments", SCRIPTS / "run_experiments.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunExperimentsScript:
+    def test_unknown_experiment_exits_2(self, run_experiments, capsys):
+        code = run_experiments.main(["--only", "fig99", "--scale", "smoke"])
+        assert code == 2
+
+    def test_single_experiment_markdown(self, run_experiments, tmp_path):
+        out = tmp_path / "results.md"
+        code = run_experiments.main(
+            ["--only", "fig9", "--scale", "smoke", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("## Measured results")
+        assert "Fig. 9" in text
+        assert "| pair | rms distance |" in text
+
+    def test_stdout_mode(self, run_experiments, capsys):
+        code = run_experiments.main(["--only", "fig9", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### Fig. 9" in out

@@ -1,0 +1,194 @@
+"""Unit tests for the core data types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import (
+    AccelRecording,
+    ChannelInfo,
+    Hand,
+    KeystrokeEvent,
+    LabeledWaveform,
+    PinEntryTrial,
+    PPGRecording,
+    PROTOTYPE_CHANNELS,
+    SegmentedKeystroke,
+    Wavelength,
+)
+
+
+def _recording(n_channels=4, n=100, fs=100.0):
+    return PPGRecording(samples=np.zeros((n_channels, n)), fs=fs)
+
+
+class TestChannelInfo:
+    def test_label(self):
+        info = ChannelInfo(sensor_site=1, wavelength=Wavelength.RED)
+        assert info.label == "s1/red"
+
+    def test_prototype_has_four_channels(self):
+        assert len(PROTOTYPE_CHANNELS) == 4
+
+    def test_prototype_covers_both_sites_and_wavelengths(self):
+        sites = {c.sensor_site for c in PROTOTYPE_CHANNELS}
+        wavelengths = {c.wavelength for c in PROTOTYPE_CHANNELS}
+        assert sites == {0, 1}
+        assert wavelengths == {Wavelength.RED, Wavelength.INFRARED}
+
+
+class TestPPGRecording:
+    def test_basic_properties(self):
+        rec = _recording(4, 250, 100.0)
+        assert rec.n_channels == 4
+        assert rec.n_samples == 250
+        assert rec.duration == pytest.approx(2.5)
+
+    def test_1d_input_promoted_to_single_channel(self):
+        rec = PPGRecording(
+            samples=np.zeros(50), fs=100.0, channels=PROTOTYPE_CHANNELS[:1]
+        )
+        assert rec.samples.shape == (1, 50)
+
+    def test_channel_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PPGRecording(samples=np.zeros((2, 50)), fs=100.0)
+
+    def test_non_positive_fs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _recording(fs=0.0)
+
+    def test_3d_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PPGRecording(samples=np.zeros((2, 3, 4)), fs=100.0)
+
+    def test_time_axis(self):
+        rec = PPGRecording(
+            samples=np.zeros((4, 10)), fs=10.0, start_time=1.0
+        )
+        axis = rec.time_axis()
+        assert axis[0] == pytest.approx(1.0)
+        assert axis[-1] == pytest.approx(1.9)
+
+    def test_sample_index_round_trip(self):
+        rec = _recording(n=200)
+        assert rec.sample_index(0.5) == 50
+
+    def test_sample_index_out_of_range(self):
+        rec = _recording(n=100)
+        with pytest.raises(ConfigurationError):
+            rec.sample_index(5.0)
+        with pytest.raises(ConfigurationError):
+            rec.sample_index(-0.5)
+
+    def test_select_channels(self):
+        rec = _recording()
+        sub = rec.select_channels([0, 2])
+        assert sub.n_channels == 2
+        assert sub.channels == (PROTOTYPE_CHANNELS[0], PROTOTYPE_CHANNELS[2])
+
+    def test_select_channels_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _recording().select_channels([])
+
+    def test_with_samples_keeps_layout(self):
+        rec = _recording(4, 100)
+        new = rec.with_samples(np.ones((4, 100)))
+        assert new.channels == rec.channels
+        assert np.all(new.samples == 1.0)
+
+
+class TestAccelRecording:
+    def test_properties(self):
+        rec = AccelRecording(samples=np.zeros((3, 75)), fs=75.0)
+        assert rec.n_samples == 75
+        assert rec.duration == pytest.approx(1.0)
+
+    def test_wrong_axis_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccelRecording(samples=np.zeros((2, 75)), fs=75.0)
+
+    def test_non_positive_fs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccelRecording(samples=np.zeros((3, 75)), fs=0.0)
+
+
+class TestKeystrokeEvent:
+    def test_valid_event(self):
+        event = KeystrokeEvent(key="5", true_time=1.0, reported_time=1.1)
+        assert event.hand is Hand.LEFT
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeystrokeEvent(key="a", true_time=0.0, reported_time=0.0)
+
+
+class TestPinEntryTrial:
+    def _events(self, pin):
+        return tuple(
+            KeystrokeEvent(key=d, true_time=float(i), reported_time=float(i))
+            for i, d in enumerate(pin)
+        )
+
+    def test_valid_trial(self):
+        trial = PinEntryTrial(
+            recording=_recording(n=500),
+            events=self._events("1628"),
+            pin="1628",
+            user_id=0,
+        )
+        assert len(trial.events) == 4
+
+    def test_event_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinEntryTrial(
+                recording=_recording(n=500),
+                events=self._events("162"),
+                pin="1628",
+                user_id=0,
+            )
+
+    def test_event_key_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinEntryTrial(
+                recording=_recording(n=500),
+                events=self._events("1629"),
+                pin="1628",
+                user_id=0,
+            )
+
+    def test_watch_hand_events(self):
+        events = list(self._events("1628"))
+        events[1] = KeystrokeEvent(
+            key="6", true_time=1.0, reported_time=1.0, hand=Hand.RIGHT
+        )
+        trial = PinEntryTrial(
+            recording=_recording(n=500),
+            events=tuple(events),
+            pin="1628",
+            user_id=0,
+            one_handed=False,
+        )
+        assert [e.key for e in trial.watch_hand_events] == ["1", "2", "8"]
+
+
+class TestSegmentedKeystroke:
+    def test_properties(self):
+        seg = SegmentedKeystroke(
+            samples=np.zeros((4, 90)), key="1", center_index=50, fs=100.0
+        )
+        assert seg.n_channels == 4
+        assert seg.window == 90
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentedKeystroke(
+                samples=np.zeros(90), key="1", center_index=50, fs=100.0
+            )
+
+
+class TestLabeledWaveform:
+    def test_1d_promoted(self):
+        wf = LabeledWaveform(samples=np.zeros(90), user_id=3)
+        assert wf.samples.shape == (1, 90)
+        assert wf.key is None
