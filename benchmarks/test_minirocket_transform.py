@@ -1,0 +1,50 @@
+"""Benchmark the MiniRocket transform engines against the reference loop.
+
+Runs the same harness as ``scripts/bench_transform.py`` under
+pytest-benchmark: the reference per-kernel loop, the vectorized NumPy
+engine, and (when a C compiler is available) the compiled kernel, on
+identical inputs. ``REPRO_BENCH_SCALE=smoke`` selects the small smoke
+case; other scales run the paper-shaped cases.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from pathlib import Path
+
+from .conftest import run_once
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_transform.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_transform", _SCRIPT)
+bench_transform = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_transform)
+
+
+def _cases():
+    if os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "smoke":
+        return bench_transform.SMOKE_CASES
+    return bench_transform.FULL_CASES
+
+
+def test_minirocket_transform_engines(benchmark, report):
+    case = run_once(benchmark, bench_transform.bench_case, *_cases()[0])
+
+    lines = [f"MiniRocket transform — case {case['case']}"]
+    for engine, stats in case["transform"].items():
+        exact = "" if engine == "reference" else f"  exact={stats['exact']}"
+        lines.append(f"  {engine:10s} {stats['best_s'] * 1e3:8.1f} ms{exact}")
+    lines.append(
+        f"  default engine: {case['default_engine']} "
+        f"({case['speedup']:.1f}x over reference)"
+    )
+    report("\n".join(lines))
+
+    # Every fast engine must reproduce the reference loop bit-for-bit.
+    for engine, stats in case["transform"].items():
+        if engine != "reference":
+            assert stats["exact"], f"{engine} engine diverged from reference"
+    # The default path must not be slower than the loop it replaced.
+    assert case["speedup"] >= 1.0

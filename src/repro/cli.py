@@ -49,7 +49,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"choose from: {', '.join(runners)} or 'all'", file=sys.stderr)
         return 2
     for name in names:
-        result = runners[name](scale)
+        result = runners[name](scale, n_jobs=args.jobs)
         print(result)
         print()
     return 0
@@ -151,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "default", "paper"),
         default="smoke",
         help="evaluation scale (default: smoke)",
+    )
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for evaluation fan-out "
+        "(default: REPRO_N_JOBS or 1; 0 = all cores)",
     )
     exp.set_defaults(func=_cmd_experiment)
 

@@ -43,6 +43,8 @@ class PreprocessedTrial:
             energy around the calibrated index exceeds the threshold.
         energy_threshold: the threshold used (1/2 of the mean
             short-time energy by default).
+        config: the pipeline configuration the trial was preprocessed
+            with; supplies the default segment window.
     """
 
     trial: PinEntryTrial
@@ -52,6 +54,7 @@ class PreprocessedTrial:
     keystroke_indices: Tuple[int, ...]
     keystroke_detected: Tuple[bool, ...]
     energy_threshold: float
+    config: Optional[PipelineConfig] = None
 
     @property
     def detected_count(self) -> int:
@@ -67,13 +70,19 @@ class PreprocessedTrial:
 
         Args:
             position: 0-based index into the typed PIN.
-            window: segment length; defaults to 90 samples.
+            window: segment length; ``None`` (the default) uses the
+                ``segment_window`` of the config the trial was
+                preprocessed with. An explicit value — including an
+                invalid one like 0, which ``segment_around`` rejects —
+                is passed through untouched.
         """
         if not 0 <= position < len(self.trial.pin):
             raise SignalError(
                 f"position {position} outside PIN of length {len(self.trial.pin)}"
             )
-        window = window or 90
+        if window is None:
+            config = self.config if self.config is not None else PipelineConfig()
+            window = config.segment_window
         center = self.keystroke_indices[position]
         samples = segment_around(self.detrended, center, window)
         return SegmentedKeystroke(
@@ -135,4 +144,5 @@ def preprocess_trial(
         keystroke_indices=tuple(int(i) for i in indices),
         keystroke_detected=detected,
         energy_threshold=threshold,
+        config=config,
     )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace as dc_replace
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..ml import KNNClassifier, ResNet1DClassifier, RidgeClassifier, RNNFNNClass
 from ..signal import decimate_recording
 from ..types import PinEntryTrial
 from .baselines import AccelerometerPipeline, ShangThresholdBaseline
+from .parallel import run_tasks
 from .profiling import profile_call
 from .protocol import evaluate_user
 from .reporting import format_table
@@ -149,23 +151,54 @@ class ExperimentResult:
 TrialTransform = Callable[[PinEntryTrial], PinEntryTrial]
 
 
+# Trial transforms are module-level classes (not closures) so that
+# evaluation tasks carrying them stay picklable for the process pool.
+
+
+@dataclass(frozen=True)
+class ChannelSubset:
+    """Transform keeping only the given PPG channel rows."""
+
+    indices: Tuple[int, ...]
+
+    def __call__(self, trial: PinEntryTrial) -> PinEntryTrial:
+        return dc_replace(
+            trial, recording=trial.recording.select_channels(list(self.indices))
+        )
+
+
+@dataclass(frozen=True)
+class DecimateTo:
+    """Transform resampling the PPG recording to ``fs`` Hz."""
+
+    fs: float
+
+    def __call__(self, trial: PinEntryTrial) -> PinEntryTrial:
+        return dc_replace(
+            trial, recording=decimate_recording(trial.recording, self.fs)
+        )
+
+
+@dataclass(frozen=True)
+class ComposedTransform:
+    """Apply several trial transforms in sequence."""
+
+    steps: Tuple[TrialTransform, ...]
+
+    def __call__(self, trial: PinEntryTrial) -> PinEntryTrial:
+        for step in self.steps:
+            trial = step(trial)
+        return trial
+
+
 def channel_subset(indices: Sequence[int]) -> TrialTransform:
     """Transform keeping only the given PPG channel rows."""
-    indices = list(indices)
-
-    def transform(trial: PinEntryTrial) -> PinEntryTrial:
-        return dc_replace(trial, recording=trial.recording.select_channels(indices))
-
-    return transform
+    return ChannelSubset(indices=tuple(indices))
 
 
 def decimate_to(fs: float) -> TrialTransform:
     """Transform resampling the PPG recording to ``fs`` Hz."""
-
-    def transform(trial: PinEntryTrial) -> PinEntryTrial:
-        return dc_replace(trial, recording=decimate_recording(trial.recording, fs))
-
-    return transform
+    return DecimateTo(fs=fs)
 
 
 def _study(scale: ExperimentScale, include_accel: bool = False) -> StudyData:
@@ -178,20 +211,9 @@ def _mean(values: Sequence[float]) -> float:
     return float(np.mean(list(values)))
 
 
-def _evaluate_all(
-    data: StudyData,
-    scale: ExperimentScale,
-    pin: str = PAPER_PINS[0],
-    victims: Optional[Sequence[int]] = None,
-    **kwargs,
-):
-    """Evaluate every victim under one condition and return the list.
-
-    Keyword arguments override the scale's defaults and are forwarded
-    to :func:`repro.eval.protocol.evaluate_user`.
-    """
-    victims = list(victims if victims is not None else scale.victim_ids)
-    params = dict(
+def _task_params(scale: ExperimentScale, **kwargs) -> Dict[str, object]:
+    """The scale's ``evaluate_user`` defaults, overridden by ``kwargs``."""
+    params: Dict[str, object] = dict(
         attacker_ids=scale.attacker_ids,
         enroll_n=scale.enroll_n,
         test_n=scale.test_n,
@@ -201,14 +223,65 @@ def _evaluate_all(
         num_features=scale.num_features,
     )
     params.update(kwargs)
-    return [evaluate_user(data, victim, pin, **params) for victim in victims]
+    return params
+
+
+def _evaluate_all(
+    data: StudyData,
+    scale: ExperimentScale,
+    pin: str = PAPER_PINS[0],
+    victims: Optional[Sequence[int]] = None,
+    n_jobs: Optional[int] = None,
+    **kwargs,
+):
+    """Evaluate every victim under one condition and return the list.
+
+    Keyword arguments override the scale's defaults and are forwarded
+    to :func:`repro.eval.protocol.evaluate_user`. ``n_jobs`` fans the
+    victims out over a process pool; results match a serial run.
+    """
+    victims = list(victims if victims is not None else scale.victim_ids)
+    params = _task_params(scale, **kwargs)
+    tasks = [
+        partial(evaluate_user, data, victim, pin, **params) for victim in victims
+    ]
+    return run_tasks(tasks, n_jobs=n_jobs)
+
+
+def _evaluate_cases(
+    data: StudyData,
+    scale: ExperimentScale,
+    cases: Sequence[Tuple[object, Dict[str, object]]],
+    pin: str = PAPER_PINS[0],
+    n_jobs: Optional[int] = None,
+):
+    """Evaluate several ``(label, kwargs)`` cases over all victims.
+
+    The case x victim grid is flattened into one task list so a single
+    process pool covers the whole sweep — there are no nested pools and
+    workers stay busy even when cases outnumber victims. Results come
+    back regrouped per case, in input order.
+    """
+    victims = list(scale.victim_ids)
+    tasks = []
+    for _label, kwargs in cases:
+        params = _task_params(scale, **kwargs)
+        tasks.extend(
+            partial(evaluate_user, data, victim, pin, **params)
+            for victim in victims
+        )
+    flat = run_tasks(tasks, n_jobs=n_jobs)
+    n = len(victims)
+    return [flat[i * n : (i + 1) * n] for i in range(len(cases))]
 
 
 # ---------------------------------------------------------------------------
 # Fig. 8 — overall performance of privacy boost, per volunteer
 # ---------------------------------------------------------------------------
 
-def run_fig8(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig8(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """Per-volunteer accuracy and TRR with waveform fusion enabled.
 
     Paper: average accuracy ~83% across 12 volunteers, TRR close to or
@@ -216,7 +289,7 @@ def run_fig8(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     (volunteer 11).
     """
     data = _study(scale)
-    results = _evaluate_all(data, scale, privacy_boost=True)
+    results = _evaluate_all(data, scale, privacy_boost=True, n_jobs=n_jobs)
     rows = []
     for r in results:
         trr = _mean([r.trr_random, r.trr_emulating])
@@ -238,8 +311,17 @@ def run_fig8(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 9 — PPG samples for PIN "1648" across users (qualitative)
 # ---------------------------------------------------------------------------
 
-def run_fig9(scale: ExperimentScale = DEFAULT, pin: str = "1648") -> ExperimentResult:
+def run_fig9(
+    scale: ExperimentScale = DEFAULT,
+    pin: str = "1648",
+    *,
+    n_jobs: Optional[int] = None,
+) -> ExperimentResult:
     """Quantitative stand-in for the paper's waveform plot.
+
+    ``n_jobs`` is accepted for a uniform runner signature but unused:
+    this qualitative analysis is light enough that pool start-up would
+    dominate.
 
     The figure's message is that, for the same PIN, each user's
     keystroke waveforms look alike across repetitions while differing
@@ -313,7 +395,9 @@ def run_fig9(scale: ExperimentScale = DEFAULT, pin: str = "1648") -> ExperimentR
 # Fig. 10 — authentication accuracy for the five cases + attack TRR
 # ---------------------------------------------------------------------------
 
-def run_fig10(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig10(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """The paper's headline figure: five input cases and two attacks.
 
     Paper: one-handed ~98%, privacy boost ~83%, double-3 ~88%,
@@ -328,12 +412,12 @@ def run_fig10(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
         ("double-2", dict(condition="double2")),
         ("no-PIN", dict(no_pin=True, ra_pin_pool=None)),
     ]
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
     rows = []
     accuracies = []
     trr_ra_all: List[float] = []
     trr_ea_all: List[float] = []
-    for label, kwargs in cases:
-        results = _evaluate_all(data, scale, **kwargs)
+    for (label, _kwargs), results in zip(cases, per_case):
         acc = _mean([r.accuracy for r in results])
         trr_ra = _mean([r.trr_random for r in results])
         trr_ea = _mean([r.trr_emulating for r in results])
@@ -364,17 +448,20 @@ def run_fig10(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 11 — comparison with the manual feature extraction method
 # ---------------------------------------------------------------------------
 
-def run_fig11(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig11(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """ROCKET pipeline vs the Shang-style threshold-DTW baseline.
 
     Paper: the manual baseline reaches only ~0.62 accuracy on keystroke
-    data while P2Auth clearly wins on both accuracy and TRR.
+    data while P2Auth clearly wins on both accuracy and TRR. The DTW
+    baseline loop stays serial — it is cheap next to the ROCKET runs.
     """
     data = _study(scale)
     config = PipelineConfig()
     pin = PAPER_PINS[0]
 
-    rocket = _evaluate_all(data, scale)
+    rocket = _evaluate_all(data, scale, n_jobs=n_jobs)
     rocket_acc = _mean([r.accuracy for r in rocket])
     rocket_trr = _mean(
         [_mean([r.trr_random, r.trr_emulating]) for r in rocket]
@@ -421,7 +508,9 @@ def run_fig11(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 12 — comparison with the accelerometer-based method
 # ---------------------------------------------------------------------------
 
-def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig12(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """PPG vs accelerometer under the same ROCKET pipeline.
 
     Paper: typing is nearly static, so wrist acceleration barely
@@ -431,7 +520,7 @@ def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     data = _study(scale, include_accel=True)
     pin = PAPER_PINS[0]
 
-    ppg = _evaluate_all(data, scale)
+    ppg = _evaluate_all(data, scale, n_jobs=n_jobs)
     ppg_acc = _mean([r.accuracy for r in ppg])
     ppg_trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in ppg])
 
@@ -484,11 +573,16 @@ def run_fig12(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Table I — computational and memory overheads
 # ---------------------------------------------------------------------------
 
-def run_table1(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_table1(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """Enrollment/authentication time and memory, ROCKET vs manual.
 
     Paper (Table I): ROCKET enrolls in ~1% of the manual baseline's
-    time and authenticates in ~3%, at comparable memory.
+    time and authenticates in ~3%, at comparable memory. ``n_jobs`` is
+    accepted for a uniform runner signature but unused — this is a
+    timing experiment and concurrent workers would distort the
+    per-pipeline wall times it reports.
     """
     data = _study(scale)
     pin = PAPER_PINS[0]
@@ -545,7 +639,9 @@ def run_table1(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 # Fig. 13 — impact of channels
 # ---------------------------------------------------------------------------
 
-def run_fig13a(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig13a(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """Accuracy/TRR vs number of PPG channels (privacy-boost case).
 
     Paper: accuracy increases significantly with the channel count
@@ -553,15 +649,14 @@ def run_fig13a(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     """
     data = _study(scale)
     subsets = {1: [0], 2: [0, 1], 3: [0, 1, 2], 4: [0, 1, 2, 3]}
+    cases = [
+        (count, dict(privacy_boost=True, transform=channel_subset(indices)))
+        for count, indices in subsets.items()
+    ]
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
     rows = []
     summary: Dict[str, float] = {}
-    for count, indices in subsets.items():
-        results = _evaluate_all(
-            data,
-            scale,
-            privacy_boost=True,
-            transform=channel_subset(indices),
-        )
+    for (count, _kwargs), results in zip(cases, per_case):
         acc = _mean([r.accuracy for r in results])
         trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in results])
         rows.append((count, acc, trr))
@@ -576,7 +671,9 @@ def run_fig13a(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     )
 
 
-def run_fig13b(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig13b(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """Accuracy/TRR of each individual channel.
 
     Paper: infrared channels authenticate better; red channels reject
@@ -584,18 +681,17 @@ def run_fig13b(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
     """
     data = _study(scale)
     labels = ["s0/infrared", "s0/red", "s1/infrared", "s1/red"]
+    cases = [
+        (label, dict(privacy_boost=True, transform=channel_subset([index])))
+        for index, label in enumerate(labels)
+    ]
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
     rows = []
     ir_acc: List[float] = []
     red_acc: List[float] = []
     ir_trr: List[float] = []
     red_trr: List[float] = []
-    for index, label in enumerate(labels):
-        results = _evaluate_all(
-            data,
-            scale,
-            privacy_boost=True,
-            transform=channel_subset([index]),
-        )
+    for (label, _kwargs), results in zip(cases, per_case):
         acc = _mean([r.accuracy for r in results])
         trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in results])
         rows.append((label, acc, trr))
@@ -626,6 +722,8 @@ def run_fig13b(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 def run_fig14(
     scale: ExperimentScale = DEFAULT,
     sizes: Sequence[int] = (5, 10, 20, 60, 100, 200, 300),
+    *,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Accuracy and TRR vs third-party store size.
 
@@ -634,10 +732,11 @@ def run_fig14(
     entries get swamped); 100 is the chosen operating point.
     """
     data = _study(scale)
+    cases = [(size, dict(third_party_n=size)) for size in sizes]
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
     rows = []
     summary: Dict[str, float] = {}
-    for size in sizes:
-        results = _evaluate_all(data, scale, third_party_n=size)
+    for (size, _kwargs), results in zip(cases, per_case):
         acc = _mean([r.accuracy for r in results])
         trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in results])
         rows.append((size, acc, trr))
@@ -656,29 +755,34 @@ def run_fig14(
 # Fig. 15 — impact of the machine-learning model
 # ---------------------------------------------------------------------------
 
-def run_fig15(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+def run_fig15(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> ExperimentResult:
     """ROCKET+ridge vs ResNet, KNN, and RNN-FNN.
 
     Paper: rocket reaches ~0.96 on the complete test data with the
     shortest computation time; the other models may authenticate real
-    users comparably but reject attackers worse.
+    users comparably but reject attackers worse. Models run one after
+    the other (victims fan out within each) so the reported wall time
+    still compares the models fairly. Classifier factories are
+    ``functools.partial`` objects, not lambdas, so tasks pickle.
     """
     data = _study(scale)
     models = [
         ("rocket+ridge", dict(feature_method="rocket",
                               classifier_factory=RidgeClassifier)),
         ("knn", dict(feature_method="rocket",
-                     classifier_factory=lambda: KNNClassifier(k=5))),
+                     classifier_factory=partial(KNNClassifier, k=5))),
         ("resnet", dict(feature_method="raw",
-                        classifier_factory=lambda: ResNet1DClassifier(epochs=50))),
+                        classifier_factory=partial(ResNet1DClassifier, epochs=50))),
         ("rnn-fnn", dict(feature_method="raw",
-                         classifier_factory=lambda: RNNFNNClassifier(epochs=60))),
+                         classifier_factory=partial(RNNFNNClassifier, epochs=60))),
     ]
     rows = []
     summary: Dict[str, float] = {}
     for label, kwargs in models:
         start = time.perf_counter()
-        results = _evaluate_all(data, scale, **kwargs)
+        results = _evaluate_all(data, scale, n_jobs=n_jobs, **kwargs)
         elapsed = time.perf_counter() - start
         acc = _mean([r.accuracy for r in results])
         trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in results])
@@ -702,6 +806,8 @@ def run_fig15(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
 def run_fig16(
     scale: ExperimentScale = DEFAULT,
     rates: Sequence[float] = (30.0, 50.0, 75.0, 100.0),
+    *,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Privacy-boost performance vs PPG sampling rate, four channels.
 
@@ -710,18 +816,24 @@ def run_fig16(
     """
     data = _study(scale)
     base = PipelineConfig()
-    rows = []
-    summary: Dict[str, float] = {}
+    cases = []
     for rate in rates:
         transform = None if rate == base.fs else decimate_to(rate)
         config = base if rate == base.fs else base.scaled_to(rate)
-        results = _evaluate_all(
-            data,
-            scale,
-            privacy_boost=True,
-            transform=transform,
-            pipeline_config=config,
+        cases.append(
+            (
+                rate,
+                dict(
+                    privacy_boost=True,
+                    transform=transform,
+                    pipeline_config=config,
+                ),
+            )
         )
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
+    rows = []
+    summary: Dict[str, float] = {}
+    for (rate, _kwargs), results in zip(cases, per_case):
         acc = _mean([r.accuracy for r in results])
         trr = _mean([_mean([r.trr_random, r.trr_emulating]) for r in results])
         rows.append((int(rate), acc, trr))
@@ -740,39 +852,43 @@ def run_fig17(
     scale: ExperimentScale = DEFAULT,
     rates: Sequence[float] = (30.0, 50.0, 75.0, 100.0),
     channel_counts: Sequence[int] = (1, 2, 3, 4),
+    *,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Accuracy over the sampling rate x channel count grid.
 
     Paper: the system works across the whole grid, and more channels
-    damp the run-to-run variation of the model.
+    damp the run-to-run variation of the model. The full grid flattens
+    into one task pool, so ``n_jobs`` workers stay busy across all
+    rate x channel combinations at once.
     """
     data = _study(scale)
     base = PipelineConfig()
     subsets = {1: [0], 2: [0, 1], 3: [0, 1, 2], 4: [0, 1, 2, 3]}
-    rows = []
-    summary: Dict[str, float] = {}
+    cases = []
     for rate in rates:
         config = base if rate == base.fs else base.scaled_to(rate)
         for count in channel_counts:
-            steps = [channel_subset(subsets[count])]
+            steps: List[TrialTransform] = [channel_subset(subsets[count])]
             if rate != base.fs:
                 steps.append(decimate_to(rate))
-
-            def transform(trial, _steps=tuple(steps)):
-                for step in _steps:
-                    trial = step(trial)
-                return trial
-
-            results = _evaluate_all(
-                data,
-                scale,
-                privacy_boost=True,
-                transform=transform,
-                pipeline_config=config,
+            cases.append(
+                (
+                    (rate, count),
+                    dict(
+                        privacy_boost=True,
+                        transform=ComposedTransform(steps=tuple(steps)),
+                        pipeline_config=config,
+                    ),
+                )
             )
-            acc = _mean([r.accuracy for r in results])
-            rows.append((int(rate), count, acc))
-            summary[f"acc_{int(rate)}hz_{count}ch"] = acc
+    per_case = _evaluate_cases(data, scale, cases, n_jobs=n_jobs)
+    rows = []
+    summary: Dict[str, float] = {}
+    for ((rate, count), _kwargs), results in zip(cases, per_case):
+        acc = _mean([r.accuracy for r in results])
+        rows.append((int(rate), count, acc))
+        summary[f"acc_{int(rate)}hz_{count}ch"] = acc
     return ExperimentResult(
         experiment="fig17",
         title="Fig. 17 — accuracy over sampling rate x channel count",
@@ -799,6 +915,8 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_all(scale: ExperimentScale = DEFAULT) -> List[ExperimentResult]:
+def run_all(
+    scale: ExperimentScale = DEFAULT, *, n_jobs: Optional[int] = None
+) -> List[ExperimentResult]:
     """Run every experiment and return the results in artifact order."""
-    return [runner(scale) for runner in RUNNERS.values()]
+    return [runner(scale, n_jobs=n_jobs) for runner in RUNNERS.values()]

@@ -1,0 +1,117 @@
+"""Process-pool fan-out for the evaluation protocol.
+
+The experiment runners spend nearly all of their time in independent
+``evaluate_user`` calls — one per (victim, grid point). ``parallel_map``
+spreads such calls over a ``concurrent.futures`` process pool while
+keeping three properties the runners rely on:
+
+- **Determinism** — results come back in input order, and every task is
+  a pure function of picklable arguments (:class:`repro.data.StudyData`
+  regenerates trials from per-key seeds, so workers reproduce the exact
+  trials of the parent process). A parallel run therefore produces the
+  same rows as a serial one.
+- **Serial fallback** — ``n_jobs=1`` never touches multiprocessing, and
+  pickling-hostile tasks or broken/unsupported pool environments fall
+  back to an in-process loop instead of failing.
+- **Explicit opt-in** — the worker count comes from an explicit
+  ``n_jobs`` argument (CLI ``--jobs``), then the ``REPRO_N_JOBS``
+  environment variable, then defaults to 1.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+N_JOBS_ENV = "REPRO_N_JOBS"
+
+#: Exceptions that demote a parallel run to the serial fallback rather
+#: than failing: unpicklable tasks, a pool that died, or a platform
+#: where multiprocessing primitives are unavailable.
+_FALLBACK_ERRORS = (
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    BrokenProcessPool,
+    NotImplementedError,
+    PermissionError,
+    OSError,
+)
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit value, then env var, then 1.
+
+    Args:
+        n_jobs: requested worker count; ``None`` consults
+            ``REPRO_N_JOBS``. Non-positive values mean "all cores".
+
+    Returns:
+        A worker count >= 1.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(N_JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{N_JOBS_ENV} must be an integer, got {raw!r}"
+            )
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Args:
+        fn: a picklable callable (workers re-import it by reference).
+        items: the inputs; consumed eagerly.
+        n_jobs: worker processes (see :func:`resolve_n_jobs`);
+            1 runs serially in-process.
+
+    Returns:
+        ``[fn(item) for item in items]``, in input order.
+    """
+    items = list(items)
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except _FALLBACK_ERRORS:
+        return [fn(item) for item in items]
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], R]], n_jobs: Optional[int] = None
+) -> List[R]:
+    """Run a list of zero-argument callables, optionally in parallel.
+
+    A convenience over :func:`parallel_map` for heterogeneous task
+    lists (e.g. ``functools.partial`` objects binding different grid
+    points): each task must itself be picklable.
+    """
+    return parallel_map(_call, tasks, n_jobs=n_jobs)
+
+
+def _call(task: Callable[[], R]) -> R:
+    return task()

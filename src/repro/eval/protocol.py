@@ -15,6 +15,7 @@ privacy boost, feature method, classifier, channel subset (via
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..data import StudyData, ThirdPartyStore, enroll_test_split
 from ..errors import ConfigurationError
 from ..ml import RidgeClassifier
 from ..types import PinEntryTrial
+from .parallel import run_tasks
 
 #: PIN used to enroll NO-PIN users: one pass over every key gives the
 #: per-key models full coverage.
@@ -227,19 +229,24 @@ def evaluate_condition(
     victim_ids: Sequence[int],
     attacker_ids: Sequence[int],
     pin: str = PAPER_PINS[0],
+    n_jobs: Optional[int] = None,
     **kwargs,
 ) -> ConditionResult:
     """Evaluate one condition over several victims and aggregate.
 
     All keyword arguments of :func:`evaluate_user` are forwarded.
+    ``n_jobs`` fans the per-victim evaluations out over a process pool
+    (see :mod:`repro.eval.parallel`); results are identical to a
+    serial run.
     """
     victim_ids = list(victim_ids)
     if not victim_ids:
         raise ConfigurationError("need at least one victim")
-    per_user = tuple(
-        evaluate_user(
-            data, victim_id, pin, attacker_ids=attacker_ids, **kwargs
+    tasks = [
+        partial(
+            evaluate_user, data, victim_id, pin, attacker_ids=attacker_ids,
+            **kwargs,
         )
         for victim_id in victim_ids
-    )
-    return ConditionResult(per_user=per_user)
+    ]
+    return ConditionResult(per_user=tuple(run_tasks(tasks, n_jobs=n_jobs)))

@@ -30,16 +30,39 @@ Multivariate series are handled channel-independently: the feature
 budget is split evenly across channels and the per-channel feature
 blocks are concatenated, which keeps channel-count comparisons
 (Fig. 13 of the P2Auth paper) fair at a fixed total feature length.
+
+Engines
+-------
+
+``transform`` dispatches between three interchangeable engines that
+produce bit-identical features (see ``docs/performance.md``):
+
+- ``"c"`` — a small compiled kernel (built on demand with the system C
+  compiler) that fuses convolution, thresholding, and pooling in cache;
+  the fastest path and the default where a compiler is available.
+- ``"vectorized"`` — batched linear algebra in NumPy: all 84 kernel
+  convolutions of a dilation come from one matrix product of the
+  module-level :data:`KERNEL_WEIGHTS` with the shifted stack, and the
+  PPV pooling is broadcast across the whole (kernel, feature) grid.
+  Instance batching (``batch_size``) bounds peak memory.
+- ``"reference"`` — the original per-kernel Python loop, kept verbatim
+  as :meth:`MiniRocket._transform_reference` for parity testing.
+
+The engine is chosen per instance (``engine=`` constructor argument) or
+globally via the ``REPRO_MINIROCKET_ENGINE`` environment variable
+(``auto``, ``c``, ``vectorized``, or ``reference``).
 """
 
 from __future__ import annotations
 
+import os
 from itertools import combinations
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError, SignalError
+from . import _ckernel
 
 #: Kernel length fixed by the MiniRocket design.
 KERNEL_LENGTH = 9
@@ -50,6 +73,31 @@ KERNEL_INDICES: Tuple[Tuple[int, int, int], ...] = tuple(
 )
 
 NUM_KERNELS = len(KERNEL_INDICES)
+
+
+def _kernel_weight_matrix() -> np.ndarray:
+    weights = np.full((NUM_KERNELS, KERNEL_LENGTH), -1.0)
+    for k, idx in enumerate(KERNEL_INDICES):
+        weights[k, list(idx)] = 2.0
+    return weights
+
+
+#: The (84, 9) weight matrix: row ``k`` holds kernel ``k`` (+2 at its
+#: three chosen taps, -1 elsewhere). One matrix product of this with
+#: the nine shifted copies yields every kernel convolution at once.
+KERNEL_WEIGHTS = _kernel_weight_matrix()
+KERNEL_WEIGHTS.setflags(write=False)
+
+#: The three +2 tap positions of each kernel as index vectors, used to
+#: gather the shifted stack with the same addition order as the
+#: reference loop (``(s_a + s_b) + s_c``).
+_TAP_A = np.array([idx[0] for idx in KERNEL_INDICES])
+_TAP_B = np.array([idx[1] for idx in KERNEL_INDICES])
+_TAP_C = np.array([idx[2] for idx in KERNEL_INDICES])
+
+#: Engine names accepted by ``MiniRocket(engine=...)`` and the
+#: ``REPRO_MINIROCKET_ENGINE`` environment variable.
+ENGINES = ("auto", "c", "vectorized", "reference")
 
 
 def _golden_quantiles(n: int) -> np.ndarray:
@@ -114,6 +162,29 @@ def _shifted_stack(x: np.ndarray, dilation: int) -> np.ndarray:
     return stack
 
 
+def _resolve_engine(name: Optional[str]) -> str:
+    """Map a requested engine name to a concrete engine.
+
+    ``None`` defers to the ``REPRO_MINIROCKET_ENGINE`` environment
+    variable; ``auto`` (the default) picks the compiled kernel when it
+    is available and the NumPy engine otherwise.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_MINIROCKET_ENGINE", "auto").lower() or "auto"
+    if name not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {name!r}"
+        )
+    if name == "auto":
+        return "c" if _ckernel.available() else "vectorized"
+    if name == "c" and not _ckernel.available():
+        raise ConfigurationError(
+            "the compiled MiniRocket kernel is unavailable "
+            "(no working C compiler); use engine='vectorized'"
+        )
+    return name
+
+
 class MiniRocket:
     """The MiniRocket transform.
 
@@ -124,6 +195,12 @@ class MiniRocket:
             of 84 per channel and never below 84.
         max_dilations_per_kernel: cap on distinct dilations per kernel.
         seed: seed for the training-example choice used to set biases.
+        batch_size: instances transformed per NumPy-engine batch; caps
+            the size of the intermediate convolution/comparison buffers
+            so peak memory stays bounded on large inputs.
+        engine: feature engine ("auto", "c", "vectorized",
+            "reference"); ``None`` defers to ``REPRO_MINIROCKET_ENGINE``
+            and then to "auto".
 
     Usage::
 
@@ -137,6 +214,8 @@ class MiniRocket:
         num_features: int = 9996,
         max_dilations_per_kernel: int = 32,
         seed: int = 0,
+        batch_size: int = 256,
+        engine: Optional[str] = None,
     ) -> None:
         if num_features < NUM_KERNELS:
             raise ConfigurationError(
@@ -144,9 +223,17 @@ class MiniRocket:
             )
         if max_dilations_per_kernel < 1:
             raise ConfigurationError("max_dilations_per_kernel must be >= 1")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if engine is not None and engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self.num_features = num_features
         self.max_dilations_per_kernel = max_dilations_per_kernel
         self.seed = seed
+        self.batch_size = batch_size
+        self.engine = engine
         self._fitted = False
         self._n_channels: Optional[int] = None
         self._input_length: Optional[int] = None
@@ -157,8 +244,14 @@ class MiniRocket:
 
     @staticmethod
     def _as_3d(x: np.ndarray) -> np.ndarray:
-        """Normalize input to ``(n_instances, n_channels, length)``."""
-        x = np.asarray(x, dtype=np.float64)
+        """Normalize input to C-contiguous ``(n, n_channels, length)``.
+
+        Conforming input — already float64 and C-contiguous — is passed
+        through as a view without copying.
+        """
+        x = np.asarray(x)
+        if x.dtype != np.float64 or not x.flags.c_contiguous:
+            x = np.ascontiguousarray(x, dtype=np.float64)
         if x.ndim == 2:
             x = x[:, np.newaxis, :]
         if x.ndim != 3:
@@ -203,6 +296,13 @@ class MiniRocket:
     def fit(self, x: np.ndarray) -> "MiniRocket":
         """Fix dilations and biases from training data.
 
+        All 84 kernel convolutions of the training example are gathered
+        at once and their bias quantiles come from a single batched
+        ``np.quantile`` call per (channel, dilation) — no per-kernel
+        Python loop — with the same floating-point operation order as
+        the original per-kernel loop, so the fitted biases are
+        bit-identical to it.
+
         Args:
             x: training series, shape ``(n, length)`` or
                 ``(n, channels, length)``.
@@ -221,20 +321,27 @@ class MiniRocket:
             for dilation, n_feat in zip(
                 self._dilations, self._features_per_dilation
             ):
-                quantiles = _golden_quantiles(int(n_feat) * NUM_KERNELS).reshape(
-                    NUM_KERNELS, int(n_feat)
+                n_feat = int(n_feat)
+                quantiles = _golden_quantiles(n_feat * NUM_KERNELS).reshape(
+                    NUM_KERNELS, n_feat
                 )
                 # One random training example per (dilation, channel)
                 # supplies the convolution-output quantiles.
                 example = x[rng.integers(0, n), ch][np.newaxis, :]
                 stack = _shifted_stack(example, int(dilation))
                 c_alpha = -stack.sum(axis=0)
-                kernel_biases = np.empty((NUM_KERNELS, int(n_feat)))
-                for k, idx in enumerate(KERNEL_INDICES):
-                    conv = c_alpha + 3.0 * (
-                        stack[idx[0]] + stack[idx[1]] + stack[idx[2]]
-                    )
-                    kernel_biases[k] = np.quantile(conv[0], quantiles[k])
+                conv = c_alpha + 3.0 * (
+                    (stack[_TAP_A] + stack[_TAP_B]) + stack[_TAP_C]
+                )
+                conv = conv.reshape(NUM_KERNELS, length)
+                # One np.quantile call evaluates every requested
+                # quantile on every kernel row; keep each kernel's own
+                # quantiles (the "diagonal" of that grid).
+                grid = np.quantile(conv, quantiles.ravel(), axis=1)
+                rows = np.arange(NUM_KERNELS * n_feat)
+                kernel_biases = grid[
+                    rows, np.repeat(np.arange(NUM_KERNELS), n_feat)
+                ].reshape(NUM_KERNELS, n_feat)
                 channel_biases.append(kernel_biases)
             biases.append(channel_biases)
 
@@ -244,16 +351,7 @@ class MiniRocket:
         self._fitted = True
         return self
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
-        """Transform series into PPV features.
-
-        Args:
-            x: series with the same channel count and length as the
-                training data.
-
-        Returns:
-            Feature matrix of shape ``(n, n_features_out)``.
-        """
+    def _check_transform_input(self, x: np.ndarray) -> np.ndarray:
         if not self._fitted:
             raise NotFittedError("MiniRocket.fit has not been called")
         x = self._as_3d(x)
@@ -266,7 +364,104 @@ class MiniRocket:
             raise SignalError(
                 f"fitted on length {self._input_length}, got {length}"
             )
+        return x
 
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Transform series into PPV features.
+
+        Args:
+            x: series with the same channel count and length as the
+                training data.
+
+        Returns:
+            Feature matrix of shape ``(n, n_features_out)``.
+        """
+        x = self._check_transform_input(x)
+        engine = _resolve_engine(self.engine)
+        if engine == "reference":
+            return self._transform_loop(x)
+        if engine == "c":
+            out = _ckernel.transform(
+                x,
+                self._dilations,
+                self._features_per_dilation,
+                self._biases,
+                self.n_features_out,
+            )
+            if out is not None:
+                return out
+            # Compiled path declined the shape; fall through to NumPy.
+        return self._transform_vectorized(x)
+
+    def _transform_vectorized(self, x: np.ndarray) -> np.ndarray:
+        """Batched-linear-algebra engine.
+
+        Per (channel, instance batch, dilation): one matrix product
+        ``KERNEL_WEIGHTS @ stack`` yields all 84 convolutions, then the
+        PPV counts for the whole (kernel, feature) grid come from four
+        broadcast comparisons — kernels split by parity, features split
+        into the padded (full-length) and valid (unpadded) pooling
+        groups, exactly the regions the reference loop pools.
+        """
+        n, channels, length = x.shape
+        n_feature_cols = self.n_features_out
+        per_channel = n_feature_cols // channels
+        out = np.empty((n, n_feature_cols))
+        batch = self.batch_size
+
+        for ch in range(channels):
+            xc = x[:, ch, :]
+            for start in range(0, n, batch):
+                xb = xc[start : start + batch]
+                b = xb.shape[0]
+                col = ch * per_channel
+                for d_index, (dilation, n_feat) in enumerate(
+                    zip(self._dilations, self._features_per_dilation)
+                ):
+                    dilation = int(dilation)
+                    n_feat = int(n_feat)
+                    stack = _shifted_stack(xb, dilation)
+                    conv = np.matmul(
+                        KERNEL_WEIGHTS, stack.reshape(KERNEL_LENGTH, -1)
+                    ).reshape(NUM_KERNELS, b, length)
+                    biases = self._biases[ch][d_index]
+                    pad = (KERNEL_LENGTH // 2) * dilation
+                    if length > 2 * pad:
+                        vlo, vhi = pad, length - pad
+                    else:
+                        vlo, vhi = 0, length
+                    feats = np.empty((NUM_KERNELS, n_feat, b))
+                    # (k + f) even -> pool the full (padded) length;
+                    # (k + f) odd -> pool only the valid region.
+                    for p in (0, 1):
+                        conv_p = conv[p::2]
+                        bias_p = biases[p::2]
+                        f_pad = slice(p, None, 2)
+                        f_val = slice(1 - p, None, 2)
+                        bp = bias_p[:, f_pad]
+                        if bp.size:
+                            hits = np.count_nonzero(
+                                conv_p[:, None, :, :] > bp[:, :, None, None],
+                                axis=-1,
+                            )
+                            feats[p::2, f_pad] = hits / float(length)
+                        bv = bias_p[:, f_val]
+                        if bv.size:
+                            hits = np.count_nonzero(
+                                conv_p[:, None, :, vlo:vhi]
+                                > bv[:, :, None, None],
+                                axis=-1,
+                            )
+                            feats[p::2, f_val] = hits / float(vhi - vlo)
+                    out[start : start + b, col : col + NUM_KERNELS * n_feat] = (
+                        feats.reshape(NUM_KERNELS * n_feat, b).T
+                    )
+                    col += NUM_KERNELS * n_feat
+        return out
+
+    def _transform_loop(self, x: np.ndarray) -> np.ndarray:
+        """The original per-kernel loop, kept verbatim for parity."""
+        n, channels, length = x.shape
         blocks: List[np.ndarray] = []
         center = KERNEL_LENGTH // 2
         for ch in range(channels):
@@ -307,6 +502,16 @@ class MiniRocket:
                         )
                     blocks.extend(feats)
         return np.column_stack(blocks)
+
+    def _transform_reference(self, x: np.ndarray) -> np.ndarray:
+        """Transform with the original per-kernel Python loop.
+
+        The loop is the pre-vectorization implementation, preserved
+        unchanged; the vectorized and compiled engines are tested for
+        bit-identical output against it.
+        """
+        x = self._check_transform_input(x)
+        return self._transform_loop(x)
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit on ``x`` and return its transform."""

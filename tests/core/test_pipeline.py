@@ -7,7 +7,7 @@ import pytest
 
 from repro.config import PipelineConfig
 from repro.core import preprocess_trial
-from repro.errors import SignalError
+from repro.errors import ConfigurationError, SignalError
 from repro.signal import decimate_recording
 
 
@@ -65,6 +65,21 @@ class TestPreprocessTrial:
     def test_segment_position_out_of_range(self, preprocessed):
         with pytest.raises(SignalError):
             preprocessed.segment(7)
+
+    def test_segment_default_window_comes_from_config(self, one_trial):
+        """``segment()`` without a window uses the trial's own config,
+        not a hard-coded 90."""
+        config = dataclasses.replace(PipelineConfig(), segment_window=64)
+        pre = preprocess_trial(one_trial, config)
+        assert pre.config is config
+        assert pre.segment(0).samples.shape == (4, 64)
+
+    def test_segment_window_zero_is_rejected_not_defaulted(self, preprocessed):
+        """An explicit ``window=0`` must reach ``segment_around`` (which
+        rejects it) instead of being silently rewritten to the default —
+        the old ``window or 90`` idiom hid this class of caller bug."""
+        with pytest.raises(ConfigurationError):
+            preprocessed.segment(0, window=0)
 
     def test_two_handed_detects_only_watch_hand(
         self, population, synthesizer, pipeline_config

@@ -1,0 +1,68 @@
+"""Tests for the process-pool fan-out layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.parallel import (
+    N_JOBS_ENV,
+    parallel_map,
+    resolve_n_jobs,
+    run_tasks,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveNJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(N_JOBS_ENV, raising=False)
+        assert resolve_n_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "8")
+        assert resolve_n_jobs(3) == 3
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "5")
+        assert resolve_n_jobs() == 5
+
+    def test_env_var_must_be_int(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs()
+
+    def test_nonpositive_means_all_cores(self):
+        assert resolve_n_jobs(0) >= 1
+        assert resolve_n_jobs(-1) >= 1
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_square, [1, 2, 3], n_jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, n_jobs=2) == [
+            _square(i) for i in items
+        ]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], n_jobs=4) == []
+
+    def test_unpicklable_falls_back_to_serial(self):
+        """Lambdas cannot cross process boundaries; the pool demotes to
+        an in-process loop instead of failing."""
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], n_jobs=2) == [2, 3, 4]
+
+
+class TestRunTasks:
+    def test_order_preserved(self):
+        from functools import partial
+
+        tasks = [partial(_square, i) for i in (4, 2, 7)]
+        assert run_tasks(tasks, n_jobs=2) == [16, 4, 49]
+
+    def test_serial_tasks(self):
+        assert run_tasks([lambda: "a", lambda: "b"], n_jobs=1) == ["a", "b"]
