@@ -88,12 +88,16 @@ def bench_case(name, n, channels, length, num_features, repeats):
     _, fit_stats = _time_call(lambda: rocket.fit(x), repeats)
 
     default_engine = mr._resolve_engine(None)
+    def run_vectorized() -> np.ndarray:
+        return MiniRocket.transform(_fitted_clone(rocket, "vectorized"), x)
+
+    def run_c() -> np.ndarray:
+        return MiniRocket.transform(_fitted_clone(rocket, "c"), x)
+
     engines = {"reference": lambda: rocket._transform_reference(x)}
-    engines["vectorized"] = lambda: MiniRocket.transform(
-        _fitted_clone(rocket, "vectorized"), x
-    )
+    engines["vectorized"] = run_vectorized
     if mr._ckernel.available():
-        engines["c"] = lambda: MiniRocket.transform(_fitted_clone(rocket, "c"), x)
+        engines["c"] = run_c
 
     reference_out = None
     results = {}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Run the repository's full static-analysis gate locally.
+
+Runs, in order:
+
+1. ``reprolint`` — the repo-specific AST linter (always available,
+   stdlib only);
+2. ``ruff check`` — style and bug-pattern linting, if ruff is
+   installed;
+3. ``mypy src/repro`` — static typing, if mypy is installed.
+
+ruff and mypy are optional extras (``pip install -e .[lint]``); when
+they are missing locally this script reports them as skipped and they
+are enforced by CI instead (see ``.github/workflows/ci.yml``). The
+exit code is nonzero if any tool that ran reported findings.
+
+Usage::
+
+    python scripts/lint.py            # run everything available
+    python scripts/lint.py --strict   # missing tools count as failures
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: What reprolint sweeps. Fixtures under tests/tools/fixtures are
+#: excluded by reprolint itself; ruff excludes them via pyproject.
+REPROLINT_PATHS = ("src", "tests", "scripts", "benchmarks", "examples", "tools")
+
+
+def _run(name: str, cmd: List[str]) -> Tuple[str, int]:
+    print(f"== {name}: {' '.join(cmd)}")
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    return name, proc.returncode
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail if ruff or mypy are not installed instead of skipping",
+    )
+    args = parser.parse_args(argv)
+
+    results: List[Tuple[str, int]] = []
+    skipped: List[str] = []
+
+    paths = [p for p in REPROLINT_PATHS if (REPO_ROOT / p).exists()]
+    results.append(
+        _run("reprolint", [sys.executable, "-m", "tools.reprolint", *paths])
+    )
+
+    if shutil.which("ruff"):
+        results.append(_run("ruff", ["ruff", "check", "."]))
+    else:
+        skipped.append("ruff")
+
+    if shutil.which("mypy"):
+        results.append(_run("mypy", ["mypy", "src/repro"]))
+    else:
+        skipped.append("mypy")
+
+    print()
+    for name, code in results:
+        print(f"{name:10s} {'ok' if code == 0 else f'FAILED (exit {code})'}")
+    for name in skipped:
+        print(f"{name:10s} skipped (not installed; enforced in CI)")
+
+    failed = any(code != 0 for _, code in results)
+    if args.strict and skipped:
+        print(f"--strict: missing tools: {', '.join(skipped)}", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

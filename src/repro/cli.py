@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .eval.experiments import ExperimentResult
 
-def _all_runners():
+
+def _all_runners() -> "Dict[str, Callable[..., ExperimentResult]]":
     from .eval.experiments import RUNNERS
     from .eval.extensions import EXTENSION_RUNNERS
 

@@ -15,7 +15,7 @@ All configs are immutable; derive variants with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from .errors import ConfigurationError

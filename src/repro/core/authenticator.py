@@ -13,10 +13,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from ..config import PipelineConfig
-from ..errors import AuthenticationError, EnrollmentError
+from ..errors import EnrollmentError
 from ..types import PinEntryTrial
 from .authentication import AuthDecision, authenticate_preprocessed
 from .enrollment import EnrolledModels, EnrollmentOptions, enroll_models
@@ -44,8 +42,10 @@ class P2Auth:
         salt: Optional[bytes] = None,
     ) -> None:
         self._pin = PinVerifier(pin, salt=salt)
-        self._config = pipeline_config or PipelineConfig()
-        self._options = options or EnrollmentOptions()
+        self._config = (
+            pipeline_config if pipeline_config is not None else PipelineConfig()
+        )
+        self._options = options if options is not None else EnrollmentOptions()
         self._models: Optional[EnrolledModels] = None
 
     @property

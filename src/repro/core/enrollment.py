@@ -153,7 +153,9 @@ class WaveformModel:
         self._scaler: Optional[StandardScaler] = None
         self._fitted = False
 
-    def _featurize(self, x: np.ndarray, fit: bool, positives: Optional[np.ndarray] = None) -> np.ndarray:
+    def _featurize(
+        self, x: np.ndarray, fit: bool, positives: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         if self.feature_method == "rocket":
             if fit:
                 self._rocket = MiniRocket(
@@ -286,8 +288,10 @@ def enroll_models(
         EnrollmentError: when a required model cannot be trained (too
             few usable samples).
     """
-    config = config or PipelineConfig()
-    options = options or EnrollmentOptions()
+    if config is None:
+        config = PipelineConfig()
+    if options is None:
+        options = EnrollmentOptions()
     if not legit_trials:
         raise EnrollmentError("no legitimate trials supplied")
     if not third_party_trials:
@@ -310,7 +314,7 @@ def enroll_models(
     # its keystrokes were detected; tolerating one miss keeps
     # enrollment possible at low sampling rates, where the energy
     # detector occasionally drops a keystroke (Fig. 16/17 regimes).
-    def usable(p) -> bool:
+    def usable(p: PreprocessedTrial) -> bool:
         return p.detected_count >= max(2, len(p.trial.pin) - 1)
 
     full_pos = [

@@ -15,9 +15,9 @@ fused-waveform statistics, never per-key waveforms.
 
 from __future__ import annotations
 
-import io
 import json
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
 
 import numpy as np
 
@@ -78,7 +78,9 @@ def _pack_model(model: WaveformModel, prefix: str, arrays: Dict[str, np.ndarray]
     }
 
 
-def _unpack_model(header: Dict, prefix: str, arrays) -> WaveformModel:
+def _unpack_model(
+    header: Dict[str, Any], prefix: str, arrays: Mapping[str, np.ndarray]
+) -> WaveformModel:
     """Rebuild one WaveformModel from arrays + its header."""
     model = WaveformModel(
         feature_method="rocket",
@@ -119,7 +121,7 @@ def _unpack_model(header: Dict, prefix: str, arrays) -> WaveformModel:
     return model
 
 
-def save_authenticator(auth: P2Auth, path) -> None:
+def save_authenticator(auth: P2Auth, path: Union[str, Path]) -> None:
     """Serialize an enrolled authenticator to ``path`` (.npz).
 
     Raises:
@@ -172,7 +174,7 @@ def save_authenticator(auth: P2Auth, path) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_authenticator(path) -> P2Auth:
+def load_authenticator(path: Union[str, Path]) -> P2Auth:
     """Load an authenticator previously stored by :func:`save_authenticator`.
 
     Returns:

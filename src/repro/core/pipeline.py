@@ -109,7 +109,8 @@ def preprocess_trial(
     Raises:
         SignalError: on a sampling-rate mismatch or an empty recording.
     """
-    config = config or PipelineConfig()
+    if config is None:
+        config = PipelineConfig()
     recording = trial.recording
     if abs(recording.fs - config.fs) > 1e-9:
         raise SignalError(

@@ -18,7 +18,7 @@ require a fresh authentication regardless.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import AuthenticationError

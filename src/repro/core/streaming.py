@@ -91,7 +91,7 @@ class StreamingKeystrokeDetector:
             raise ConfigurationError("min_peak_ratio must be >= 1")
         self._min_peak_ratio = min_peak_ratio
         self._fs = fs
-        self._config = config or PipelineConfig()
+        self._config = config if config is not None else PipelineConfig()
         self._alpha = 1.0 - np.exp(-1.0 / (baseline_tau * fs))
         self._energy_alpha = 1.0 - np.exp(-1.0 / (4.0 * fs))
         self._refractory = int(round(refractory * fs))

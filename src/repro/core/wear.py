@@ -63,7 +63,8 @@ def detect_wear(
     Raises:
         SignalError: if the recording is shorter than two seconds.
     """
-    config = config or PipelineConfig()
+    if config is None:
+        config = PipelineConfig()
     fs = recording.fs
     if recording.duration < 2.0:
         raise SignalError(

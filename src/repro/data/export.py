@@ -11,7 +11,8 @@ is reconstructed exactly.
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from pathlib import Path
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -47,7 +48,7 @@ def _channels_from_meta(meta: Sequence[dict]) -> tuple:
     )
 
 
-def save_trials(path, trials: Sequence[PinEntryTrial]) -> None:
+def save_trials(path: Union[str, Path], trials: Sequence[PinEntryTrial]) -> None:
     """Serialize trials to a compressed ``.npz`` archive.
 
     Args:
@@ -93,7 +94,7 @@ def save_trials(path, trials: Sequence[PinEntryTrial]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_trials(path) -> List[PinEntryTrial]:
+def load_trials(path: Union[str, Path]) -> List[PinEntryTrial]:
     """Load trials previously stored with :func:`save_trials`."""
     with np.load(path, allow_pickle=False) as archive:
         arrays = {key: archive[key] for key in archive.files}

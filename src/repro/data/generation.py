@@ -221,10 +221,12 @@ def generate_study(
     Mostly useful for warming the cache before timing-sensitive code;
     experiments can equally let :class:`StudyData` generate lazily.
     """
+    if sim_config is None:
+        sim_config = SimulationConfig()
     data = StudyData(
         n_users=n_users,
         seed=seed,
-        sim_config=sim_config or SimulationConfig(),
+        sim_config=sim_config,
     )
     for user_id in range(n_users):
         for pin in pins:

@@ -17,7 +17,7 @@ learning machinery on a far less informative signal.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ from ..types import PinEntryTrial
 from .baselines import AccelerometerPipeline, ShangThresholdBaseline
 from .parallel import run_tasks
 from .profiling import profile_call
-from .protocol import evaluate_user
+from .protocol import UserEvaluation, evaluate_user
 from .reporting import format_table
 
 
@@ -211,7 +211,7 @@ def _mean(values: Sequence[float]) -> float:
     return float(np.mean(list(values)))
 
 
-def _task_params(scale: ExperimentScale, **kwargs) -> Dict[str, object]:
+def _task_params(scale: ExperimentScale, **kwargs: Any) -> Dict[str, object]:
     """The scale's ``evaluate_user`` defaults, overridden by ``kwargs``."""
     params: Dict[str, object] = dict(
         attacker_ids=scale.attacker_ids,
@@ -232,8 +232,8 @@ def _evaluate_all(
     pin: str = PAPER_PINS[0],
     victims: Optional[Sequence[int]] = None,
     n_jobs: Optional[int] = None,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> List[UserEvaluation]:
     """Evaluate every victim under one condition and return the list.
 
     Keyword arguments override the scale's defaults and are forwarded
@@ -254,7 +254,7 @@ def _evaluate_cases(
     cases: Sequence[Tuple[object, Dict[str, object]]],
     pin: str = PAPER_PINS[0],
     n_jobs: Optional[int] = None,
-):
+) -> List[List[UserEvaluation]]:
     """Evaluate several ``(label, kwargs)`` cases over all victims.
 
     The case x victim grid is flattened into one task list so a single
@@ -472,7 +472,9 @@ def run_fig11(
     for victim in scale.victim_ids:
         trials = data.trials(victim, pin, "one_handed", scale.enroll_n + scale.test_n)
         enroll, test = enroll_test_split(trials, scale.enroll_n)
-        waveform = lambda t: extract_full_waveform(preprocess_trial(t, config))
+        def waveform(t: PinEntryTrial) -> np.ndarray:
+            return extract_full_waveform(preprocess_trial(t, config))
+
         baseline = ShangThresholdBaseline(tau=1.7, dtw_stride=2)
         baseline.enroll(np.stack([waveform(t) for t in enroll]))
         manual_acc.append(_mean([baseline.accepts(waveform(t)) for t in test]))

@@ -16,7 +16,7 @@ the same :class:`~repro.eval.experiments.ExperimentResult` format:
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -158,7 +158,7 @@ def run_enrollment_size_sweep(
 
 def _eer_scores(
     data: StudyData, scale: ExperimentScale, pin: str, victim_id: int
-):
+) -> Tuple[List[float], List[float]]:
     """Genuine and impostor score lists for one victim's waveform model.
 
     Module-level so EER tasks pickle for the process pool.

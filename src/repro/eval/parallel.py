@@ -53,11 +53,19 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
 
     Args:
         n_jobs: requested worker count; ``None`` consults
-            ``REPRO_N_JOBS``. Non-positive values mean "all cores".
+            ``REPRO_N_JOBS``. ``0`` means "all cores" (matching the CLI
+            ``--jobs`` contract).
 
     Returns:
         A worker count >= 1.
+
+    Raises:
+        ConfigurationError: on a negative count or a ``REPRO_N_JOBS``
+            value that does not parse as an integer — both are operator
+            mistakes that should fail loudly instead of silently
+            changing the fan-out.
     """
+    source = "n_jobs"
     if n_jobs is None:
         raw = os.environ.get(N_JOBS_ENV, "").strip()
         if not raw:
@@ -68,9 +76,14 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
             raise ConfigurationError(
                 f"{N_JOBS_ENV} must be an integer, got {raw!r}"
             )
+        source = N_JOBS_ENV
     n_jobs = int(n_jobs)
-    if n_jobs <= 0:
+    if n_jobs == 0:
         return os.cpu_count() or 1
+    if n_jobs < 0:
+        raise ConfigurationError(
+            f"{source} must be >= 0 (0 = all cores), got {n_jobs}"
+        )
     return n_jobs
 
 

@@ -230,7 +230,7 @@ def evaluate_condition(
     attacker_ids: Sequence[int],
     pin: str = PAPER_PINS[0],
     n_jobs: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ConditionResult:
     """Evaluate one condition over several victims and aggregate.
 

@@ -20,7 +20,6 @@ import ctypes
 import hashlib
 import os
 import subprocess
-import tempfile
 import threading
 from pathlib import Path
 from typing import List, Optional
@@ -96,6 +95,10 @@ def _load() -> Optional[ctypes.CDLL]:
                 f64, f64, c_i64,           # biases, out, total_features
             ]
             _lib = lib
+        # Intended silent fallback: any build/load failure demotes to the
+        # pure-NumPy engine; minirocket._resolve_engine reports availability
+        # so the demotion stays visible to callers that ask.
+        # reprolint: disable-next=RL006 -- fallback to NumPy engine is the contract
         except Exception:
             _failed = True
             _lib = None

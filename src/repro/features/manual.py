@@ -14,7 +14,7 @@ DTW per channel, which dominates authentication time the same way.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import stats as spstats

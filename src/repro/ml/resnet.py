@@ -19,7 +19,7 @@ users well but reject attackers worse than the ridge/ROCKET pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -129,6 +129,7 @@ class ResNet1DClassifier:
         if fit_norm:
             mean = x.mean(axis=(0, 2), keepdims=True)
             std = x.std(axis=(0, 2), keepdims=True)
+            # reprolint: disable-next=RL005 -- exact zero-variance sentinel, not a tolerance
             std[std == 0.0] = 1.0
             self._norm = {"mean": mean, "std": std}
         if self._norm is None:
@@ -162,7 +163,7 @@ class ResNet1DClassifier:
         rng = np.random.default_rng(self.seed)
         f = self.filters
 
-        def init(shape, fan_in):
+        def init(shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
             return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
 
         self._params = {

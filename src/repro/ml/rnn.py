@@ -8,7 +8,7 @@ through time in numpy with Adam on the class-weighted logistic loss.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +60,7 @@ class RNNFNNClassifier:
         if fit_norm:
             mean = x.mean(axis=(0, 2), keepdims=True)
             std = x.std(axis=(0, 2), keepdims=True)
+            # reprolint: disable-next=RL005 -- exact zero-variance sentinel, not a tolerance
             std[std == 0.0] = 1.0
             self._norm = {"mean": mean, "std": std}
         if self._norm is None:
@@ -98,7 +99,7 @@ class RNNFNNClassifier:
         rng = np.random.default_rng(self.seed)
         h, f = self.hidden, self.ffn_hidden
 
-        def init(shape, fan_in):
+        def init(shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
             return rng.normal(0.0, np.sqrt(1.0 / fan_in), size=shape)
 
         self._params = {

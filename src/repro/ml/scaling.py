@@ -27,6 +27,7 @@ class StandardScaler:
             raise ValueError(f"expected a 2-D matrix, got shape {x.shape}")
         self._mean = x.mean(axis=0)
         scale = x.std(axis=0)
+        # reprolint: disable-next=RL005 -- exact zero-variance sentinel, not a tolerance
         scale[scale == 0.0] = 1.0
         self._scale = scale
         return self

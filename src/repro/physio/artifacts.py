@@ -26,7 +26,7 @@ per-key residuals. Two artifact *components* are generated per press:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 from typing import Dict, Tuple
 
 import numpy as np
@@ -285,6 +285,7 @@ def drift_params(
     """
     if aging < 0:
         raise ConfigurationError("aging must be non-negative")
+    # reprolint: disable-next=RL005 -- exact "disabled" sentinel, not a tolerance
     if aging == 0.0:
         return params
     rng = np.random.default_rng(drift_seed)

@@ -84,7 +84,7 @@ class TrialSynthesizer:
         config: Optional[SimulationConfig] = None,
         channels: Tuple[ChannelInfo, ...] = PROTOTYPE_CHANNELS,
     ) -> None:
-        self._config = config or SimulationConfig()
+        self._config = config if config is not None else SimulationConfig()
         self._device = WearablePrototype(self._config, channels)
 
     @property

@@ -16,7 +16,7 @@ possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -136,7 +136,8 @@ def sample_user(
             keeps profiles independent of how many users are drawn.
         config: simulation parameters (defaults to paper settings).
     """
-    config = config or SimulationConfig()
+    if config is None:
+        config = SimulationConfig()
     # Wide coupling spread (wearing position + wrist anatomy) and tight
     # per-press variability: what separates users must exceed what
     # separates one user's repetitions, or enrollment-once biometrics
@@ -167,7 +168,8 @@ def sample_population(
     """
     if n_users < 1:
         raise ConfigurationError("need at least one user")
-    config = config or SimulationConfig()
+    if config is None:
+        config = SimulationConfig()
     root = np.random.SeedSequence(seed)
     children = root.spawn(n_users)
     return [

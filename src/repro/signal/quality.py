@@ -137,7 +137,8 @@ def assess_recording(
     Returns:
         The :class:`QualityReport`.
     """
-    config = config or PipelineConfig()
+    if config is None:
+        config = PipelineConfig()
     channels = tuple(
         channel_quality(row) for row in recording.samples
     )

@@ -16,7 +16,7 @@ All signal payloads are ``numpy`` arrays with shape conventions:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Unit tests for the attack models."""
 
-import numpy as np
 import pytest
 
 from repro.core import EmulatingAttacker, RandomAttacker

@@ -10,7 +10,7 @@ from repro.core.authentication import _integrate
 from repro.errors import AuthenticationError
 from repro.types import InputCase
 
-from .test_enrollment import FEATURES, PIN  # reuse module fixtures' constants
+from .test_enrollment import PIN  # reuse module fixtures' constants
 
 
 class TestIntegrationRule:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import EnrollmentOptions, P2Auth
-from repro.data import StudyData, ThirdPartyStore
+from repro.data import ThirdPartyStore
 from repro.errors import EnrollmentError
 
 PIN = "1628"

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import PipelineConfig
 from repro.core import (
     EnrollmentOptions,
     WaveformModel,

@@ -9,7 +9,7 @@ from repro.core import (
     load_authenticator,
     save_authenticator,
 )
-from repro.data import StudyData, ThirdPartyStore
+from repro.data import ThirdPartyStore
 from repro.errors import ConfigurationError, EnrollmentError
 from repro.ml import KNNClassifier
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import StudyData, enroll_test_split
+from repro.data import enroll_test_split
 from repro.errors import ConfigurationError
 
 

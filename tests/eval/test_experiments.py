@@ -4,11 +4,8 @@ The full experiment runners are exercised by the benchmark suite; here
 we test the shared machinery plus the cheapest runner end to end.
 """
 
-import dataclasses
-
 import pytest
 
-from repro.data import StudyData
 from repro.errors import ConfigurationError
 from repro.eval.experiments import (
     DEFAULT,

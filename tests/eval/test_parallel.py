@@ -33,9 +33,46 @@ class TestResolveNJobs:
         with pytest.raises(ConfigurationError):
             resolve_n_jobs()
 
-    def test_nonpositive_means_all_cores(self):
-        assert resolve_n_jobs(0) >= 1
-        assert resolve_n_jobs(-1) >= 1
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_n_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            resolve_n_jobs(-1)
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(-8)
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(N_JOBS_ENV, "0")
+        assert resolve_n_jobs() == (os.cpu_count() or 1)
+
+    def test_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "-2")
+        with pytest.raises(ConfigurationError, match=N_JOBS_ENV):
+            resolve_n_jobs()
+
+    def test_env_whitespace_is_default(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "   ")
+        assert resolve_n_jobs() == 1
+
+    def test_env_float_rejected(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "2.5")
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs()
+
+    def test_explicit_zero_beats_env(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(N_JOBS_ENV, "3")
+        assert resolve_n_jobs(0) == (os.cpu_count() or 1)
+
+    def test_env_padded_integer_parses(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, " 4 ")
+        assert resolve_n_jobs() == 4
 
 
 class TestParallelMap:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data import StudyData
 from repro.errors import ConfigurationError
-from repro.eval import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
+from repro.eval import ConditionResult, evaluate_condition, evaluate_user
 
 PIN = "1628"
 

@@ -66,7 +66,9 @@ class TestPlattScaler:
         from repro.data import ThirdPartyStore
 
         config = PipelineConfig()
-        wf = lambda t: extract_full_waveform(preprocess_trial(t, config))
+        def wf(t):
+            return extract_full_waveform(preprocess_trial(t, config))
+
         legit = [wf(t) for t in study_data.trials(0, "1628", "one_handed", 12)]
         third = [
             wf(t) for t in ThirdPartyStore(study_data, [1, 2, 3], "1628").sample(20)

@@ -8,7 +8,6 @@ import pytest
 from repro.config import SimulationConfig
 from repro.errors import ConfigurationError
 from repro.physio.noise import (
-    NoiseParams,
     baseline_wander,
     fidget_bumps,
     impulse_noise,
@@ -98,5 +97,5 @@ class TestFullNoise:
         )
         loud = dataclasses.replace(quiet, noise_std=1.0)
         q = synthesize_noise(2000, 100.0, quiet, np.random.default_rng(2))
-        l = synthesize_noise(2000, 100.0, loud, np.random.default_rng(2))
-        assert np.std(l) > 10 * np.std(q)
+        noisy = synthesize_noise(2000, 100.0, loud, np.random.default_rng(2))
+        assert np.std(noisy) > 10 * np.std(q)

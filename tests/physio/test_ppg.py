@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import ConfigurationError
-from repro.physio import TrialSynthesizer
 from repro.types import Hand
 
 PIN = "1628"
@@ -92,7 +91,6 @@ class TestTwoHanded:
 class TestEmulation:
     def test_rhythm_from_changes_timing_statistics(self, population, synthesizer):
         victim, attacker = population[0], population[1]
-        config = SimulationConfig()
 
         def mean_gap(user, rhythm_from, seed):
             gaps = []

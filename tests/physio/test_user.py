@@ -31,7 +31,6 @@ class TestTypingRhythm:
 
     def test_fast_typist_shorter_gaps(self):
         config = SimulationConfig()
-        base = TypingRhythm.sample(np.random.default_rng(0))
         fast = TypingRhythm(
             speed_factor=0.6, jitter_factor=0.0, key_bias=dict.fromkeys("0123456789", 0.0)
         )

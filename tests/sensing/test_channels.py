@@ -7,7 +7,7 @@ from repro.config import SimulationConfig
 from repro.errors import ConfigurationError
 from repro.physio.noise import sample_noise_params
 from repro.sensing.channels import ChannelMixer, SourceSignals
-from repro.types import PROTOTYPE_CHANNELS, ChannelInfo, Wavelength
+from repro.types import ChannelInfo, Wavelength
 
 
 @pytest.fixture()

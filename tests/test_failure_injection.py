@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.errors import P2AuthError
-from repro.types import KeystrokeEvent, PinEntryTrial, PPGRecording
+from repro.types import KeystrokeEvent, PPGRecording
 
 PIN = "1628"
 

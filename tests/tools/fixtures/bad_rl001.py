@@ -1,0 +1,20 @@
+"""RL001 fixture: falsy ``or``-defaults on parameters (all must fire)."""
+
+
+def segment(samples, window=None):
+    window = window or 90
+    return samples[:window]
+
+
+def build(config=None):
+    cfg = config or dict()
+    return cfg
+
+
+def in_call(limit=None):
+    return min(limit or 10, 99)
+
+
+class Authenticator:
+    def __init__(self, options=None):
+        self._options = options or tuple()

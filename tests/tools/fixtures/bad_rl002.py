@@ -1,0 +1,30 @@
+"""RL002 fixture: unseeded / global-state randomness (all must fire)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def legacy_noise(n):
+    return np.random.normal(0.0, 1.0, size=n)
+
+
+def global_seed():
+    np.random.seed(42)
+
+
+def seedless_rng():
+    return default_rng()
+
+
+def stdlib_pick(items):
+    return random.choice(items)
+
+
+def seedless_state():
+    return np.random.RandomState()
+
+
+def os_entropy():
+    return random.SystemRandom()

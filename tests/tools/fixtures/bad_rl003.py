@@ -1,0 +1,17 @@
+"""RL003 fixture: ambiguous ndarray truthiness (all must fire)."""
+
+import numpy as np
+
+
+def check(arr: np.ndarray) -> bool:
+    if arr:
+        return True
+    mask = np.zeros(3)
+    while not mask:
+        break
+    assert arr
+    return False
+
+
+def ternary(weights: np.ndarray) -> int:
+    return 1 if weights else 0

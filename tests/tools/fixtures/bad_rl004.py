@@ -1,0 +1,14 @@
+"""RL004 fixture: mutable default arguments (all must fire)."""
+
+
+def append_to(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts={}):
+    return counts
+
+
+def materialised(pool=list(), *, seen=set()):
+    return pool, seen

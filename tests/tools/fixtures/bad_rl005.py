@@ -1,0 +1,15 @@
+"""RL005 fixture: exact float equality (all must fire)."""
+
+
+def at_threshold(score):
+    return score == 0.5
+
+
+def not_converged(loss):
+    return loss != -1.0
+
+
+def branchy(x):
+    if x == 2.5:
+        return "exact"
+    return "other"

@@ -1,0 +1,24 @@
+"""RL006 fixture: silently swallowed exceptions (all must fire)."""
+
+
+def bare(path):
+    try:
+        return open(path)
+    except:
+        return None
+
+
+def swallow_pass(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+
+
+def swallow_assign(fn):
+    ok = True
+    try:
+        fn()
+    except (Exception, ValueError):
+        ok = False
+    return ok

@@ -1,0 +1,29 @@
+"""Bad patterns carrying suppressions: reprolint must honour every one."""
+
+import numpy as np
+
+
+def same_line(window=None):
+    return window or 90  # reprolint: disable=RL001 -- fixture justification
+
+
+def next_line(score):
+    # reprolint: disable-next=RL005 -- exact sentinel, fixture justification
+    return score == 0.5
+
+
+def multi_rule(arr: np.ndarray, limit=None):
+    if arr:  # reprolint: disable=RL003,RL001 -- fixture justification
+        return limit or 10  # reprolint: disable=RL001
+    return 0
+
+
+def disable_all(fn):
+    try:
+        fn()
+    except Exception:  # reprolint: disable=all -- fixture justification
+        pass
+
+
+def wrong_rule(counts={}):  # reprolint: disable=RL001 -- wrong id: RL004 still fires
+    return counts

@@ -1,0 +1,243 @@
+"""Fixture-driven self-tests for the ``tools.reprolint`` linter.
+
+Each rule must (a) fire on its seeded-bad fixture with the exact rule id
+and line number and (b) stay silent on the shared ``clean.py`` fixture of
+near-miss patterns.  Suppression comments, allowlists, CLI behaviour, and
+the repo-wide clean-run acceptance criterion are covered as well.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import ALL_RULES, lint_file, lint_paths, lint_source
+from tools.reprolint.cli import main
+from tools.reprolint.engine import (
+    DEFAULT_ALLOWLIST,
+    PARSE_ERROR_ID,
+    Suppressions,
+    iter_python_files,
+)
+from tools.reprolint.rules import RULES_BY_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def findings_for(name):
+    """(rule_id, line) pairs for a fixture, bypassing path allowlists."""
+    result = lint_file(FIXTURES / name, allowlist={})
+    return [(f.rule_id, f.line) for f in result.findings]
+
+
+class TestRuleFixtures:
+    def test_rl001_falsy_default(self):
+        assert findings_for("bad_rl001.py") == [
+            ("RL001", 5),
+            ("RL001", 10),
+            ("RL001", 15),
+            ("RL001", 20),
+        ]
+
+    def test_rl002_unseeded_random(self):
+        assert findings_for("bad_rl002.py") == [
+            ("RL002", 10),
+            ("RL002", 14),
+            ("RL002", 18),
+            ("RL002", 22),
+            ("RL002", 26),
+            ("RL002", 30),
+        ]
+
+    def test_rl003_array_truthiness(self):
+        assert findings_for("bad_rl003.py") == [
+            ("RL003", 7),
+            ("RL003", 10),
+            ("RL003", 12),
+            ("RL003", 17),
+        ]
+
+    def test_rl004_mutable_default(self):
+        assert findings_for("bad_rl004.py") == [
+            ("RL004", 4),
+            ("RL004", 9),
+            ("RL004", 13),
+            ("RL004", 13),
+        ]
+
+    def test_rl005_float_equality(self):
+        assert findings_for("bad_rl005.py") == [
+            ("RL005", 5),
+            ("RL005", 9),
+            ("RL005", 13),
+        ]
+
+    def test_rl006_silent_except(self):
+        assert findings_for("bad_rl006.py") == [
+            ("RL006", 7),
+            ("RL006", 14),
+            ("RL006", 22),
+        ]
+
+    def test_clean_fixture_is_silent(self):
+        assert findings_for("clean.py") == []
+
+    def test_every_rule_has_a_firing_fixture(self):
+        """The fixture suite exercises each registered rule at least once."""
+        fired = set()
+        for fixture in sorted(FIXTURES.glob("bad_*.py")):
+            result = lint_file(fixture, allowlist={})
+            fired.update(f.rule_id for f in result.findings)
+        assert fired == set(RULES_BY_ID)
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_only_mismatched_rule_fires(self):
+        # Every suppression in the fixture is honoured; the deliberately
+        # wrong rule id on the last function does not mask RL004.
+        assert findings_for("suppressed.py") == [("RL004", 28)]
+
+    def test_suppressed_count_reported(self):
+        result = lint_file(FIXTURES / "suppressed.py", allowlist={})
+        assert result.suppressed == 5
+
+    def test_disable_parses_with_and_without_justification(self):
+        sup = Suppressions(
+            [
+                "x = 1  # reprolint: disable=RL001",
+                "y = 2  # reprolint: disable=RL001, RL005 -- because",
+                "# reprolint: disable-next=all",
+                "z = 3",
+            ]
+        )
+        from tools.reprolint.engine import Finding
+
+        assert sup.is_suppressed(Finding("f", 1, 0, "RL001", ""))
+        assert not sup.is_suppressed(Finding("f", 1, 0, "RL005", ""))
+        assert sup.is_suppressed(Finding("f", 2, 0, "RL005", ""))
+        assert sup.is_suppressed(Finding("f", 4, 0, "RL003", ""))
+        assert not sup.is_suppressed(Finding("f", 3, 0, "RL003", ""))
+
+
+class TestAllowlist:
+    SOURCE = "def f(score):\n    return score == 0.5\n"
+
+    def test_default_allowlist_quiets_rl005_in_tests(self):
+        result = lint_source(self.SOURCE, path="tests/eval/test_metrics.py")
+        assert result.findings == []
+
+    def test_same_source_fires_in_src(self):
+        result = lint_source(self.SOURCE, path="src/repro/eval/metrics.py")
+        assert [f.rule_id for f in result.findings] == ["RL005"]
+
+    def test_allowlist_patterns_cover_nested_paths(self):
+        result = lint_source(
+            self.SOURCE, path="/abs/checkout/tests/eval/test_metrics.py"
+        )
+        assert result.findings == []
+        assert "RL005" in DEFAULT_ALLOWLIST
+
+
+class TestEngine:
+    def test_parse_error_is_a_finding(self):
+        result = lint_source("def broken(:\n", path="x.py")
+        assert result.exit_code == 1
+        assert [f.rule_id for f in result.findings] == [PARSE_ERROR_ID]
+
+    def test_discovery_skips_fixture_and_cache_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "fixtures").mkdir()
+        (tmp_path / "pkg" / "fixtures" / "bad.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "c.py").write_text("x = 1\n")
+        found = iter_python_files([tmp_path])
+        assert [p.name for p in found] == ["ok.py"]
+
+    def test_explicit_file_bypasses_discovery_filters(self):
+        result = lint_paths([FIXTURES / "bad_rl004.py"], allowlist={})
+        assert result.files_checked == 1
+        assert result.findings
+
+    def test_findings_sorted_and_rendered(self):
+        result = lint_file(FIXTURES / "bad_rl001.py", allowlist={})
+        rendered = result.findings[0].render()
+        assert rendered.startswith(str(FIXTURES / "bad_rl001.py"))
+        assert ":5:" in rendered and "RL001" in rendered
+        assert result.findings == sorted(result.findings)
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, capsys):
+        code = main([str(FIXTURES / "clean.py")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_exit_one_with_text_findings(self, capsys):
+        code = main([str(FIXTURES / "bad_rl004.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL004" in out and "bad_rl004.py" in out
+
+    def test_json_format(self, capsys):
+        code = main(["--format", "json", str(FIXTURES / "bad_rl005.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert payload["files_checked"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"RL005"}
+        assert {"path", "line", "col", "rule", "message"} <= set(
+            payload["findings"][0]
+        )
+
+    def test_select_restricts_rules(self, capsys):
+        code = main(["--select", "RL001", str(FIXTURES / "bad_rl004.py")])
+        assert code == 0
+        code = main(["--select", "RL004", str(FIXTURES / "bad_rl004.py")])
+        assert code == 1
+        capsys.readouterr()
+
+    def test_ignore_drops_rules(self, capsys):
+        code = main(["--ignore", "RL004", str(FIXTURES / "bad_rl004.py")])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--select", "RL999", str(FIXTURES / "clean.py")])
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code = main([str(FIXTURES / "does_not_exist.py")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no such file" in captured.err
+
+    def test_list_rules(self, capsys):
+        code = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+
+
+class TestRepoIsClean:
+    def test_acceptance_command_exits_zero(self):
+        """`python -m tools.reprolint src tests scripts` exits 0."""
+        code = main(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"), str(REPO_ROOT / "scripts")]
+        )
+        assert code == 0
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "RL001" in proc.stdout

@@ -1,0 +1,45 @@
+"""reprolint — repo-specific static analysis for reproduction invariants.
+
+This repo's headline claim is *bit-exact* reproducibility: the tiered
+MiniRocket engines assert ``rtol=0/atol=0`` parity and the experiment
+fan-out promises "parallel rows == serial rows".  ``reprolint`` encodes
+the bug classes that have silently broken (or could silently break)
+those guarantees as AST lint rules, so they are caught at review time
+instead of at benchmark time.
+
+The linter is intentionally dependency-free: it uses only the standard
+library (``ast``, ``argparse``, ``json``), so it runs anywhere the test
+suite runs and never drifts out of sync with a third-party tool's rule
+numbering.
+
+Usage::
+
+    python -m tools.reprolint src tests scripts
+    python -m tools.reprolint --format json src
+    python -m tools.reprolint --list-rules
+
+Findings can be suppressed per line with a justification comment::
+
+    risky_call()  # reprolint: disable=RL006 -- fallback is benign here
+
+or for the following line::
+
+    # reprolint: disable-next=RL005 -- exact sentinel, not a tolerance
+    scale[scale == 0.0] = 1.0
+"""
+
+from .engine import Finding, LintResult, lint_file, lint_paths, lint_source
+from .rules import ALL_RULES, Rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Module entry point so ``python -m tools.reprolint`` works from the repo root."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

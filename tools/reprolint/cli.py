@@ -1,0 +1,120 @@
+"""Command-line front end: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import LintResult, lint_paths
+from .rules import ALL_RULES, RULES_BY_ID, Rule
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Repo-specific static analysis for reproduction invariants "
+            "(stdlib-only AST linter)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "scripts"],
+        help="files or directories to lint (default: src tests scripts)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _pick_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> Sequence[Rule]:
+    chosen: List[Rule] = list(ALL_RULES)
+    if select:
+        wanted = [rid.strip().upper() for rid in select.split(",") if rid.strip()]
+        unknown = [rid for rid in wanted if rid not in RULES_BY_ID]
+        if unknown:
+            raise SystemExit(f"reprolint: unknown rule id(s): {', '.join(unknown)}")
+        chosen = [RULES_BY_ID[rid] for rid in wanted]
+    if ignore:
+        dropped = {rid.strip().upper() for rid in ignore.split(",") if rid.strip()}
+        unknown = [rid for rid in sorted(dropped) if rid not in RULES_BY_ID]
+        if unknown:
+            raise SystemExit(f"reprolint: unknown rule id(s): {', '.join(unknown)}")
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return chosen
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = (
+        f"reprolint: {len(result.findings)} finding(s) in "
+        f"{result.files_checked} {noun} ({result.suppressed} suppressed)"
+    )
+    return "\n".join(lines + [summary])
+
+
+def _render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_rule_table() -> str:
+    rows = []
+    for rule in ALL_RULES:
+        rows.append(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        rows.append(f"       {rule.rationale}")
+    return "\n".join(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_table())
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"reprolint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    rules = _pick_rules(args.select, args.ignore)
+    result = lint_paths([Path(p) for p in args.paths], rules=rules)
+    render = _render_json if args.format == "json" else _render_text
+    print(render(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())
