@@ -18,7 +18,10 @@ from .wear import WearStatus, detect_wear
 from .enrollment import (
     EnrolledModels,
     EnrollmentOptions,
+    NegativeBank,
+    SharedNegativeSet,
     WaveformModel,
+    build_negative_bank,
     enroll_models,
     extract_full_waveform,
     extract_fused_waveform,
@@ -27,7 +30,7 @@ from .enrollment import (
 from .fusion import fuse_waveforms
 from .input_case import identify_input_case
 from .pin import PinVerifier
-from .pipeline import PreprocessedTrial, preprocess_trial
+from .pipeline import PreprocessedTrial, preprocess_trial, preprocess_trials
 
 __all__ = [
     "AuthDecision",
@@ -35,7 +38,9 @@ __all__ = [
     "EmulatingAttacker",
     "EnrolledModels",
     "EnrollmentOptions",
+    "NegativeBank",
     "P2Auth",
+    "SharedNegativeSet",
     "PinVerifier",
     "PreprocessedTrial",
     "RandomAttacker",
@@ -46,6 +51,7 @@ __all__ = [
     "WaveformModel",
     "WearStatus",
     "authenticate_preprocessed",
+    "build_negative_bank",
     "detect_wear",
     "enroll_models",
     "load_authenticator",
@@ -55,5 +61,6 @@ __all__ = [
     "fuse_waveforms",
     "identify_input_case",
     "preprocess_trial",
+    "preprocess_trials",
     "save_authenticator",
 ]

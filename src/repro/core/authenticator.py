@@ -17,7 +17,12 @@ from ..config import PipelineConfig
 from ..errors import EnrollmentError
 from ..types import PinEntryTrial
 from .authentication import AuthDecision, authenticate_preprocessed
-from .enrollment import EnrolledModels, EnrollmentOptions, enroll_models
+from .enrollment import (
+    EnrolledModels,
+    EnrollmentOptions,
+    NegativeBank,
+    enroll_models,
+)
 from .pin import PinVerifier
 from .pipeline import preprocess_trial
 
@@ -79,16 +84,25 @@ class P2Auth:
         self,
         legit_trials: Sequence[PinEntryTrial],
         third_party_trials: Sequence[PinEntryTrial],
+        shared_negatives: Optional[NegativeBank] = None,
     ) -> "P2Auth":
         """Enroll a user from their trials plus the third-party store.
 
         Args:
             legit_trials: the enrolling user's PIN entries.
             third_party_trials: negative samples from other people
-                stored on the device (paper default: 100).
+                stored on the device (paper default: 100). Ignored when
+                ``shared_negatives`` is given.
+            shared_negatives: a pre-built
+                :class:`~repro.core.enrollment.NegativeBank`; skips the
+                store-side preprocessing and feature extraction.
         """
         self._models = enroll_models(
-            legit_trials, third_party_trials, self._config, self._options
+            legit_trials,
+            third_party_trials,
+            self._config,
+            self._options,
+            shared_negatives=shared_negatives,
         )
         return self
 

@@ -25,10 +25,19 @@ from ..ml import RidgeClassifier, StandardScaler
 from ..ml.base import BinaryClassifier
 from ..types import PinEntryTrial, SegmentedKeystroke
 from .fusion import fuse_waveforms
-from .pipeline import PreprocessedTrial, preprocess_trial
+from .pipeline import PreprocessedTrial, preprocess_trials
 
 #: Feature methods supported by :class:`WaveformModel`.
 FEATURE_METHODS = ("rocket", "manual", "raw")
+
+#: Feature methods whose extractor can be fitted on the negative class
+#: alone, making the featurized negatives shareable across victims.
+#: "manual" fits its extractor on the positives, so it cannot share.
+SHAREABLE_FEATURE_METHODS = ("rocket", "raw")
+
+#: Minimum same-key third-party segments before a per-key model uses
+#: them instead of falling back to the whole store.
+MIN_SAME_KEY_NEGATIVES = 10
 
 
 @dataclass(frozen=True)
@@ -218,6 +227,61 @@ class WaveformModel:
         self._fitted = True
         return self
 
+    def fit_shared(
+        self, positives: np.ndarray, shared: "SharedNegativeSet"
+    ) -> "WaveformModel":
+        """Train against a pre-featurized shared negative set.
+
+        The extractor comes pre-fitted (on the negatives alone) from
+        the :class:`NegativeBank`, so only the positives are featurized
+        here; the negative features are reused verbatim across every
+        user enrolled against the same bank.
+        """
+        positives = np.asarray(positives, dtype=np.float64)
+        if positives.ndim != 3:
+            raise EnrollmentError(
+                f"expected a 3-D (n, channels, window) positive array, "
+                f"got {positives.shape}"
+            )
+        if positives.shape[0] == 0:
+            raise EnrollmentError("both classes need at least one sample")
+        if shared.feature_method != self.feature_method:
+            raise EnrollmentError(
+                f"shared negatives were featurized with "
+                f"{shared.feature_method!r} but this model uses "
+                f"{self.feature_method!r}"
+            )
+        if self.feature_method == "rocket":
+            if shared.extractor is None:
+                raise EnrollmentError("shared negative set has no extractor")
+            self._rocket = shared.extractor
+            pos_features = self._rocket.transform(positives)
+        elif self.feature_method == "raw":
+            pos_features = positives
+        else:
+            raise EnrollmentError(
+                f"feature method {self.feature_method!r} cannot use shared "
+                f"negatives (its extractor is fitted on the positives)"
+            )
+        features = np.concatenate([pos_features, shared.features], axis=0)
+        n_pos = positives.shape[0]
+        n_neg = shared.features.shape[0]
+        y = np.concatenate([np.ones(n_pos), -np.ones(n_neg)])
+        if self.feature_method == "rocket":
+            self._scaler = StandardScaler().fit(features)
+            features = self._scaler.transform(features)
+        if self.balanced:
+            n = n_pos + n_neg
+            weights = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
+            try:
+                self._classifier.fit(features, y, sample_weight=weights)
+            except TypeError:
+                self._classifier.fit(features, y)
+        else:
+            self._classifier.fit(features, y)
+        self._fitted = True
+        return self
+
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         """Signed scores for waveforms of shape ``(n, channels, window)``
         or a single ``(channels, window)`` waveform."""
@@ -265,11 +329,186 @@ def _collect_segments(
     return by_key
 
 
+def _usable(p: PreprocessedTrial) -> bool:
+    """Whether an entry qualifies for whole-entry models: (nearly) all
+    of its keystrokes were detected (one miss tolerated, so enrollment
+    stays possible at the low sampling rates of Fig. 16/17)."""
+    return p.detected_count >= max(2, len(p.trial.pin) - 1)
+
+
+@dataclass(frozen=True)
+class SharedNegativeSet:
+    """Featurized third-party negatives for one model slot.
+
+    Attributes:
+        feature_method: the method the features were produced with.
+        extractor: the MiniRocket fitted on the negatives ("rocket"
+            method; ``None`` for "raw").
+        features: the featurized negatives — ``(n_neg, n_features)``
+            for "rocket", the raw ``(n_neg, channels, window)`` stack
+            for "raw".
+    """
+
+    feature_method: str
+    extractor: Optional[MiniRocket]
+    features: np.ndarray
+
+
+@dataclass(frozen=True)
+class NegativeBank:
+    """Third-party negatives preprocessed and featurized once.
+
+    Built by :func:`build_negative_bank` from a third-party store and
+    passed to :func:`enroll_models` (via ``shared_negatives=``) so that
+    enrolling many users against the same store repeats none of the
+    store-side preprocessing or feature extraction. The extractors are
+    fitted on the negatives alone, so the bank is independent of any
+    particular enrolling user.
+
+    Attributes:
+        full: negatives for the full-waveform model.
+        fused: negatives for the privacy-boost fused model (``None``
+            when the bank was built without privacy boost or no store
+            trial had a detected keystroke).
+        key_sets: per-key negatives, only for keys with at least
+            ``MIN_SAME_KEY_NEGATIVES`` same-key segments in the store.
+        key_fallback: all store segments pooled — used for keys not in
+            ``key_sets`` (mirrors the unshared fallback rule).
+        config: pipeline configuration the store was preprocessed with.
+        options: enrollment options the bank was featurized under.
+    """
+
+    full: SharedNegativeSet
+    fused: Optional[SharedNegativeSet]
+    key_sets: Dict[str, SharedNegativeSet]
+    key_fallback: Optional[SharedNegativeSet]
+    config: PipelineConfig
+    options: EnrollmentOptions
+
+
+def _fit_shared_set(
+    stack: np.ndarray, options: EnrollmentOptions
+) -> SharedNegativeSet:
+    """Fit an extractor on a negative stack and featurize it."""
+    if options.feature_method == "rocket":
+        rocket = MiniRocket(
+            num_features=options.num_features, seed=options.seed
+        )
+        rocket.fit(stack)
+        return SharedNegativeSet(
+            feature_method="rocket",
+            extractor=rocket,
+            features=rocket.transform(stack),
+        )
+    if options.feature_method == "raw":
+        return SharedNegativeSet(
+            feature_method="raw", extractor=None, features=stack
+        )
+    raise EnrollmentError(
+        f"feature method {options.feature_method!r} cannot share negatives: "
+        f"its extractor is fitted on the positive class"
+    )
+
+
+def build_negative_bank(
+    third_party_trials: Sequence[PinEntryTrial],
+    config: Optional[PipelineConfig] = None,
+    options: Optional[EnrollmentOptions] = None,
+    preprocessed: Optional[Sequence[PreprocessedTrial]] = None,
+) -> NegativeBank:
+    """Preprocess and featurize a third-party store once.
+
+    Args:
+        third_party_trials: the store's trials.
+        config: pipeline constants.
+        options: enrollment options; ``feature_method`` must be one of
+            ``SHAREABLE_FEATURE_METHODS``.
+        preprocessed: already-preprocessed store trials (e.g. from the
+            evaluation feature cache); skips the preprocessing pass.
+
+    Returns:
+        The reusable negative bank.
+    """
+    if config is None:
+        config = PipelineConfig()
+    if options is None:
+        options = EnrollmentOptions()
+    if preprocessed is None:
+        if not third_party_trials:
+            raise EnrollmentError("no third-party trials supplied")
+        preprocessed = preprocess_trials(list(third_party_trials), config)
+    elif not preprocessed:
+        raise EnrollmentError("no preprocessed third-party trials supplied")
+
+    full_neg = [
+        extract_full_waveform(p, options.full_window, options.full_margin)
+        for p in preprocessed
+    ]
+    full = _fit_shared_set(np.stack(full_neg), options)
+
+    fused: Optional[SharedNegativeSet] = None
+    if options.privacy_boost:
+        fused_neg = [
+            extract_fused_waveform(p, config)
+            for p in preprocessed
+            if p.detected_count > 0
+        ]
+        if fused_neg:
+            fused = _fit_shared_set(np.stack(fused_neg), options)
+
+    by_key = _collect_segments(preprocessed, config)
+    all_segments = [s for segs in by_key.values() for s in segs]
+    key_sets = {
+        key: _fit_shared_set(np.stack(segs), options)
+        for key, segs in by_key.items()
+        if len(segs) >= MIN_SAME_KEY_NEGATIVES
+    }
+    key_fallback = (
+        _fit_shared_set(np.stack(all_segments), options)
+        if all_segments
+        else None
+    )
+
+    return NegativeBank(
+        full=full,
+        fused=fused,
+        key_sets=key_sets,
+        key_fallback=key_fallback,
+        config=config,
+        options=options,
+    )
+
+
+def _check_bank(
+    bank: NegativeBank, config: PipelineConfig, options: EnrollmentOptions
+) -> None:
+    """Reject a bank built under incompatible settings."""
+    if bank.config != config:
+        raise EnrollmentError(
+            "shared negative bank was built with a different pipeline config"
+        )
+    relevant = (
+        "feature_method",
+        "num_features",
+        "seed",
+        "full_window",
+        "full_margin",
+    )
+    for name in relevant:
+        if getattr(bank.options, name) != getattr(options, name):
+            raise EnrollmentError(
+                f"shared negative bank was built with {name}="
+                f"{getattr(bank.options, name)!r} but enrollment uses "
+                f"{getattr(options, name)!r}"
+            )
+
+
 def enroll_models(
     legit_trials: Sequence[PinEntryTrial],
     third_party_trials: Sequence[PinEntryTrial],
     config: Optional[PipelineConfig] = None,
     options: Optional[EnrollmentOptions] = None,
+    shared_negatives: Optional[NegativeBank] = None,
 ) -> EnrolledModels:
     """Run the enrollment phase.
 
@@ -277,16 +516,23 @@ def enroll_models(
         legit_trials: the enrolling user's PIN entries (the paper caps
             usability at 9).
         third_party_trials: samples from the third-party store used as
-            negatives (paper default: 100).
+            negatives (paper default: 100). Ignored when
+            ``shared_negatives`` is given.
         config: pipeline constants.
         options: enrollment options.
+        shared_negatives: a :class:`NegativeBank` built from the store
+            by :func:`build_negative_bank`; when given, the store-side
+            preprocessing and feature extraction are skipped entirely
+            and every model trains against the bank's pre-featurized
+            negatives (extractors fitted on the negatives alone).
 
     Returns:
         The user's trained models.
 
     Raises:
         EnrollmentError: when a required model cannot be trained (too
-            few usable samples).
+            few usable samples), or when ``shared_negatives`` was built
+            under incompatible settings.
     """
     if config is None:
         config = PipelineConfig()
@@ -294,11 +540,15 @@ def enroll_models(
         options = EnrollmentOptions()
     if not legit_trials:
         raise EnrollmentError("no legitimate trials supplied")
-    if not third_party_trials:
+    if shared_negatives is None and not third_party_trials:
         raise EnrollmentError("no third-party trials supplied")
+    if shared_negatives is not None:
+        _check_bank(shared_negatives, config, options)
 
-    legit_pre = [preprocess_trial(t, config) for t in legit_trials]
-    third_pre = [preprocess_trial(t, config) for t in third_party_trials]
+    legit_pre = preprocess_trials(list(legit_trials), config)
+    if shared_negatives is not None:
+        return _enroll_shared(legit_pre, shared_negatives, config, options)
+    third_pre = preprocess_trials(list(third_party_trials), config)
 
     def model(balanced: bool = False) -> WaveformModel:
         return WaveformModel(
@@ -314,13 +564,10 @@ def enroll_models(
     # its keystrokes were detected; tolerating one miss keeps
     # enrollment possible at low sampling rates, where the energy
     # detector occasionally drops a keystroke (Fig. 16/17 regimes).
-    def usable(p: PreprocessedTrial) -> bool:
-        return p.detected_count >= max(2, len(p.trial.pin) - 1)
-
     full_pos = [
         extract_full_waveform(p, options.full_window, options.full_margin)
         for p in legit_pre
-        if usable(p)
+        if _usable(p)
     ]
     full_neg = [
         extract_full_waveform(p, options.full_window, options.full_margin)
@@ -335,7 +582,7 @@ def enroll_models(
         fused_pos = [
             extract_fused_waveform(p, config)
             for p in legit_pre
-            if usable(p)
+            if _usable(p)
         ]
         fused_neg = [
             extract_fused_waveform(p, config)
@@ -378,6 +625,82 @@ def enroll_models(
         # score near zero and two-handed integration would fail).
         key_models[key] = model(balanced=True).fit(
             np.stack(positives), np.stack(negatives)
+        )
+
+    if full_model is None and fused_model is None and not key_models:
+        raise EnrollmentError(
+            "no model could be trained: too few usable enrollment samples"
+        )
+
+    return EnrolledModels(
+        full_model=full_model,
+        fused_model=fused_model,
+        key_models=key_models,
+        options=options,
+        config=config,
+        keys_enrolled=tuple(sorted(key_models)),
+    )
+
+
+def _enroll_shared(
+    legit_pre: Sequence[PreprocessedTrial],
+    bank: NegativeBank,
+    config: PipelineConfig,
+    options: EnrollmentOptions,
+) -> EnrolledModels:
+    """The :func:`enroll_models` flow against a pre-built negative bank.
+
+    Mirrors the unshared path model for model — same positive
+    extraction, same usability and minimum-sample rules, same per-key
+    fallback behavior — but every ``fit`` is a :meth:`WaveformModel.
+    fit_shared` against the bank's pre-featurized negatives.
+    """
+
+    def model(balanced: bool = False) -> WaveformModel:
+        return WaveformModel(
+            feature_method=options.feature_method,
+            num_features=options.num_features,
+            classifier_factory=options.classifier_factory,
+            seed=options.seed,
+            balanced=balanced,
+        )
+
+    full_pos = [
+        extract_full_waveform(p, options.full_window, options.full_margin)
+        for p in legit_pre
+        if _usable(p)
+    ]
+    full_model = None
+    if len(full_pos) >= options.min_positive_samples:
+        full_model = model().fit_shared(np.stack(full_pos), bank.full)
+
+    fused_model = None
+    if options.privacy_boost:
+        if bank.fused is None:
+            raise EnrollmentError(
+                "privacy boost requested but the shared negative bank was "
+                "built without fused negatives"
+            )
+        fused_pos = [
+            extract_fused_waveform(p, config) for p in legit_pre if _usable(p)
+        ]
+        if len(fused_pos) < options.min_positive_samples:
+            raise EnrollmentError(
+                "privacy boost requires at least "
+                f"{options.min_positive_samples} fully detected entries"
+            )
+        fused_model = model().fit_shared(np.stack(fused_pos), bank.fused)
+
+    legit_by_key = _collect_segments(legit_pre, config)
+    key_models: Dict[str, WaveformModel] = {}
+    for key, positives in legit_by_key.items():
+        if len(positives) < options.min_positive_samples:
+            continue
+        shared = bank.key_sets.get(key, bank.key_fallback)
+        if shared is None:
+            continue
+        key_models[key] = model(balanced=True).fit_shared(
+            np.stack(positives), shared
         )
 
     if full_model is None and fused_model is None and not key_models:

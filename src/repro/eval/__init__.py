@@ -7,17 +7,31 @@ runner per table/figure of the paper, `profiling` measures the
 time/memory overheads of Table I, and `reporting` renders text tables.
 """
 
+from .featurecache import (
+    CacheStats,
+    FeatureCache,
+    cache_stats,
+    clear_default_cache,
+    default_cache,
+    sharing_enabled,
+)
 from .metrics import accuracy, equal_error_rate, true_rejection_rate
 from .protocol import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
 from .reporting import format_table
 
 __all__ = [
+    "CacheStats",
     "ConditionResult",
+    "FeatureCache",
     "UserEvaluation",
     "accuracy",
+    "cache_stats",
+    "clear_default_cache",
+    "default_cache",
     "equal_error_rate",
     "evaluate_condition",
     "evaluate_user",
     "format_table",
+    "sharing_enabled",
     "true_rejection_rate",
 ]

@@ -260,7 +260,10 @@ def _evaluate_cases(
     The case x victim grid is flattened into one task list so a single
     process pool covers the whole sweep — there are no nested pools and
     workers stay busy even when cases outnumber victims. Results come
-    back regrouped per case, in input order.
+    back regrouped per case, in input order. Tasks are dispatched in
+    per-case chunks: every victim of a case shares its third-party
+    store, so landing them on one worker turns the store-side
+    preprocessing and featurization into feature-cache hits.
     """
     victims = list(scale.victim_ids)
     tasks = []
@@ -270,7 +273,7 @@ def _evaluate_cases(
             partial(evaluate_user, data, victim, pin, **params)
             for victim in victims
         )
-    flat = run_tasks(tasks, n_jobs=n_jobs)
+    flat = run_tasks(tasks, n_jobs=n_jobs, chunksize=len(victims))
     n = len(victims)
     return [flat[i * n : (i + 1) * n] for i in range(len(cases))]
 

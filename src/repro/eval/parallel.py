@@ -91,6 +91,7 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     n_jobs: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -99,31 +100,43 @@ def parallel_map(
         items: the inputs; consumed eagerly.
         n_jobs: worker processes (see :func:`resolve_n_jobs`);
             1 runs serially in-process.
+        chunksize: tasks dispatched to a worker per round. Each worker
+            process owns a :func:`repro.eval.featurecache.default_cache`
+            of its own, so grouping the tasks that share a third-party
+            store (e.g. all victims of one grid point) into one chunk
+            keeps those tasks on one worker and turns the store-side
+            work into cache hits. Purely a scheduling hint — results
+            are identical for any value.
 
     Returns:
         ``[fn(item) for item in items]``, in input order.
     """
     items = list(items)
     n_jobs = resolve_n_jobs(n_jobs)
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     if n_jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=chunksize))
     except _FALLBACK_ERRORS:
         return [fn(item) for item in items]
 
 
 def run_tasks(
-    tasks: Sequence[Callable[[], R]], n_jobs: Optional[int] = None
+    tasks: Sequence[Callable[[], R]],
+    n_jobs: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[R]:
     """Run a list of zero-argument callables, optionally in parallel.
 
     A convenience over :func:`parallel_map` for heterogeneous task
     lists (e.g. ``functools.partial`` objects binding different grid
-    points): each task must itself be picklable.
+    points): each task must itself be picklable. ``chunksize`` is
+    forwarded to :func:`parallel_map`.
     """
-    return parallel_map(_call, tasks, n_jobs=n_jobs)
+    return parallel_map(_call, tasks, n_jobs=n_jobs, chunksize=chunksize)
 
 
 def _call(task: Callable[[], R]) -> R:

@@ -17,6 +17,13 @@ from typing import Callable, Tuple, TypeVar
 
 T = TypeVar("T")
 
+#: Highest tracemalloc peak observed since the outermost profiled call
+#: started. Nested :func:`profile_call` frames reset the tracer's peak
+#: counter to isolate their own allocations; this watermark preserves
+#: the pre-reset peak so the outermost frame still reports the true
+#: maximum over its whole duration.
+_peak_watermark = 0
+
 
 @dataclass(frozen=True)
 class ProfiledRun:
@@ -34,17 +41,45 @@ class ProfiledRun:
 
 
 def profile_call(fn: Callable[[], T]) -> ProfiledRun:
-    """Run ``fn`` once, measuring wall time and peak allocations."""
-    tracemalloc.start()
+    """Run ``fn`` once, measuring wall time and peak allocations.
+
+    Reentrant: a ``profile_call`` inside ``fn`` measures its own
+    allocation peak *relative to its entry point* and leaves the outer
+    measurement intact. (The previous implementation unconditionally
+    ``tracemalloc.stop()``-ed on exit, so a nested call silently killed
+    the outer trace and the outer frame reported a zero peak.)
+    """
+    global _peak_watermark
+    nested = tracemalloc.is_tracing()
+    if nested:
+        # Fold the peak reached so far into the watermark, then reset
+        # the counter so this frame sees only its own allocations.
+        _current, peak = tracemalloc.get_traced_memory()
+        _peak_watermark = max(_peak_watermark, peak)
+        tracemalloc.reset_peak()
+        baseline = tracemalloc.get_traced_memory()[0]
+    else:
+        tracemalloc.start()
+        _peak_watermark = 0
+        baseline = 0
     start = time.perf_counter()
     try:
         result = fn()
         seconds = time.perf_counter() - start
         _current, peak = tracemalloc.get_traced_memory()
     finally:
-        tracemalloc.stop()
+        if not nested:
+            tracemalloc.stop()
+    _peak_watermark = max(_peak_watermark, peak)
+    if nested:
+        peak_bytes = peak - baseline
+    else:
+        peak_bytes = _peak_watermark
+        _peak_watermark = 0
     return ProfiledRun(
-        seconds=seconds, peak_mib=peak / (1024.0 * 1024.0), result=result
+        seconds=seconds,
+        peak_mib=peak_bytes / (1024.0 * 1024.0),
+        result=result,
     )
 
 

@@ -16,16 +16,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import PAPER_PINS, PipelineConfig
 from ..core import EnrollmentOptions, P2Auth
+from ..core.enrollment import SHAREABLE_FEATURE_METHODS
 from ..data import StudyData, ThirdPartyStore, enroll_test_split
 from ..errors import ConfigurationError
 from ..ml import RidgeClassifier
 from ..types import PinEntryTrial
+from .featurecache import default_cache, sharing_enabled
 from .parallel import run_tasks
 
 #: PIN used to enroll NO-PIN users: one pass over every key gives the
@@ -108,6 +110,7 @@ def evaluate_user(
     transform: Optional[TrialTransform] = None,
     pipeline_config: Optional[PipelineConfig] = None,
     ra_pin_pool: Optional[Tuple[str, ...]] = PAPER_PINS,
+    share_negatives: Optional[bool] = None,
 ) -> UserEvaluation:
     """Enroll ``victim_id`` and evaluate accuracy and attack rejection.
 
@@ -135,6 +138,15 @@ def evaluate_user(
             with decimating transforms).
         ra_pin_pool: PIN pool random attackers guess from; ``None``
             draws uniform random digit strings instead.
+        share_negatives: build the third-party negatives once per store
+            content through the process-wide feature cache (see
+            :mod:`repro.eval.featurecache`) instead of re-preprocessing
+            and re-featurizing them for every victim. ``None`` (the
+            default) resolves via the ``REPRO_SHARE_NEGATIVES``
+            environment switch, which defaults to on. Only engages for
+            feature methods whose extractor can be fitted on the
+            negatives alone ("rocket", "raw"); "manual" always takes
+            the unshared path.
 
     Returns:
         The victim's :class:`UserEvaluation`.
@@ -179,7 +191,20 @@ def evaluate_user(
         pipeline_config=pipeline_config,
         options=options,
     )
-    auth.enroll(_apply(transform, enroll_trials), _apply(transform, third_party))
+    transformed_third = _apply(transform, third_party)
+    bank = None
+    if (
+        sharing_enabled(share_negatives)
+        and feature_method in SHAREABLE_FEATURE_METHODS
+    ):
+        bank = default_cache().negative_bank(
+            transformed_third, auth.config, options
+        )
+    auth.enroll(
+        _apply(transform, enroll_trials),
+        transformed_third,
+        shared_negatives=bank,
+    )
 
     accepted = [
         auth.authenticate(t).accepted for t in _apply(transform, test_trials)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from .featurecache import CacheStats
+
 
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
@@ -41,3 +43,23 @@ def format_table(
     parts.append(line(["-" * w for w in widths]))
     parts.extend(line(r) for r in rendered)
     return "\n".join(parts)
+
+
+def format_cache_stats(stats: CacheStats) -> str:
+    """One-line summary of the evaluation feature cache's counters.
+
+    Note that with a parallel fan-out the parent process only sees its
+    own cache; per-worker counters stay in the workers, so the line is
+    labelled as this process's view.
+    """
+    def ratio(hits: int, misses: int) -> str:
+        total = hits + misses
+        if total == 0:
+            return "unused"
+        return f"{hits}/{total} hits"
+
+    return (
+        "feature cache (this process): "
+        f"preprocessed trials {ratio(stats.trial_hits, stats.trial_misses)}, "
+        f"negative banks {ratio(stats.bank_hits, stats.bank_misses)}"
+    )

@@ -8,9 +8,9 @@ decimation for the rate-sweep experiments.
 """
 
 from .calibration import calibrate_keystroke_index, calibrate_trial_indices
-from .detrend import smoothness_priors_detrend
+from .detrend import smoothness_priors_detrend, smoothness_priors_detrend_batch
 from .energy import short_time_energy, window_energy
-from .filters import median_filter, moving_average, savitzky_golay
+from .filters import median_filter, median_filter_multi, moving_average, savitzky_golay
 from .peaks import local_extrema
 from .quality import ChannelQuality, QualityReport, assess_recording, channel_quality
 from .resample import decimate_recording, decimate_signal
@@ -27,10 +27,12 @@ __all__ = [
     "decimate_signal",
     "local_extrema",
     "median_filter",
+    "median_filter_multi",
     "moving_average",
     "savitzky_golay",
     "segment_around",
     "short_time_energy",
     "smoothness_priors_detrend",
+    "smoothness_priors_detrend_batch",
     "window_energy",
 ]

@@ -72,7 +72,19 @@ def calibrate_keystroke_index(
         raise ConfigurationError(f"window must be >= 2, got {window}")
 
     smoothed = savitzky_golay(samples, window=sg_window, polyorder=sg_polyorder)
+    return _calibrate_on_smoothed(smoothed, reported_index, window)
 
+
+def _calibrate_on_smoothed(
+    smoothed: np.ndarray, reported_index: int, window: int
+) -> int:
+    """Extreme-point search on an already Savitzky-Golay-smoothed signal.
+
+    Hoisted out of :func:`calibrate_keystroke_index` so that
+    :func:`calibrate_trial_indices` can smooth the shared reference
+    signal once per trial instead of once per keystroke — the search
+    itself and its result are unchanged.
+    """
     half = window // 2
     lo = max(0, reported_index - half)
     hi = min(smoothed.size, reported_index + half + 1)
@@ -113,18 +125,24 @@ def calibrate_trial_indices(
             "reference must be 1-D and aligned with the recording: "
             f"got {reference.shape} for {recording.n_samples} samples"
         )
+    if config.calibration_window < 2:
+        raise ConfigurationError(
+            f"window must be >= 2, got {config.calibration_window}"
+        )
+    # Smooth the shared reference once for the whole trial; every
+    # keystroke searches the same filtered signal (identical results to
+    # smoothing per event, at 1/len(events) of the SG cost).
+    smoothed = savitzky_golay(
+        reference, window=config.sg_window, polyorder=config.sg_polyorder
+    )
     indices = []
     for event in events:
         raw_index = int(round((event.reported_time - recording.start_time)
                               * recording.fs))
         raw_index = int(np.clip(raw_index, 0, recording.n_samples - 1))
         indices.append(
-            calibrate_keystroke_index(
-                reference,
-                raw_index,
-                window=config.calibration_window,
-                sg_window=config.sg_window,
-                sg_polyorder=config.sg_polyorder,
+            _calibrate_on_smoothed(
+                smoothed, raw_index, config.calibration_window
             )
         )
     return indices

@@ -42,6 +42,32 @@ def median_filter(samples: np.ndarray, kernel: int = 5) -> np.ndarray:
     return sps.medfilt(samples, kernel_size=kernel)
 
 
+def median_filter_multi(samples: np.ndarray, kernel: int = 5) -> np.ndarray:
+    """Median-filter every row of a 2-D ``(channels, n)`` array at once.
+
+    Produces exactly the same output as calling :func:`median_filter`
+    per row (``scipy.signal.medfilt`` zero-pads the edges; so does the
+    zero-padded sliding window here — medians of identical value sets
+    are identical), but computes all channels in one vectorized
+    ``np.median`` over a strided window view instead of a Python loop.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise SignalError(
+            f"median_filter_multi expects a 2-D signal, got shape {samples.shape}"
+        )
+    if samples.shape[1] == 0:
+        raise SignalError("median_filter_multi received an empty signal")
+    if kernel < 1 or kernel % 2 == 0:
+        raise ConfigurationError(f"median kernel must be a positive odd int: {kernel}")
+    if kernel == 1 or samples.shape[1] < kernel:
+        return samples.copy()
+    half = kernel // 2
+    padded = np.pad(samples, ((0, 0), (half, half)), mode="constant")
+    windows = np.lib.stride_tricks.sliding_window_view(padded, kernel, axis=1)
+    return np.median(windows, axis=-1)
+
+
 def savitzky_golay(
     samples: np.ndarray, window: int = 11, polyorder: int = 3
 ) -> np.ndarray:
@@ -76,7 +102,16 @@ def moving_average(samples: np.ndarray, window: int) -> np.ndarray:
         raise ConfigurationError(f"window must be >= 1, got {window}")
     if window == 1:
         return samples.copy()
-    kernel = np.ones(window)
-    sums = np.convolve(samples, kernel, mode="same")
-    counts = np.convolve(np.ones_like(samples), kernel, mode="same")
-    return sums / counts
+    # Cumulative-sum formulation of the old double-np.convolve: O(n)
+    # instead of O(n * window). ``np.convolve(x, ones(w), "same")[i]``
+    # sums x over [i - w//2, i + (w-1)//2] clipped to the signal, and
+    # the count convolution is exactly the clipped window length. One
+    # deliberate divergence: for window > n the convolve version
+    # returned a window-length array ("same" follows the longer
+    # operand); here the output always matches the input length.
+    n = samples.size
+    prefix = np.concatenate(([0.0], np.cumsum(samples)))
+    i = np.arange(n)
+    lo = np.clip(i - window // 2, 0, n)
+    hi = np.clip(i + (window - 1) // 2 + 1, 0, n)
+    return (prefix[hi] - prefix[lo]) / (hi - lo)

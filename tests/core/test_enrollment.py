@@ -174,3 +174,116 @@ class TestEnrollModels:
             EnrollmentOptions(full_window=2)
         with pytest.raises(EnrollmentError):
             EnrollmentOptions(min_positive_samples=0)
+
+
+class TestSharedNegatives:
+    @pytest.fixture(scope="class")
+    def options(self):
+        return EnrollmentOptions(num_features=FEATURES)
+
+    @pytest.fixture(scope="class")
+    def bank(self, third_trials, options):
+        from repro.core import build_negative_bank
+
+        return build_negative_bank(third_trials, options=options)
+
+    @pytest.fixture(scope="class")
+    def shared_models(self, enroll_trials, third_trials, bank, options):
+        return enroll_models(
+            enroll_trials, third_trials, options=options, shared_negatives=bank
+        )
+
+    def test_bank_structure(self, bank, third_trials):
+        assert bank.full.features.shape[0] == len(third_trials)
+        assert bank.full.extractor is not None
+        assert bank.key_fallback is not None
+        for shared in bank.key_sets.values():
+            assert shared.features.shape[0] >= 10
+
+    def test_same_models_trained_as_unshared(
+        self, shared_models, models
+    ):
+        assert (shared_models.full_model is None) == (models.full_model is None)
+        assert shared_models.keys_enrolled == models.keys_enrolled
+
+    def test_shared_models_authenticate(
+        self, shared_models, data, enroll_trials, options
+    ):
+        probe = preprocess_trial(data.trials(0, PIN, "one_handed", 7)[-1])
+        waveform = extract_full_waveform(probe)
+        assert shared_models.full_model is not None
+        # The victim's own entry scores higher than another user's.
+        other = preprocess_trial(data.trials(4, PIN, "one_handed", 1)[0])
+        other_waveform = extract_full_waveform(other)
+        own = shared_models.full_model.decision_function(waveform)[0]
+        foreign = shared_models.full_model.decision_function(other_waveform)[0]
+        assert own > foreign
+
+    def test_enroll_without_store_trials(self, enroll_trials, bank, options):
+        """A bank replaces the raw store trials entirely."""
+        shared = enroll_models(
+            enroll_trials, [], options=options, shared_negatives=bank
+        )
+        assert shared.full_model is not None
+
+    def test_deterministic(self, enroll_trials, bank, options, data):
+        a = enroll_models(
+            enroll_trials, [], options=options, shared_negatives=bank
+        )
+        b = enroll_models(
+            enroll_trials, [], options=options, shared_negatives=bank
+        )
+        probe = preprocess_trial(data.trials(5, PIN, "one_handed", 1)[0])
+        waveform = extract_full_waveform(probe)
+        assert np.array_equal(
+            a.full_model.decision_function(waveform),
+            b.full_model.decision_function(waveform),
+        )
+
+    def test_incompatible_options_rejected(self, enroll_trials, bank):
+        with pytest.raises(EnrollmentError):
+            enroll_models(
+                enroll_trials,
+                [],
+                options=EnrollmentOptions(num_features=FEATURES * 2),
+                shared_negatives=bank,
+            )
+
+    def test_incompatible_config_rejected(self, enroll_trials, bank, options):
+        from repro.config import PipelineConfig
+
+        with pytest.raises(EnrollmentError):
+            enroll_models(
+                enroll_trials,
+                [],
+                config=PipelineConfig(detrend_lambda=5.0),
+                options=options,
+                shared_negatives=bank,
+            )
+
+    def test_manual_method_cannot_build_bank(self, third_trials):
+        from repro.core import build_negative_bank
+
+        with pytest.raises(EnrollmentError):
+            build_negative_bank(
+                third_trials,
+                options=EnrollmentOptions(feature_method="manual"),
+            )
+
+    def test_fit_shared_requires_matching_method(self, bank):
+        model = WaveformModel(feature_method="raw")
+        with pytest.raises(EnrollmentError):
+            model.fit_shared(np.zeros((2, 4, 90)), bank.full)
+
+    def test_raw_method_bank(self, third_trials, enroll_trials):
+        from repro.core import build_negative_bank
+
+        options = EnrollmentOptions(
+            feature_method="raw", classifier_factory=KNNClassifier
+        )
+        bank = build_negative_bank(third_trials, options=options)
+        assert bank.full.extractor is None
+        shared = enroll_models(
+            enroll_trials, [], options=options, shared_negatives=bank
+        )
+        assert shared.full_model is not None

@@ -94,3 +94,69 @@ class TestPreprocessTrial:
             hits.append(pre.detected_count)
         # Most two-left-keystroke trials detect exactly 2 keystrokes.
         assert np.median(hits) == 2
+
+
+class TestPreprocessTrialsBatch:
+    """The batched entry point must match the per-trial paths."""
+
+    @pytest.fixture(scope="class")
+    def mixed_trials(self, study_data):
+        # Trials of several users: synthesized lengths differ, so the
+        # batch spans multiple same-shape groups.
+        trials = []
+        for uid in (0, 1, 2):
+            trials.extend(study_data.trials(uid, "1628", "one_handed", 2))
+        return trials
+
+    def test_matches_preprocess_trial(self, mixed_trials, pipeline_config):
+        from repro.core import preprocess_trials
+
+        batched = preprocess_trials(mixed_trials, pipeline_config)
+        for got, trial in zip(batched, mixed_trials):
+            single = preprocess_trial(trial, pipeline_config)
+            assert got.trial is trial
+            assert got.keystroke_indices == single.keystroke_indices
+            assert got.keystroke_detected == single.keystroke_detected
+            assert np.isclose(got.energy_threshold, single.energy_threshold)
+            assert np.array_equal(got.filtered, single.filtered)
+            assert np.array_equal(got.detrended, single.detrended)
+            assert np.array_equal(got.reference, single.reference)
+
+    def test_matches_reference_path(self, mixed_trials, pipeline_config):
+        """Against the pre-banded per-channel sparse-LU reference."""
+        from repro.core.pipeline import _preprocess_trial_reference, preprocess_trials
+
+        batched = preprocess_trials(mixed_trials, pipeline_config)
+        for got, trial in zip(batched, mixed_trials):
+            ref = _preprocess_trial_reference(trial, pipeline_config)
+            assert got.keystroke_indices == ref.keystroke_indices
+            assert got.keystroke_detected == ref.keystroke_detected
+            np.testing.assert_allclose(
+                got.detrended, ref.detrended, rtol=0, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                got.reference, ref.reference, rtol=0, atol=1e-10
+            )
+
+    def test_group_order_restored(self, study_data, pipeline_config):
+        """Interleaved shapes come back in input order."""
+        from repro.core import preprocess_trials
+
+        a = study_data.trials(0, "1628", "one_handed", 2)
+        b = study_data.trials(3, "1628", "one_handed", 2)
+        interleaved = [a[0], b[0], a[1], b[1]]
+        batched = preprocess_trials(interleaved, pipeline_config)
+        for got, trial in zip(batched, interleaved):
+            assert got.trial is trial
+
+    def test_empty_batch(self, pipeline_config):
+        from repro.core import preprocess_trials
+
+        assert preprocess_trials([], pipeline_config) == []
+
+    def test_fs_mismatch_rejected(self, one_trial):
+        from repro.core import preprocess_trials
+
+        bad = PipelineConfig().scaled_to(25.0)
+        with pytest.raises(SignalError):
+            preprocess_trials([one_trial], bad)

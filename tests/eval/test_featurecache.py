@@ -1,0 +1,185 @@
+"""Unit tests for the evaluation feature cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core import EnrollmentOptions, preprocess_trial
+from repro.data import StudyData, ThirdPartyStore
+from repro.eval.featurecache import (
+    FeatureCache,
+    SHARE_NEGATIVES_ENV,
+    cache_stats,
+    clear_default_cache,
+    default_cache,
+    sharing_enabled,
+    store_content_key,
+    trial_content_key,
+)
+
+PIN = "1628"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=5, seed=13)
+
+
+@pytest.fixture(scope="module")
+def trials(data):
+    return ThirdPartyStore(data, [1, 2, 3], PIN).sample(8)
+
+
+@pytest.fixture()
+def cache():
+    return FeatureCache()
+
+
+class TestContentKeys:
+    def test_same_content_same_key(self):
+        config = PipelineConfig()
+        # StudyData regenerates identical trials from per-key seeds, so
+        # two instances (= two worker processes) yield distinct objects
+        # with equal content — the case the cache key must unify.
+        a = StudyData(n_users=5, seed=13).trials(0, PIN, "one_handed", 1)[0]
+        b = StudyData(n_users=5, seed=13).trials(0, PIN, "one_handed", 1)[0]
+        assert a is not b
+        assert trial_content_key(a, config) == trial_content_key(b, config)
+
+    def test_different_trials_different_keys(self, data):
+        config = PipelineConfig()
+        a, b = data.trials(0, PIN, "one_handed", 2)
+        assert trial_content_key(a, config) != trial_content_key(b, config)
+
+    def test_config_changes_key(self, data):
+        trial = data.trials(0, PIN, "one_handed", 1)[0]
+        assert trial_content_key(trial, PipelineConfig()) != trial_content_key(
+            trial, PipelineConfig(detrend_lambda=5.0)
+        )
+
+    def test_store_key_covers_feature_options(self, trials):
+        config = PipelineConfig()
+        a = store_content_key(trials, config, EnrollmentOptions())
+        b = store_content_key(
+            trials, config, EnrollmentOptions(num_features=84)
+        )
+        assert a != b
+
+    def test_store_key_ignores_classifier(self, trials):
+        """The bank holds no classifiers, so the factory is irrelevant."""
+        from repro.ml import KNNClassifier
+
+        config = PipelineConfig()
+        a = store_content_key(trials, config, EnrollmentOptions())
+        b = store_content_key(
+            trials, config, EnrollmentOptions(classifier_factory=KNNClassifier)
+        )
+        assert a == b
+
+
+class TestPreprocessCaching:
+    def test_results_match_uncached(self, cache, trials):
+        config = PipelineConfig()
+        cached = cache.preprocess(trials, config)
+        for got, trial in zip(cached, trials):
+            direct = preprocess_trial(trial, config)
+            assert np.array_equal(got.detrended, direct.detrended)
+            assert got.keystroke_indices == direct.keystroke_indices
+            assert got.keystroke_detected == direct.keystroke_detected
+
+    def test_second_pass_hits(self, cache, trials):
+        cache.preprocess(trials)
+        assert cache.stats.trial_misses == len(trials)
+        again = cache.preprocess(trials)
+        assert cache.stats.trial_hits == len(trials)
+        assert cache.stats.trial_misses == len(trials)
+        first = cache.preprocess(trials)
+        assert again[0] is first[0]  # hits share the cached object
+
+    def test_partial_hit(self, cache, trials):
+        cache.preprocess(trials[:4])
+        cache.preprocess(trials)
+        assert cache.stats.trial_hits == 4
+        assert cache.stats.trial_misses == len(trials)
+
+    def test_cached_arrays_read_only(self, cache, trials):
+        pre = cache.preprocess(trials[:1])[0]
+        with pytest.raises(ValueError):
+            pre.detrended[0, 0] = 1.0
+
+    def test_lru_eviction(self, trials):
+        small = FeatureCache(max_trials=2)
+        small.preprocess(trials[:3])
+        small.preprocess(trials[:3])
+        # Capacity 2 cannot hold 3 trials: at least some re-misses.
+        assert small.stats.trial_misses > 3
+
+    def test_clear_resets(self, cache, trials):
+        cache.preprocess(trials)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.trial_misses == 0
+
+
+class TestBankCaching:
+    def test_hit_returns_same_object(self, cache, trials):
+        options = EnrollmentOptions(num_features=84)
+        a = cache.negative_bank(trials, options=options)
+        b = cache.negative_bank(trials, options=options)
+        assert a is b
+        assert cache.stats.bank_hits == 1
+        assert cache.stats.bank_misses == 1
+
+    def test_distinct_options_distinct_banks(self, cache, trials):
+        a = cache.negative_bank(
+            trials, options=EnrollmentOptions(num_features=84)
+        )
+        b = cache.negative_bank(
+            trials, options=EnrollmentOptions(num_features=168)
+        )
+        assert a is not b
+        assert cache.stats.bank_misses == 2
+
+    def test_bank_preprocessing_feeds_trial_cache(self, cache, trials):
+        cache.negative_bank(trials, options=EnrollmentOptions(num_features=84))
+        cache.preprocess(trials)
+        assert cache.stats.trial_hits == len(trials)
+
+
+class TestDefaultCache:
+    def test_process_wide_instance(self):
+        clear_default_cache()
+        assert default_cache() is default_cache()
+        clear_default_cache()
+
+    def test_stats_without_cache(self):
+        clear_default_cache()
+        stats = cache_stats()
+        assert stats.trial_hits == 0
+        assert stats.bank_misses == 0
+
+    def test_merged(self):
+        from repro.eval.featurecache import CacheStats
+
+        a = CacheStats(trial_hits=1, trial_misses=2, bank_hits=3, bank_misses=4)
+        b = CacheStats(trial_hits=10, trial_misses=20, bank_hits=30, bank_misses=40)
+        merged = a.merged(b)
+        assert merged.trial_hits == 11
+        assert merged.bank_misses == 44
+
+
+class TestSharingSwitch:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARE_NEGATIVES_ENV, "0")
+        assert sharing_enabled(True) is True
+        monkeypatch.setenv(SHARE_NEGATIVES_ENV, "1")
+        assert sharing_enabled(False) is False
+
+    def test_env_default_on(self, monkeypatch):
+        monkeypatch.delenv(SHARE_NEGATIVES_ENV, raising=False)
+        assert sharing_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " OFF "])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv(SHARE_NEGATIVES_ENV, value)
+        assert sharing_enabled() is False

@@ -42,3 +42,69 @@ class TestTimeCall:
     def test_measures_sleep(self):
         seconds, _ = time_call(lambda: time.sleep(0.01))
         assert seconds >= 0.009
+
+
+class TestProfileCallReentrancy:
+    """Regression: a nested profile_call used to stop the outer trace,
+    so the outer frame reported a zero peak and tracing died."""
+
+    def test_nested_call_keeps_outer_trace_alive(self):
+        import tracemalloc
+
+        def outer():
+            inner = profile_call(lambda: np.zeros(1_000_000))
+            assert tracemalloc.is_tracing()  # old code had stopped it here
+            return inner
+
+        run = profile_call(outer)
+        assert not tracemalloc.is_tracing()
+        assert run.result.peak_mib > 5.0  # inner saw its own ~8 MiB
+
+    def test_outer_peak_includes_pre_nested_spike(self):
+        """The nested frame resets tracemalloc's peak counter; the
+        watermark must preserve a spike that happened before it."""
+
+        def outer():
+            spike = np.zeros(2_000_000)  # ~16 MiB, freed before nesting
+            del spike
+            profile_call(lambda: [1, 2, 3])
+            return None
+
+        run = profile_call(outer)
+        assert run.peak_mib > 14.0
+
+    def test_nested_peak_is_relative_to_its_entry(self):
+        def outer():
+            keep = np.zeros(2_000_000)  # ~16 MiB held across the nest
+            inner = profile_call(lambda: [1, 2, 3])
+            return keep.nbytes, inner
+
+        run = profile_call(outer)
+        _nbytes, inner = run.result
+        assert inner.peak_mib < 1.0  # not charged the outer 16 MiB
+        assert run.peak_mib > 14.0
+
+    def test_doubly_nested(self):
+        def middle():
+            return profile_call(lambda: np.zeros(500_000))
+
+        def outer():
+            return profile_call(middle)
+
+        run = profile_call(outer)
+        assert run.result.result.peak_mib > 3.0
+        assert run.peak_mib >= run.result.peak_mib
+
+    def test_exception_in_nested_call_keeps_outer_alive(self):
+        import tracemalloc
+
+        def outer():
+            with pytest.raises(ValueError):
+                profile_call(
+                    lambda: (_ for _ in ()).throw(ValueError("boom"))
+                )
+            return tracemalloc.is_tracing()
+
+        run = profile_call(outer)
+        assert run.result is True
+        assert not tracemalloc.is_tracing()

@@ -102,3 +102,61 @@ class TestEvaluateCondition:
     def test_empty_victims_rejected(self, data):
         with pytest.raises(ConfigurationError):
             evaluate_condition(data, victim_ids=[], attacker_ids=[5])
+
+
+class TestSharedNegativesProtocol:
+    KW = dict(
+        attacker_ids=[4, 5],
+        enroll_n=5,
+        test_n=4,
+        third_party_n=12,
+        ra_per_attacker=2,
+        ea_per_attacker=2,
+        num_features=840,
+    )
+
+    def test_shared_run_is_deterministic(self, data):
+        from repro.eval.featurecache import clear_default_cache
+
+        clear_default_cache()
+        a = evaluate_user(data, 0, PIN, share_negatives=True, **self.KW)
+        clear_default_cache()
+        b = evaluate_user(data, 0, PIN, share_negatives=True, **self.KW)
+        assert a == b
+
+    def test_warm_cache_identical_to_cold(self, data):
+        from repro.eval.featurecache import cache_stats, clear_default_cache
+
+        clear_default_cache()
+        cold = evaluate_user(data, 1, PIN, share_negatives=True, **self.KW)
+        warm = evaluate_user(data, 1, PIN, share_negatives=True, **self.KW)
+        assert cold == warm
+        assert cache_stats().bank_hits >= 1
+
+    def test_disabled_sharing_still_works(self, data):
+        off = evaluate_user(data, 0, PIN, share_negatives=False, **self.KW)
+        assert 0.0 <= off.accuracy <= 1.0
+
+    def test_manual_method_takes_unshared_path(self, data):
+        from repro.eval.featurecache import clear_default_cache
+
+        clear_default_cache()
+        kw = dict(self.KW)
+        kw.update(third_party_n=6, enroll_n=4, test_n=2)
+        result = evaluate_user(
+            data, 0, PIN, feature_method="manual", share_negatives=True, **kw
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_parallel_matches_serial_with_sharing(self, data):
+        serial = evaluate_condition(
+            data, [0, 1], [4, 5], PIN, n_jobs=1,
+            enroll_n=5, test_n=4, third_party_n=12,
+            ra_per_attacker=2, ea_per_attacker=2, num_features=840,
+        )
+        parallel = evaluate_condition(
+            data, [0, 1], [4, 5], PIN, n_jobs=2,
+            enroll_n=5, test_n=4, third_party_n=12,
+            ra_per_attacker=2, ea_per_attacker=2, num_features=840,
+        )
+        assert serial.per_user == parallel.per_user

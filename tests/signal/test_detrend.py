@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError, SignalError
-from repro.signal.detrend import estimate_trend, smoothness_priors_detrend
+from repro.signal.detrend import (
+    _estimate_trend_reference,
+    clear_detrend_cache,
+    detrend_cache_info,
+    estimate_trend,
+    smoothness_priors_detrend,
+    smoothness_priors_detrend_batch,
+)
 
 
 class TestTrendEstimation:
@@ -105,3 +112,111 @@ class TestDetrendProperties:
         x = np.full(50, value)
         out = smoothness_priors_detrend(x, lam=20.0)
         assert np.max(np.abs(out)) < 1e-6
+
+
+def _ppg_like(n: int, seed: int) -> np.ndarray:
+    """A PPG-scale test signal: ~1 Hz pulse, slow drift, sensor noise.
+
+    Parity is asserted at realistic signal amplitudes (order 1): both
+    solvers sit at machine-level residual, so the absolute difference
+    between them scales with the signal amplitude.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    pulse = np.sin(2 * np.pi * 0.011 * t)
+    drift = 0.5 * np.sin(2 * np.pi * t / max(n, 8) * 1.5)
+    return pulse + drift + 0.05 * rng.normal(size=n)
+
+
+class TestBandedParity:
+    """The banded Cholesky path must match the sparse-LU reference."""
+
+    LAMBDAS = (0.8, 5.0, 50.0, 300.0)
+    LENGTHS = list(range(3, 41)) + [64, 100, 257, 510, 1024, 4096]
+
+    @pytest.mark.parametrize("n", LENGTHS)
+    def test_trend_matches_reference(self, n):
+        x = _ppg_like(n, seed=n)
+        for lam in self.LAMBDAS:
+            banded = estimate_trend(x, lam=lam)
+            reference = _estimate_trend_reference(x, lam=lam)
+            np.testing.assert_allclose(banded, reference, rtol=0, atol=1e-10)
+
+    @pytest.mark.parametrize("lam", LAMBDAS)
+    def test_detrend_matches_reference(self, lam):
+        x = _ppg_like(510, seed=3)
+        banded = smoothness_priors_detrend(x, lam=lam)
+        reference = x - _estimate_trend_reference(x, lam=lam)
+        np.testing.assert_allclose(banded, reference, rtol=0, atol=1e-10)
+
+    def test_2d_matches_per_row_reference(self):
+        rows = np.vstack([_ppg_like(257, seed=s) for s in range(4)])
+        banded = smoothness_priors_detrend(rows, lam=50.0)
+        reference = rows - np.vstack(
+            [_estimate_trend_reference(row, lam=50.0) for row in rows]
+        )
+        np.testing.assert_allclose(banded, reference, rtol=0, atol=1e-10)
+
+    def test_2d_identical_to_per_row_banded(self):
+        """The multi-RHS solve is bitwise equal to per-row solves."""
+        rows = np.vstack([_ppg_like(200, seed=s) for s in range(3)])
+        multi = smoothness_priors_detrend(rows, lam=50.0)
+        single = np.vstack(
+            [smoothness_priors_detrend(row, lam=50.0) for row in rows]
+        )
+        assert np.array_equal(multi, single)
+
+    def test_batch_identical_to_per_trial(self):
+        stacks = np.stack(
+            [
+                np.vstack([_ppg_like(150, seed=10 * b + c) for c in range(4)])
+                for b in range(3)
+            ]
+        )
+        batched = smoothness_priors_detrend_batch(stacks, lam=50.0)
+        per_trial = np.stack(
+            [smoothness_priors_detrend(trial, lam=50.0) for trial in stacks]
+        )
+        assert batched.shape == stacks.shape
+        assert np.array_equal(batched, per_trial)
+
+    def test_batch_rejects_2d(self):
+        with pytest.raises(SignalError):
+            smoothness_priors_detrend_batch(np.zeros((4, 100)))
+
+    def test_batch_rejects_short_signals(self):
+        with pytest.raises(SignalError):
+            smoothness_priors_detrend_batch(np.zeros((2, 3, 2)))
+
+
+class TestFactorizationCache:
+    def test_miss_then_hit_identical_results(self):
+        x = _ppg_like(321, seed=1)
+        clear_detrend_cache()
+        assert detrend_cache_info().currsize == 0
+        on_miss = estimate_trend(x, lam=50.0)
+        assert detrend_cache_info().misses == 1
+        on_hit = estimate_trend(x, lam=50.0)
+        assert detrend_cache_info().hits == 1
+        assert np.array_equal(on_miss, on_hit)
+
+    def test_recompute_after_clear_identical(self):
+        x = _ppg_like(128, seed=2)
+        first = estimate_trend(x, lam=5.0)
+        clear_detrend_cache()
+        second = estimate_trend(x, lam=5.0)
+        assert np.array_equal(first, second)
+
+    def test_distinct_lambdas_get_distinct_factors(self):
+        clear_detrend_cache()
+        x = _ppg_like(100, seed=3)
+        estimate_trend(x, lam=5.0)
+        estimate_trend(x, lam=50.0)
+        assert detrend_cache_info().currsize == 2
+
+    def test_cached_factor_is_read_only(self):
+        from repro.signal.detrend import _banded_cholesky
+
+        factor = _banded_cholesky(64, 50.0)
+        with pytest.raises(ValueError):
+            factor[0, 0] = 1.0

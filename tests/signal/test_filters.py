@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError, SignalError
-from repro.signal import median_filter, moving_average, savitzky_golay
+from repro.signal import (
+    median_filter,
+    median_filter_multi,
+    moving_average,
+    savitzky_golay,
+)
 
 
 class TestMedianFilter:
@@ -104,3 +109,72 @@ class TestMovingAverage:
         out = moving_average(x, 5)
         assert np.all(out >= x.min() - 1e-9)
         assert np.all(out <= x.max() + 1e-9)
+
+
+class TestMedianFilterMulti:
+    def test_matches_per_row_median_filter(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 257))
+        for kernel in (1, 3, 5, 9):
+            multi = median_filter_multi(x, kernel)
+            per_row = np.vstack([median_filter(row, kernel) for row in x])
+            assert np.array_equal(multi, per_row)
+
+    def test_single_channel_matches(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 64))
+        assert np.array_equal(
+            median_filter_multi(x, 5)[0], median_filter(x[0], 5)
+        )
+
+    def test_short_signal_passthrough(self):
+        x = np.arange(6.0).reshape(2, 3)
+        out = median_filter_multi(x, kernel=5)
+        assert np.array_equal(out, x)
+        out[0, 0] = 99.0
+        assert np.isclose(x[0, 0], 0.0)  # a copy, not a view
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median_filter_multi(np.zeros((2, 10)), kernel=4)
+
+    def test_1d_rejected(self):
+        with pytest.raises(SignalError):
+            median_filter_multi(np.zeros(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            median_filter_multi(np.zeros((2, 0)))
+
+
+class TestMovingAverageMatchesConvolveFormulation:
+    """The cumsum implementation must reproduce the old double-convolve."""
+
+    @staticmethod
+    def _reference(samples: np.ndarray, window: int) -> np.ndarray:
+        kernel = np.ones(window)
+        sums = np.convolve(samples, kernel, mode="same")
+        counts = np.convolve(np.ones_like(samples), kernel, mode="same")
+        return sums / counts
+
+    @pytest.mark.parametrize("window", [2, 3, 4, 5, 10, 29, 30, 99, 100])
+    def test_matches_reference(self, window):
+        rng = np.random.default_rng(window)
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(
+            moving_average(x, window),
+            self._reference(x, window),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_window_larger_than_signal(self):
+        """w > n is the one deliberate divergence from the convolve
+        formulation, which returned a max(n, w)-length array there
+        (np.convolve 'same' output is as long as the *longer* operand).
+        The cumsum version keeps the output aligned with the input:
+        every truncated window covers the whole signal."""
+        x = np.arange(5.0)
+        out = moving_average(x, 11)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(out, np.full(5, 2.0), rtol=1e-12)
