@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Run the robustness sweep and write ROBUSTNESS.json / ROBUSTNESS.md.
+
+Sweeps every registered fault class over an intensity grid against
+enrolled victims (enrollment stays clean; faults hit probe trials only)
+and adds the degradation-ladder recovery comparison — no policy vs
+quality-gate-only vs the full ladder — for a single dead channel. See
+``docs/robustness.md`` for how to read the numbers.
+
+The report is timestamp-free and fully seeded (``--seed``, or the
+``REPRO_FAULT_SEED`` environment variable): rerunning with the same
+grid reproduces the committed artifacts byte for byte.
+
+Usage::
+
+    python scripts/run_robustness.py                  # full, writes JSON+MD
+    python scripts/run_robustness.py --smoke          # CI subset, no files
+    python scripts/run_robustness.py --jobs 4         # parallel fan-out
+    python scripts/run_robustness.py --out custom.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import StudyData  # noqa: E402
+from repro.eval.robustness import (  # noqa: E402
+    DEFAULT_INTENSITIES,
+    SMOKE_FAULTS,
+    SMOKE_INTENSITIES,
+    build_report,
+    evaluate_recovery,
+    render_markdown,
+    run_robustness_sweep,
+)
+from repro.faults import resolve_fault_seed  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: two faults at the intensity extremes, one "
+        "victim; no files unless --out is given",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fault seed (default: REPRO_FAULT_SEED or 0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="JSON output path (default: ROBUSTNESS.json at the repo root "
+        "in full mode, nothing in --smoke mode); the markdown table is "
+        "written next to it with an .md suffix",
+    )
+    args = parser.parse_args(argv)
+    seed = resolve_fault_seed(args.seed)
+
+    if args.smoke:
+        label = "smoke"
+        data = StudyData(n_users=5, seed=5)
+        sweep_kwargs = dict(
+            faults=SMOKE_FAULTS,
+            intensities=SMOKE_INTENSITIES,
+            victim_ids=(0,),
+            attacker_ids=(1,),
+            enroll_n=6,
+            test_n=4,
+            third_party_n=30,
+            ra_per_attacker=2,
+            ea_per_attacker=2,
+            num_features=840,
+        )
+        recovery_kwargs = dict(
+            enroll_n=6, test_n=4, third_party_n=30, num_features=840
+        )
+    else:
+        label = "default"
+        data = StudyData(n_users=6, seed=5)
+        sweep_kwargs = dict(
+            intensities=DEFAULT_INTENSITIES,
+            victim_ids=(0, 1),
+            attacker_ids=(4, 5),
+            enroll_n=9,
+            test_n=6,
+            third_party_n=60,
+            ra_per_attacker=3,
+            ea_per_attacker=3,
+            num_features=2520,
+        )
+        recovery_kwargs = dict(
+            enroll_n=9, test_n=6, third_party_n=60, num_features=2520
+        )
+
+    cells = run_robustness_sweep(
+        data, n_jobs=args.jobs, seed=seed, **sweep_kwargs
+    )
+    recovery = evaluate_recovery(data, seed=seed, **recovery_kwargs)
+    report = build_report(cells, recovery, seed=seed, label=label)
+
+    for row in report["grid"]:
+        print(
+            f"[{row['fault']:>22s} @ {row['intensity']:.2f}] "
+            f"FRR {row['frr']:.3f} | FAR {row['far']:.3f} | "
+            f"quality-rejected {row['quality_rejection_rate']:.3f}",
+            file=sys.stderr,
+        )
+    modes = report["recovery"]["modes"]
+    print(
+        "[recovery: dead channel] "
+        + " | ".join(
+            f"{mode}: {c['accepted']}✓/{c['rejected']}✗"
+            f"/{c['quality_refused'] + c['errors']} refused"
+            for mode, c in modes.items()
+        ),
+        file=sys.stderr,
+    )
+    if report["invariants"]["faults_never_increase_far"] is False:
+        print(
+            "SECURITY INVARIANT VIOLATED: a fault raised FAR above its "
+            "clean baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(REPO_ROOT / "ROBUSTNESS.json")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        md_path = str(Path(out).with_suffix(".md"))
+        with open(md_path, "w") as handle:
+            handle.write(render_markdown(report))
+        print(f"wrote {out} and {md_path}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

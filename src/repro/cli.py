@@ -6,6 +6,8 @@ points without writing code:
 - ``demo`` — enroll a simulated user and run authentications + attacks;
 - ``experiment <id>`` — regenerate one of the paper's tables/figures
   (``fig8``..``fig17``, ``tab1``, or ``all``) at a chosen scale;
+- ``robustness`` — sweep fault injectors against enrolled victims and
+  report FRR/FAR/quality-rejection per (fault, intensity) cell;
 - ``simulate`` — synthesize a PIN-entry trial and dump it as CSV;
 - ``list`` — list the available experiments.
 """
@@ -55,6 +57,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         result = runners[name](scale, n_jobs=args.jobs)
         print(result)
         print()
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    import json
+
+    from .data import StudyData
+    from .eval.robustness import (
+        DEFAULT_INTENSITIES,
+        build_report,
+        render_markdown,
+        run_robustness_sweep,
+    )
+    from .faults import FAULT_TYPES, resolve_fault_seed
+
+    faults = args.faults.split(",") if args.faults else sorted(FAULT_TYPES)
+    unknown = [f for f in faults if f not in FAULT_TYPES]
+    if unknown:
+        print(f"unknown fault(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(sorted(FAULT_TYPES))}", file=sys.stderr)
+        return 2
+    intensities = (
+        tuple(float(x) for x in args.intensities.split(","))
+        if args.intensities
+        else DEFAULT_INTENSITIES
+    )
+    seed = resolve_fault_seed(args.seed)
+
+    data = StudyData(n_users=6, seed=5)
+    cells = run_robustness_sweep(
+        data,
+        faults=faults,
+        intensities=intensities,
+        victim_ids=(0, 1),
+        attacker_ids=(4, 5),
+        num_features=args.features,
+        n_jobs=args.jobs,
+        seed=seed,
+    )
+    report = build_report(cells, seed=seed, label="cli")
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_markdown(report))
     return 0
 
 
@@ -163,6 +210,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_N_JOBS or 1; 0 = all cores)",
     )
     exp.set_defaults(func=_cmd_experiment)
+
+    rob = sub.add_parser(
+        "robustness", help="fault-injection sweep (FRR/FAR per fault cell)"
+    )
+    rob.add_argument(
+        "--faults",
+        default=None,
+        help="comma-separated fault names (default: all registered faults)",
+    )
+    rob.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated intensities in [0,1] (default: 0,0.25,0.5,1)",
+    )
+    rob.add_argument(
+        "--features",
+        type=int,
+        default=2520,
+        help="MiniRocket feature count for enrollment (default: 2520)",
+    )
+    rob.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+    )
+    rob.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fault seed (default: REPRO_FAULT_SEED or 0)",
+    )
+    rob.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
+    )
+    rob.set_defaults(func=_cmd_robustness)
 
     demo = sub.add_parser("demo", help="enroll + authenticate + attacks")
     demo.add_argument("--pin", default="1628")

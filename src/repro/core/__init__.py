@@ -11,8 +11,9 @@ authentication with results integration (`authentication`), the
 from .attacks import EmulatingAttacker, RandomAttacker
 from .authentication import AuthDecision, authenticate_preprocessed
 from .authenticator import P2Auth
+from .degradation import DegradationEvent, DegradationPolicy, apply_policy
 from .persistence import load_authenticator, save_authenticator
-from .session import SessionEvent, SessionManager, SessionState
+from .session import RetryPolicy, SessionEvent, SessionManager, SessionState
 from .streaming import DetectedKeystroke, StreamingKeystrokeDetector
 from .wear import WearStatus, detect_wear
 from .enrollment import (
@@ -22,6 +23,7 @@ from .enrollment import (
     SharedNegativeSet,
     WaveformModel,
     build_negative_bank,
+    check_enrollment_quality,
     enroll_models,
     extract_full_waveform,
     extract_fused_waveform,
@@ -34,12 +36,15 @@ from .pipeline import PreprocessedTrial, preprocess_trial, preprocess_trials
 
 __all__ = [
     "AuthDecision",
+    "DegradationEvent",
+    "DegradationPolicy",
     "DetectedKeystroke",
     "EmulatingAttacker",
     "EnrolledModels",
     "EnrollmentOptions",
     "NegativeBank",
     "P2Auth",
+    "RetryPolicy",
     "SharedNegativeSet",
     "PinVerifier",
     "PreprocessedTrial",
@@ -50,8 +55,10 @@ __all__ = [
     "StreamingKeystrokeDetector",
     "WaveformModel",
     "WearStatus",
+    "apply_policy",
     "authenticate_preprocessed",
     "build_negative_bank",
+    "check_enrollment_quality",
     "detect_wear",
     "enroll_models",
     "load_authenticator",

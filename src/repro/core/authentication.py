@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 from ..errors import AuthenticationError
 from ..types import InputCase
+from .degradation import DegradationEvent
 from .enrollment import (
     EnrolledModels,
     extract_full_waveform,
@@ -44,6 +45,8 @@ class AuthDecision:
         scores: classifier scores that contributed to the verdict.
         keys_checked: keys whose single-waveform models ran.
         passes: per-key pass flags aligned with ``keys_checked``.
+        degradation: rungs of the degradation ladder taken before the
+            decision (empty when no policy ran or nothing was wrong).
     """
 
     accepted: bool
@@ -53,6 +56,7 @@ class AuthDecision:
     scores: Tuple[float, ...] = field(default_factory=tuple)
     keys_checked: Tuple[str, ...] = field(default_factory=tuple)
     passes: Tuple[bool, ...] = field(default_factory=tuple)
+    degradation: Tuple[DegradationEvent, ...] = field(default_factory=tuple)
 
 
 def _integrate(passes: Tuple[bool, ...]) -> bool:

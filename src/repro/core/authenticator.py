@@ -11,12 +11,14 @@ authentication with results integration. A typical session::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import dataclasses
+from typing import Optional, Sequence, Tuple
 
 from ..config import PipelineConfig
 from ..errors import EnrollmentError
 from ..types import PinEntryTrial
 from .authentication import AuthDecision, authenticate_preprocessed
+from .degradation import DegradationEvent, DegradationPolicy, apply_policy
 from .enrollment import (
     EnrolledModels,
     EnrollmentOptions,
@@ -37,6 +39,11 @@ class P2Auth:
         pipeline_config: signal-processing constants (paper defaults).
         options: enrollment options (privacy boost, feature method...).
         salt: fixed PIN-hash salt for deterministic tests.
+        policy: graceful-degradation policy applied to every probe
+            trial before preprocessing (gap repair, channel fallback,
+            quality gate — see :mod:`repro.core.degradation`).
+            ``None`` disables the ladder: trials are scored as-is, the
+            pre-policy behaviour.
     """
 
     def __init__(
@@ -45,12 +52,14 @@ class P2Auth:
         pipeline_config: Optional[PipelineConfig] = None,
         options: Optional[EnrollmentOptions] = None,
         salt: Optional[bytes] = None,
+        policy: Optional[DegradationPolicy] = None,
     ) -> None:
         self._pin = PinVerifier(pin, salt=salt)
         self._config = (
             pipeline_config if pipeline_config is not None else PipelineConfig()
         )
         self._options = options if options is not None else EnrollmentOptions()
+        self._policy = policy
         self._models: Optional[EnrolledModels] = None
 
     @property
@@ -79,6 +88,11 @@ class P2Auth:
     def options(self) -> EnrollmentOptions:
         """The enrollment options in effect."""
         return self._options
+
+    @property
+    def policy(self) -> Optional[DegradationPolicy]:
+        """The degradation policy in effect (``None`` = disabled)."""
+        return self._policy
 
     def enroll(
         self,
@@ -120,6 +134,11 @@ class P2Auth:
 
         Returns:
             The authentication decision.
+
+        Raises:
+            QualityError: when a degradation policy is set and the
+                trial is too damaged to score (gap beyond the repair
+                budget, too few usable channels, failed quality gate).
         """
         if self._models is None:
             raise EnrollmentError("enroll a user before authenticating")
@@ -136,7 +155,13 @@ class P2Auth:
                     reason="PIN verification failed",
                     pin_ok=False,
                 )
+        degradation: Tuple[DegradationEvent, ...] = ()
+        if self._policy is not None:
+            trial, degradation = apply_policy(trial, self._config, self._policy)
         preprocessed = preprocess_trial(trial, self._config)
-        return authenticate_preprocessed(
+        decision = authenticate_preprocessed(
             self._models, preprocessed, pin_ok, no_pin_mode=self.no_pin_mode
         )
+        if degradation:
+            decision = dataclasses.replace(decision, degradation=degradation)
+        return decision

@@ -21,6 +21,7 @@ import numpy as np
 from ..config import PipelineConfig
 from ..errors import EnrollmentError, NotFittedError, SignalError
 from ..features import ManualFeatureExtractor, MiniRocket
+from ..signal.quality import assess_recording
 from ..ml import RidgeClassifier, StandardScaler
 from ..ml.base import BinaryClassifier
 from ..types import PinEntryTrial, SegmentedKeystroke
@@ -58,6 +59,14 @@ class EnrollmentOptions:
         classifier_factory: builds a fresh binary classifier per model.
         seed: seed for the MiniRocket bias sampling.
         min_positive_samples: minimum legitimate samples a model needs.
+        quality_gate: refuse to train on enrollment trials whose
+            :class:`~repro.signal.quality.QualityReport` is unusable —
+            a model fitted on garbage silently degrades every later
+            decision, so a bad trial raises
+            :class:`~repro.errors.EnrollmentError` instead.
+        min_quality_artifact_ratio: keystroke-artifact visibility
+            threshold the gate forwards to
+            :func:`~repro.signal.quality.assess_recording`.
     """
 
     privacy_boost: bool = False
@@ -68,6 +77,8 @@ class EnrollmentOptions:
     classifier_factory: Callable[[], BinaryClassifier] = RidgeClassifier
     seed: int = 0
     min_positive_samples: int = 3
+    quality_gate: bool = True
+    min_quality_artifact_ratio: float = 3.0
 
     def __post_init__(self) -> None:
         if self.feature_method not in FEATURE_METHODS:
@@ -329,6 +340,54 @@ def _collect_segments(
     return by_key
 
 
+def check_enrollment_quality(
+    trials: Sequence[PinEntryTrial],
+    config: PipelineConfig,
+    options: EnrollmentOptions,
+) -> None:
+    """The enrollment quality gate: refuse to train on garbage.
+
+    The quality module has always warned that training on unusable
+    recordings is worse than rejecting them; this enforces it. Every
+    legitimate enrollment trial must pass
+    :func:`~repro.signal.quality.assess_recording` against its own
+    keystroke events.
+
+    Raises:
+        EnrollmentError: naming the first failing trial and why.
+    """
+    if not options.quality_gate:
+        return
+    for index, trial in enumerate(trials):
+        if not bool(np.all(np.isfinite(trial.recording.samples))):
+            # Enrollment is supervised: missing samples mean re-record,
+            # never repair-and-train (repaired signal would teach the
+            # model the interpolator, not the user).
+            raise EnrollmentError(
+                f"enrollment trial {index} contains non-finite samples; "
+                "re-prompt the user instead of training on this entry"
+            )
+        report = assess_recording(
+            trial.recording,
+            trial.events,
+            config,
+            min_artifact_ratio=options.min_quality_artifact_ratio,
+        )
+        if not report.ok:
+            ratio = (
+                f"{report.artifact_ratio:.2f}"
+                if report.artifact_ratio is not None
+                else "n/a"
+            )
+            raise EnrollmentError(
+                f"enrollment trial {index} failed the quality gate: "
+                f"{report.usable_channels} usable channel(s), keystroke "
+                f"artifact ratio {ratio} (need >= "
+                f"{options.min_quality_artifact_ratio:.2f}); re-prompt the "
+                "user instead of training on this entry"
+            )
+
+
 def _usable(p: PreprocessedTrial) -> bool:
     """Whether an entry qualifies for whole-entry models: (nearly) all
     of its keystrokes were detected (one miss tolerated, so enrollment
@@ -531,8 +590,9 @@ def enroll_models(
 
     Raises:
         EnrollmentError: when a required model cannot be trained (too
-            few usable samples), or when ``shared_negatives`` was built
-            under incompatible settings.
+            few usable samples), when an enrollment trial fails the
+            quality gate (``options.quality_gate``), or when
+            ``shared_negatives`` was built under incompatible settings.
     """
     if config is None:
         config = PipelineConfig()
@@ -544,6 +604,7 @@ def enroll_models(
         raise EnrollmentError("no third-party trials supplied")
     if shared_negatives is not None:
         _check_bank(shared_negatives, config, options)
+    check_enrollment_quality(legit_trials, config, options)
 
     legit_pre = preprocess_trials(list(legit_trials), config)
     if shared_negatives is not None:

@@ -151,7 +151,8 @@ def preprocess_trials(
         Preprocessed trials, in input order.
 
     Raises:
-        SignalError: on a sampling-rate mismatch or an empty recording.
+        SignalError: on a sampling-rate mismatch, an empty recording, or
+            non-finite samples.
     """
     if config is None:
         config = PipelineConfig()
@@ -161,6 +162,14 @@ def preprocess_trials(
             raise SignalError(
                 f"recording at {trial.recording.fs} Hz but pipeline configured "
                 f"for {config.fs} Hz; use PipelineConfig.scaled_to"
+            )
+        if not bool(np.all(np.isfinite(trial.recording.samples))):
+            # Fail with a typed error instead of a NaN-poisoned crash
+            # deep inside scipy. Known-missing (NaN) samples are the
+            # degradation policy's job, upstream of preprocessing.
+            raise SignalError(
+                "recording contains non-finite samples; repair them first "
+                "(e.g. via a DegradationPolicy with gap repair)"
             )
 
     filtered_list = [

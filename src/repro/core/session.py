@@ -13,6 +13,15 @@ require a fresh authentication regardless.
         └───────wear lost─────────┘  └──reauth required───────┘
         ▲                                                     │
         └──────────────────wear lost──────────────────────────┘
+
+On top of the lifecycle sits a bounded re-prompt ladder
+(:class:`RetryPolicy`): consecutive failed entries back off
+exponentially, and too many failures lock the session until an
+explicit :meth:`SessionManager.unlock` (the deployment's fallback
+authentication path). Degradation-ladder rungs taken by the
+authenticator (gap repair, channel fallback, quality gate — see
+:mod:`repro.core.degradation`) are copied into the session audit log as
+structured :class:`SessionEvent` entries.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..errors import AuthenticationError
+from ..errors import AuthenticationError, ConfigurationError, QualityError
 from ..types import PinEntryTrial, PPGRecording
 from .authentication import AuthDecision
 from .authenticator import P2Auth
@@ -34,6 +43,7 @@ class SessionState(enum.Enum):
     OFF_WRIST = "off_wrist"
     WORN = "worn"
     AUTHENTICATED = "authenticated"
+    LOCKED = "locked"
 
 
 @dataclass(frozen=True)
@@ -41,7 +51,8 @@ class SessionEvent:
     """One entry in the session audit log.
 
     Attributes:
-        kind: "wear_check", "entry", or "reauth_required".
+        kind: "wear_check", "entry", "reauth_required", "degradation",
+            "backoff", "lockout", or "unlock".
         state: the state *after* the event.
         detail: human-readable description.
     """
@@ -51,6 +62,40 @@ class SessionEvent:
     detail: str
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-prompt ladder for failed PIN entries.
+
+    Attributes:
+        max_failures: consecutive failed entries (rejections or quality
+            rejections) before the session locks.
+        backoff_base_s: delay imposed after the first failure, seconds.
+        backoff_factor: multiplier applied per additional failure.
+        max_backoff_s: backoff ceiling, seconds.
+    """
+
+    max_failures: int = 5
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_failures < 1:
+            raise ConfigurationError("max_failures must be >= 1")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def backoff(self, failures: int) -> float:
+        """Delay before the next attempt after ``failures`` consecutive
+        failures (exponential, capped)."""
+        if failures <= 0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_factor ** (failures - 1)
+        return float(min(self.max_backoff_s, delay))
+
+
 class SessionManager:
     """Drives an enrolled authenticator through the session lifecycle.
 
@@ -58,20 +103,38 @@ class SessionManager:
         auth: an enrolled :class:`P2Auth`.
         wear_threshold: confidence threshold forwarded to
             :func:`~repro.core.wear.detect_wear`.
+        retry: bounded re-prompt ladder; ``None`` (the default)
+            preserves the unlimited-retry behaviour.
 
     The manager is deliberately conservative: any loss of wear —
     however brief — drops the session to ``OFF_WRIST``, and PIN entries
     are only evaluated while the watch is worn (an off-wrist trial is
-    by definition not the wearer's biometric).
+    by definition not the wearer's biometric). With a retry policy, a
+    locked session stays locked through wear changes until
+    :meth:`unlock` — re-wearing the watch must not reset the ladder.
+
+    Entry timing for the backoff ladder comes from the ``now`` argument
+    of :meth:`submit_entry` (wall-clock seconds); when omitted, an
+    internal logical clock advancing one second per submission stands
+    in, keeping tests and simulations deterministic.
     """
 
-    def __init__(self, auth: P2Auth, wear_threshold: float = 0.25) -> None:
+    def __init__(
+        self,
+        auth: P2Auth,
+        wear_threshold: float = 0.25,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if not auth.enrolled:
             raise AuthenticationError("enroll a user before starting a session")
         self._auth = auth
         self._wear_threshold = wear_threshold
+        self._retry = retry
         self._state = SessionState.OFF_WRIST
         self._log: List[SessionEvent] = []
+        self._failures = 0
+        self._not_before = 0.0
+        self._clock = 0.0
 
     @property
     def state(self) -> SessionState:
@@ -82,6 +145,21 @@ class SessionManager:
     def authenticated(self) -> bool:
         """Whether the session is currently authenticated."""
         return self._state is SessionState.AUTHENTICATED
+
+    @property
+    def locked(self) -> bool:
+        """Whether the retry ladder has locked the session."""
+        return self._state is SessionState.LOCKED
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failed entries since the last success (or unlock)."""
+        return self._failures
+
+    @property
+    def retry_not_before(self) -> float:
+        """Earliest time the next entry may be submitted (backoff)."""
+        return self._not_before
 
     @property
     def log(self) -> Tuple[SessionEvent, ...]:
@@ -96,12 +174,19 @@ class SessionManager:
 
         Transitions: gaining wear moves ``OFF_WRIST -> WORN``; losing
         wear drops any state to ``OFF_WRIST`` (ending an authenticated
-        session, as the paper's removal rule requires).
+        session, as the paper's removal rule requires). A ``LOCKED``
+        session records the check but never transitions — re-wearing
+        the watch must not bypass the retry ladder.
         """
         status = detect_wear(
             recording, self._auth.config, threshold=self._wear_threshold
         )
-        if status.worn and self._state is SessionState.OFF_WRIST:
+        if self._state is SessionState.LOCKED:
+            self._record(
+                "wear_check",
+                f"ignored while locked (worn={status.worn})",
+            )
+        elif status.worn and self._state is SessionState.OFF_WRIST:
             self._state = SessionState.WORN
             self._record(
                 "wear_check",
@@ -123,26 +208,110 @@ class SessionManager:
             )
         return status
 
-    def submit_entry(self, trial: PinEntryTrial,
-                     claimed_pin: Optional[str] = None) -> AuthDecision:
+    def _register_failure(self, now: float) -> None:
+        """Advance the retry ladder after a failed entry."""
+        self._failures += 1
+        if self._retry is None:
+            return
+        if self._failures >= self._retry.max_failures:
+            self._state = SessionState.LOCKED
+            self._record(
+                "lockout",
+                f"{self._failures} consecutive failures; session locked "
+                "until explicit unlock",
+            )
+            return
+        delay = self._retry.backoff(self._failures)
+        if delay > 0:
+            self._not_before = now + delay
+            self._record(
+                "backoff",
+                f"failure {self._failures}/{self._retry.max_failures}; "
+                f"next entry no earlier than +{delay:.1f}s",
+            )
+
+    def submit_entry(
+        self,
+        trial: PinEntryTrial,
+        claimed_pin: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> AuthDecision:
         """Evaluate a PIN entry within the session.
 
+        Args:
+            trial: the PIN-entry trial.
+            claimed_pin: the PIN the typist entered; defaults to the
+                digits recorded in the trial.
+            now: wall-clock time of the attempt, seconds, for the
+                backoff ladder; defaults to an internal logical clock
+                advancing 1 s per submission.
+
         Raises:
-            AuthenticationError: when the watch is not worn — an
-                off-wrist entry cannot carry the wearer's biometric and
-                must not even be scored.
+            AuthenticationError: when the watch is not worn (an
+                off-wrist entry cannot carry the wearer's biometric),
+                when the session is locked, or when the attempt lands
+                inside a retry backoff window.
+            QualityError: when the authenticator's degradation policy
+                refuses the trial; counts as a failed attempt on the
+                retry ladder (the user is re-prompted, not rejected).
         """
+        if now is None:
+            now = self._clock
+        self._clock = max(self._clock, now) + 1.0
+        if self._state is SessionState.LOCKED:
+            self._record("entry", "refused: session is locked")
+            raise AuthenticationError(
+                "session is locked after too many failed entries; unlock "
+                "through the fallback authentication path"
+            )
+        if self._retry is not None and now < self._not_before:
+            remaining = self._not_before - now
+            self._record(
+                "entry",
+                f"refused: retry backoff for another {remaining:.1f}s",
+            )
+            raise AuthenticationError(
+                f"retry backoff in effect; wait another {remaining:.1f}s"
+            )
         if self._state is SessionState.OFF_WRIST:
             raise AuthenticationError(
                 "cannot authenticate while the watch is off-wrist"
             )
-        decision = self._auth.authenticate(trial, claimed_pin=claimed_pin)
+        try:
+            decision = self._auth.authenticate(trial, claimed_pin=claimed_pin)
+        except QualityError as err:
+            self._record("entry", f"quality rejection: {err}")
+            self._register_failure(now)
+            raise
+        for event in decision.degradation:
+            self._record(
+                "degradation", f"{event.stage}: {event.action} ({event.detail})"
+            )
         if decision.accepted:
+            self._failures = 0
+            self._not_before = 0.0
             self._state = SessionState.AUTHENTICATED
             self._record("entry", f"accepted: {decision.reason}")
         else:
             self._record("entry", f"rejected: {decision.reason}")
+            self._register_failure(now)
         return decision
+
+    def unlock(self, reason: str = "fallback authentication") -> None:
+        """Clear a lockout after out-of-band verification.
+
+        The deployment story's escape hatch: the phone-side fallback
+        (e.g. account password) vouches for the user, the ladder
+        resets, and the session returns to ``OFF_WRIST`` — wear and a
+        fresh PIN entry are still required.
+        """
+        if self._state is not SessionState.LOCKED:
+            self._record("unlock", f"no-op: not locked ({reason})")
+            return
+        self._failures = 0
+        self._not_before = 0.0
+        self._state = SessionState.OFF_WRIST
+        self._record("unlock", reason)
 
     def require_reauth(self, reason: str = "sensitive action") -> None:
         """Demote an authenticated session to WORN (step-up auth).

@@ -28,6 +28,17 @@ class SegmentationError(SignalError):
     """Keystroke segmentation could not produce a valid waveform window."""
 
 
+class QualityError(SignalError):
+    """A recording failed the signal-quality gate.
+
+    Raised by the degradation policy when a trial is too damaged to
+    score — not enough usable channels, a missing-sample gap beyond the
+    repair budget, or keystroke artifacts invisible over the noise
+    floor. Distinct from a *rejection*: the system refuses to make a
+    biometric decision at all rather than decide on garbage.
+    """
+
+
 class EnrollmentError(P2AuthError):
     """User enrollment failed (e.g. too few samples to train a model)."""
 

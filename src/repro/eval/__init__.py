@@ -18,20 +18,36 @@ from .featurecache import (
 from .metrics import accuracy, equal_error_rate, true_rejection_rate
 from .protocol import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
 from .reporting import format_table
+from .robustness import (
+    ProbeCounts,
+    RobustnessCell,
+    build_report,
+    evaluate_recovery,
+    evaluate_robustness_cell,
+    render_markdown,
+    run_robustness_sweep,
+)
 
 __all__ = [
     "CacheStats",
     "ConditionResult",
     "FeatureCache",
+    "ProbeCounts",
+    "RobustnessCell",
     "UserEvaluation",
     "accuracy",
+    "build_report",
     "cache_stats",
     "clear_default_cache",
     "default_cache",
     "equal_error_rate",
     "evaluate_condition",
+    "evaluate_recovery",
+    "evaluate_robustness_cell",
     "evaluate_user",
     "format_table",
+    "render_markdown",
+    "run_robustness_sweep",
     "sharing_enabled",
     "true_rejection_rate",
 ]

@@ -1,0 +1,546 @@
+"""Robustness evaluation: the pipeline under injected faults.
+
+The Section V protocol measures P2Auth on clean signals. This harness
+asks the deployment question instead: *what happens when the input is
+damaged?* It sweeps a grid of fault type × intensity × victim (faults
+from :mod:`repro.faults`, applied to probe trials only — enrollment
+stays clean, as registration happens under supervision), and reports
+three numbers per cell:
+
+- **FRR** — false rejection rate on the victim's own (faulted) entries,
+  counting quality refusals as rejections: from the user's point of
+  view a re-prompt is a failure to get in.
+- **FAR** — false acceptance rate over random + emulating attacks under
+  the same fault. The never-accept invariant demands this stays at the
+  clean baseline or below: damage may cost usability, never security.
+- **quality-rejection rate** — the fraction of all probes the
+  degradation ladder refused to decide on (typed
+  :class:`~repro.errors.QualityError` / other pipeline errors), as
+  opposed to scoring and rejecting.
+
+A *recovery* comparison runs one fault class under three policies —
+no policy, gate-only, and the full ladder — to show the ladder turning
+refusals/errors into decisions (ISSUE acceptance: a single dead channel
+must recover to a decision, never to an acceptance of garbage).
+
+Determinism: every probe's fault draws from
+:func:`repro.faults.fault_rng` keyed on (sweep seed, fault, intensity,
+probe kind, victim, index), so a parallel sweep (PR-1 process pool)
+produces exactly the rows of a serial one. The sweep seed resolves
+explicit value → ``REPRO_FAULT_SEED`` → 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import PAPER_PINS
+from ..core import DegradationPolicy, EnrollmentOptions, P2Auth
+from ..core.enrollment import SHAREABLE_FEATURE_METHODS
+from ..data import StudyData, ThirdPartyStore, enroll_test_split
+from ..errors import ConfigurationError, P2AuthError, QualityError
+from ..faults import FAULT_TYPES, fault_rng, make_fault, resolve_fault_seed
+from ..types import PinEntryTrial
+from .featurecache import default_cache, sharing_enabled
+from .parallel import run_tasks
+
+#: Default intensity grid of a full sweep.
+DEFAULT_INTENSITIES: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0)
+
+#: CI smoke subset: two representative fault classes at the extremes.
+SMOKE_FAULTS: Tuple[str, ...] = ("channel_dropout", "sample_dropout")
+SMOKE_INTENSITIES: Tuple[float, ...] = (0.0, 1.0)
+
+#: Policies compared by the recovery analysis.
+RECOVERY_MODES: Tuple[str, ...] = ("none", "gate_only", "full")
+
+
+@dataclass(frozen=True)
+class ProbeCounts:
+    """Outcome tally over one set of probes.
+
+    Attributes:
+        accepted: probes the authenticator accepted.
+        rejected: probes scored and rejected (a biometric decision).
+        quality_refused: probes the ladder refused via
+            :class:`~repro.errors.QualityError` (no decision made).
+        errors: probes that raised any other typed pipeline error
+            (still never an acceptance).
+    """
+
+    accepted: int = 0
+    rejected: int = 0
+    quality_refused: int = 0
+    errors: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of probes tallied."""
+        return self.accepted + self.rejected + self.quality_refused + self.errors
+
+    @property
+    def decided(self) -> int:
+        """Probes that reached a biometric decision (accept or reject)."""
+        return self.accepted + self.rejected
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "quality_refused": self.quality_refused,
+            "errors": self.errors,
+        }
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """One grid cell: a fault at an intensity against one victim.
+
+    Attributes:
+        fault: fault name from :data:`repro.faults.FAULT_TYPES`.
+        intensity: the fault's severity knob.
+        victim_id: the enrolled victim probed.
+        legit: outcomes over the victim's own faulted entries.
+        attack: outcomes over faulted random + emulating attacks.
+    """
+
+    fault: str
+    intensity: float
+    victim_id: int
+    legit: ProbeCounts
+    attack: ProbeCounts
+
+    @property
+    def frr(self) -> float:
+        """False rejection rate: legit probes that did not get in."""
+        if self.legit.total == 0:
+            return float("nan")
+        return 1.0 - self.legit.accepted / self.legit.total
+
+    @property
+    def far(self) -> float:
+        """False acceptance rate over the faulted attack probes."""
+        if self.attack.total == 0:
+            return float("nan")
+        return self.attack.accepted / self.attack.total
+
+    @property
+    def quality_rejection_rate(self) -> float:
+        """Fraction of all probes refused without a decision."""
+        total = self.legit.total + self.attack.total
+        if total == 0:
+            return float("nan")
+        refused = (
+            self.legit.quality_refused
+            + self.legit.errors
+            + self.attack.quality_refused
+            + self.attack.errors
+        )
+        return refused / total
+
+
+def _probe(
+    auth: P2Auth,
+    trials: Sequence[PinEntryTrial],
+    fault_name: str,
+    intensity: float,
+    kind: str,
+    victim_id: int,
+    seed: int,
+) -> ProbeCounts:
+    """Fault and authenticate each trial, tallying the outcomes."""
+    fault = make_fault(fault_name, intensity)
+    accepted = rejected = quality = errors = 0
+    for index, trial in enumerate(trials):
+        rng = fault_rng(seed, fault_name, intensity, kind, victim_id, index)
+        faulted = fault.apply(trial, rng)
+        try:
+            decision = auth.authenticate(faulted)
+        except QualityError:
+            quality += 1
+            continue
+        except P2AuthError:
+            errors += 1
+            continue
+        except (ValueError, FloatingPointError):
+            # Without a degradation policy, NaN-poisoned input crashes
+            # deep in scipy/numpy with untyped errors — the behaviour
+            # the ladder exists to replace. Tally it as an error so the
+            # recovery comparison can show the contrast.
+            errors += 1
+            continue
+        if decision.accepted:
+            accepted += 1
+        else:
+            rejected += 1
+    return ProbeCounts(
+        accepted=accepted,
+        rejected=rejected,
+        quality_refused=quality,
+        errors=errors,
+    )
+
+
+def _enroll_victim(
+    data: StudyData,
+    victim_id: int,
+    pin: str,
+    attacker_ids: Sequence[int],
+    enroll_n: int,
+    test_n: int,
+    third_party_n: int,
+    num_features: int,
+    policy: Optional[DegradationPolicy],
+) -> Tuple[P2Auth, List[PinEntryTrial]]:
+    """Enroll one victim on clean trials; return the auth and test set.
+
+    Mirrors the clean-protocol split of
+    :func:`repro.eval.protocol.evaluate_user` (one-handed enrollment,
+    shared third-party negatives through the process-wide cache).
+    """
+    attacker_ids = list(attacker_ids)
+    if victim_id in attacker_ids:
+        raise ConfigurationError("the victim cannot attack themselves")
+    contributor_ids = [
+        uid
+        for uid in range(data.n_users)
+        if uid != victim_id and uid not in attacker_ids
+    ]
+    if not contributor_ids:
+        raise ConfigurationError("no users left to populate the third-party store")
+
+    pool = data.trials(victim_id, pin, "one_handed", enroll_n + test_n)
+    enroll_trials, test_trials = enroll_test_split(pool, enroll_n)
+    store = ThirdPartyStore(data, contributor_ids, pin, "one_handed")
+    third_party = store.sample(third_party_n)
+
+    options = EnrollmentOptions(num_features=num_features)
+    auth = P2Auth(pin=pin, options=options, policy=policy)
+    bank = None
+    if sharing_enabled(None) and options.feature_method in SHAREABLE_FEATURE_METHODS:
+        bank = default_cache().negative_bank(third_party, auth.config, options)
+    auth.enroll(enroll_trials, third_party, shared_negatives=bank)
+    return auth, list(test_trials)
+
+
+def evaluate_robustness_cell(
+    data: StudyData,
+    fault_name: str,
+    intensity: float,
+    victim_id: int,
+    pin: str = PAPER_PINS[0],
+    *,
+    attacker_ids: Sequence[int] = (),
+    enroll_n: int = 9,
+    test_n: int = 9,
+    third_party_n: int = 100,
+    ra_per_attacker: int = 5,
+    ea_per_attacker: int = 5,
+    num_features: int = 9996,
+    seed: int = 0,
+    policy: Optional[DegradationPolicy] = None,
+) -> RobustnessCell:
+    """Evaluate one grid cell.
+
+    Enrollment is clean; the fault hits probe trials only. ``policy``
+    defaults to the full degradation ladder (pass an explicit policy —
+    or ``None`` via :func:`evaluate_recovery` — to change that).
+    """
+    if fault_name not in FAULT_TYPES:
+        raise ConfigurationError(
+            f"unknown fault {fault_name!r}; known: {sorted(FAULT_TYPES)}"
+        )
+    if policy is None:
+        policy = DegradationPolicy()
+    auth, test_trials = _enroll_victim(
+        data, victim_id, pin, attacker_ids, enroll_n, test_n,
+        third_party_n, num_features, policy,
+    )
+
+    legit = _probe(
+        auth, test_trials, fault_name, intensity, "legit", victim_id, seed
+    )
+
+    attack_trials: List[PinEntryTrial] = []
+    for attacker_id in attacker_ids:
+        attack_trials.extend(
+            data.random_attack_trials(
+                attacker_id, ra_per_attacker, pin_pool=PAPER_PINS
+            )
+        )
+        attack_trials.extend(
+            data.emulating_trials(attacker_id, victim_id, pin, ea_per_attacker)
+        )
+    attack = _probe(
+        auth, attack_trials, fault_name, intensity, "attack", victim_id, seed
+    )
+
+    return RobustnessCell(
+        fault=fault_name,
+        intensity=float(intensity),
+        victim_id=victim_id,
+        legit=legit,
+        attack=attack,
+    )
+
+
+def run_robustness_sweep(
+    data: StudyData,
+    faults: Optional[Sequence[str]] = None,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    victim_ids: Sequence[int] = (0,),
+    *,
+    n_jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    **kwargs: Any,
+) -> List[RobustnessCell]:
+    """Sweep the fault × intensity × victim grid.
+
+    Args:
+        data: the study dataset.
+        faults: fault names; defaults to every registered fault,
+            alphabetically.
+        intensities: the severity grid.
+        victim_ids: victims evaluated per grid point.
+        n_jobs: process-pool fan-out (see :mod:`repro.eval.parallel`);
+            rows are identical to a serial run.
+        seed: sweep fault seed; ``None`` resolves ``REPRO_FAULT_SEED``
+            then 0.
+        **kwargs: forwarded to :func:`evaluate_robustness_cell`.
+
+    Returns:
+        Cells in (victim, fault, intensity) order — victims outermost so
+        a chunked pool keeps one victim's shared negatives on one worker.
+    """
+    fault_names = (
+        tuple(faults) if faults is not None else tuple(sorted(FAULT_TYPES))
+    )
+    resolved_seed = resolve_fault_seed(seed)
+    tasks = [
+        partial(
+            evaluate_robustness_cell, data, fault_name, intensity, victim_id,
+            seed=resolved_seed, **kwargs,
+        )
+        for victim_id in victim_ids
+        for fault_name in fault_names
+        for intensity in intensities
+    ]
+    per_victim = max(1, len(fault_names) * len(intensities))
+    return run_tasks(tasks, n_jobs=n_jobs, chunksize=per_victim)
+
+
+def _recovery_policy(mode: str) -> Optional[DegradationPolicy]:
+    """The degradation policy behind a recovery-comparison mode."""
+    if mode == "none":
+        return None
+    if mode == "gate_only":
+        return DegradationPolicy(repair_gaps=False, channel_fallback=False)
+    if mode == "full":
+        return DegradationPolicy()
+    raise ConfigurationError(
+        f"unknown recovery mode {mode!r}; known: {list(RECOVERY_MODES)}"
+    )
+
+
+def evaluate_recovery(
+    data: StudyData,
+    fault_name: str = "channel_dropout",
+    intensity: float = 1.0,
+    victim_id: int = 0,
+    pin: str = PAPER_PINS[0],
+    *,
+    enroll_n: int = 9,
+    test_n: int = 9,
+    third_party_n: int = 100,
+    num_features: int = 9996,
+    seed: int = 0,
+) -> Dict[str, Dict[str, int]]:
+    """Compare the degradation ladder against weaker policies.
+
+    Runs the victim's own entries under one fault through three
+    authenticators — no policy, quality gate only, and the full ladder —
+    and tallies outcomes per mode. The acceptance claim: the full
+    ladder converts refusals/errors into *decisions* (and recovers
+    genuine acceptances) without ever accepting what the weaker modes
+    refused as corrupt.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for mode in RECOVERY_MODES:
+        auth, test_trials = _enroll_victim(
+            data, victim_id, pin, (), enroll_n, test_n,
+            third_party_n, num_features, _recovery_policy(mode),
+        )
+        counts = _probe(
+            auth, test_trials, fault_name, intensity, "legit", victim_id, seed
+        )
+        out[mode] = counts.as_dict()
+    return out
+
+
+def _aggregate(
+    cells: Sequence[RobustnessCell],
+) -> List[Dict[str, Any]]:
+    """Collapse per-victim cells into per-(fault, intensity) rows."""
+    grouped: Dict[Tuple[str, float], List[RobustnessCell]] = {}
+    for cell in cells:
+        grouped.setdefault((cell.fault, cell.intensity), []).append(cell)
+    rows: List[Dict[str, Any]] = []
+    for (fault, intensity) in sorted(grouped):
+        members = grouped[(fault, intensity)]
+        legit = ProbeCounts(
+            accepted=sum(c.legit.accepted for c in members),
+            rejected=sum(c.legit.rejected for c in members),
+            quality_refused=sum(c.legit.quality_refused for c in members),
+            errors=sum(c.legit.errors for c in members),
+        )
+        attack = ProbeCounts(
+            accepted=sum(c.attack.accepted for c in members),
+            rejected=sum(c.attack.rejected for c in members),
+            quality_refused=sum(c.attack.quality_refused for c in members),
+            errors=sum(c.attack.errors for c in members),
+        )
+        pooled = RobustnessCell(
+            fault=fault, intensity=intensity, victim_id=-1,
+            legit=legit, attack=attack,
+        )
+        rows.append(
+            {
+                "fault": fault,
+                "intensity": intensity,
+                "frr": round(pooled.frr, 4),
+                "far": round(pooled.far, 4),
+                "quality_rejection_rate": round(
+                    pooled.quality_rejection_rate, 4
+                ),
+                "legit": legit.as_dict(),
+                "attack": attack.as_dict(),
+                "n_victims": len(members),
+            }
+        )
+    return rows
+
+
+def build_report(
+    cells: Sequence[RobustnessCell],
+    recovery: Optional[Mapping[str, Mapping[str, int]]] = None,
+    *,
+    seed: int = 0,
+    label: str = "default",
+) -> Dict[str, Any]:
+    """Assemble the JSON-serialisable robustness report.
+
+    Deliberately timestamp-free: regenerating with the same seed and
+    grid produces a byte-identical ``ROBUSTNESS.json``.
+    """
+    rows = _aggregate(cells)
+    # The security invariant is relative, not absolute: emulating
+    # attackers occasionally beat the clean biometric (the paper's TRR
+    # is below 100%), so the clean intensity-0 column sets each fault's
+    # FAR baseline — damage may never push FAR above it.
+    baselines: Dict[str, float] = {
+        r["fault"]: r["far"]
+        for r in rows
+        # reprolint: disable-next=RL005 -- exact no-op grid coordinate
+        if r["intensity"] == 0.0
+    }
+    excess = [
+        r["far"] - baselines[r["fault"]]
+        for r in rows
+        if r["fault"] in baselines
+    ]
+    report: Dict[str, Any] = {
+        "meta": {
+            "label": label,
+            "seed": seed,
+            "faults": sorted({c.fault for c in cells}),
+            "intensities": sorted({c.intensity for c in cells}),
+            "victims": sorted({c.victim_id for c in cells}),
+        },
+        "grid": rows,
+        "invariants": {
+            "max_far": max((r["far"] for r in rows), default=float("nan")),
+            "baseline_far": baselines,
+            "max_excess_far": round(max(excess), 4) if excess else None,
+            "faults_never_increase_far": (
+                all(e <= 0 for e in excess) if excess else None
+            ),
+        },
+    }
+    if recovery is not None:
+        report["recovery"] = {
+            "fault": "channel_dropout",
+            "intensity": 1.0,
+            "modes": {mode: dict(counts) for mode, counts in recovery.items()},
+        }
+    return report
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """Render a report as the committed ``ROBUSTNESS.md`` table."""
+    lines = [
+        "# Robustness sweep",
+        "",
+        f"Label: `{report['meta']['label']}`, fault seed "
+        f"{report['meta']['seed']}. Enrollment is clean; faults hit probe "
+        "trials only. FRR counts quality refusals as rejections; the "
+        "quality-rejection rate is the fraction of all probes refused "
+        "without a biometric decision.",
+        "",
+        "| fault | intensity | FRR | FAR | quality-rejection rate |",
+        "|---|---|---|---|---|",
+    ]
+    for row in report["grid"]:
+        lines.append(
+            f"| {row['fault']} | {row['intensity']:.2f} | "
+            f"{row['frr']:.3f} | {row['far']:.3f} | "
+            f"{row['quality_rejection_rate']:.3f} |"
+        )
+    recovery = report.get("recovery")
+    if recovery:
+        lines.extend(
+            [
+                "",
+                "## Degradation-ladder recovery",
+                "",
+                f"Fault `{recovery['fault']}` at intensity "
+                f"{recovery['intensity']:.2f}, victim's own entries, by "
+                "policy:",
+                "",
+                "| policy | accepted | rejected | quality refused | errors |",
+                "|---|---|---|---|---|",
+            ]
+        )
+        for mode in RECOVERY_MODES:
+            counts = recovery["modes"].get(mode)
+            if counts is None:
+                continue
+            lines.append(
+                f"| {mode} | {counts['accepted']} | {counts['rejected']} | "
+                f"{counts['quality_refused']} | {counts['errors']} |"
+            )
+    never = report["invariants"]["faults_never_increase_far"]
+    if never is None:
+        verdict = "not checkable (no intensity-0 baseline in the grid)"
+    elif never:
+        verdict = "**holds** — no fault raised FAR above its clean baseline"
+    else:
+        verdict = "**VIOLATED**"
+    lines.extend(
+        [
+            "",
+            f"Security invariant: {verdict} "
+            f"(max FAR {report['invariants']['max_far']:.3f}, max excess "
+            f"over baseline "
+            + (
+                f"{report['invariants']['max_excess_far']:+.3f}"
+                if report["invariants"]["max_excess_far"] is not None
+                else "n/a"
+            )
+            + ").",
+            "",
+        ]
+    )
+    return "\n".join(lines)

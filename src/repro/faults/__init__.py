@@ -1,0 +1,48 @@
+"""Seeded, composable fault injection for robustness evaluation.
+
+``repro.faults`` models the sensing failures a deployed P2Auth sees in
+the field — BLE sample loss, clock drift and timestamp coalescing,
+channel death, sensor disconnects, gain drift, and motion bursts. Every
+injector is a frozen dataclass with one ``intensity`` knob, is a
+bit-exact no-op at intensity 0, and draws all randomness from an
+explicit seeded generator, so fault sweeps are deterministic and
+parallel rows match serial rows (see :mod:`repro.eval.robustness`).
+"""
+
+from .base import (
+    FAULT_SEED_ENV,
+    FaultChain,
+    FaultInjector,
+    fault_rng,
+    resolve_fault_seed,
+    stable_fault_seed,
+)
+from .injectors import (
+    FAULT_TYPES,
+    ChannelDropout,
+    ClockDrift,
+    GainDrift,
+    MotionArtifactBurst,
+    SampleDropout,
+    SensorDisconnect,
+    TimestampDuplication,
+    make_fault,
+)
+
+__all__ = [
+    "FAULT_SEED_ENV",
+    "FAULT_TYPES",
+    "ChannelDropout",
+    "ClockDrift",
+    "FaultChain",
+    "FaultInjector",
+    "GainDrift",
+    "MotionArtifactBurst",
+    "SampleDropout",
+    "SensorDisconnect",
+    "TimestampDuplication",
+    "fault_rng",
+    "make_fault",
+    "resolve_fault_seed",
+    "stable_fault_seed",
+]

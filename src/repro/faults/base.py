@@ -1,0 +1,139 @@
+"""Fault-injection foundations: the injector contract and seeding rules.
+
+A fault injector is a frozen dataclass with a single ``intensity`` knob
+in ``[0, 1]`` and an ``apply(trial, rng)`` method returning a new
+:class:`~repro.types.PinEntryTrial`. Two properties hold for every
+injector in :mod:`repro.faults`:
+
+- **Bit-exact no-op at zero** — ``apply`` returns the input trial
+  object untouched when ``intensity == 0``, so a sweep's zero column is
+  guaranteed identical to the clean baseline (parity-tested).
+- **Seeded determinism** — all randomness comes from the caller-supplied
+  ``numpy`` generator; :func:`fault_rng` derives one from stable content
+  (sweep seed, fault name, grid coordinates), so parallel sweep rows
+  reproduce serial rows exactly.
+
+``REPRO_FAULT_SEED`` plays the role ``REPRO_N_JOBS`` plays for the
+fan-out: an environment-level default consulted when no explicit seed
+is given (see :func:`resolve_fault_seed`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import PinEntryTrial
+
+#: Environment variable consulted when no explicit fault seed is given.
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+def resolve_fault_seed(seed: Optional[int] = None) -> int:
+    """Resolve the sweep fault seed: explicit value, then env var, then 0.
+
+    Args:
+        seed: requested seed; ``None`` consults ``REPRO_FAULT_SEED``.
+
+    Returns:
+        A non-negative integer seed.
+
+    Raises:
+        ConfigurationError: on a negative seed or a ``REPRO_FAULT_SEED``
+            value that does not parse as an integer — operator mistakes
+            that must fail loudly instead of silently changing the sweep.
+    """
+    source = "seed"
+    if seed is None:
+        raw = os.environ.get(FAULT_SEED_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            seed = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{FAULT_SEED_ENV} must be an integer, got {raw!r}"
+            )
+        source = FAULT_SEED_ENV
+    seed = int(seed)
+    if seed < 0:
+        raise ConfigurationError(f"{source} must be >= 0, got {seed}")
+    return seed
+
+
+def stable_fault_seed(*parts: object) -> int:
+    """Derive a stable 64-bit seed from heterogeneous key parts.
+
+    The same content-hash scheme :class:`repro.data.StudyData` uses for
+    trial generation: sweeps stay deterministic across processes and
+    platforms because the seed depends only on the key parts' reprs.
+    """
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def fault_rng(*parts: object) -> np.random.Generator:
+    """A deterministic generator keyed by sweep coordinates."""
+    return np.random.default_rng(stable_fault_seed(*parts))
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Base class of all fault injectors.
+
+    Attributes:
+        intensity: severity knob in ``[0, 1]``. Zero is a guaranteed
+            bit-exact no-op; one is the worst case the fault models.
+    """
+
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ConfigurationError(
+                f"fault intensity must be in [0, 1], got {self.intensity}"
+            )
+
+    def apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        """Return a faulted copy of ``trial`` (or ``trial`` itself at 0).
+
+        Args:
+            trial: the clean trial.
+            rng: seeded generator driving every random choice.
+        """
+        # reprolint: disable-next=RL005 -- exact no-op sentinel, not a tolerance
+        if self.intensity == 0.0:
+            return trial
+        return self._apply(trial, rng)
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultChain:
+    """Apply several injectors in sequence (composition).
+
+    A chain of all-zero-intensity injectors is itself a bit-exact no-op:
+    each stage hands the identical trial object through.
+    """
+
+    faults: Tuple[FaultInjector, ...]
+
+    def apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        """Apply every fault in order, threading one generator through."""
+        for fault in self.faults:
+            trial = fault.apply(trial, rng)
+        return trial

@@ -1,0 +1,291 @@
+"""The fault taxonomy: concrete injectors for field-realistic failures.
+
+Each injector models one failure mode of the phone + BLE-wearable
+deployment (Sec. III/VII): radio loss, clock disagreement, sensor
+degradation, and motion. All of them scale with a single ``intensity``
+knob and are bit-exact no-ops at zero (see
+:class:`~repro.faults.base.FaultInjector`).
+
+Dropped PPG samples are marked ``NaN`` by default: a BLE receiver knows
+*which* frames went missing (sequence numbers), so "known-missing" is
+the honest representation and is what the degradation policy's bounded
+gap repair targets. ``fill="hold"`` models a naive receiver that
+repeats the last frame instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import KeystrokeEvent, PinEntryTrial
+from .base import FaultInjector
+
+#: Fill modes for dropped samples.
+DROPOUT_FILLS = ("nan", "hold")
+
+
+def _with_samples(trial: PinEntryTrial, samples: np.ndarray) -> PinEntryTrial:
+    return dataclasses.replace(
+        trial, recording=trial.recording.with_samples(samples)
+    )
+
+
+def _with_events(
+    trial: PinEntryTrial, events: Tuple[KeystrokeEvent, ...]
+) -> PinEntryTrial:
+    return dataclasses.replace(trial, events=events)
+
+
+@dataclass(frozen=True)
+class SampleDropout(FaultInjector):
+    """BLE-style sample loss: random bursts of frames never arrive.
+
+    Attributes:
+        max_drop_fraction: fraction of samples lost at intensity 1.
+        max_burst_s: longest single burst, seconds.
+        fill: "nan" (known-missing, repairable) or "hold" (naive
+            receiver repeating the last received frame).
+    """
+
+    max_drop_fraction: float = 0.25
+    max_burst_s: float = 0.12
+    fill: str = "nan"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fill not in DROPOUT_FILLS:
+            raise ConfigurationError(
+                f"fill must be one of {DROPOUT_FILLS}, got {self.fill!r}"
+            )
+        if not 0.0 < self.max_drop_fraction <= 1.0:
+            raise ConfigurationError("max_drop_fraction must be in (0, 1]")
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        recording = trial.recording
+        n = recording.n_samples
+        max_burst = max(1, int(round(self.max_burst_s * recording.fs)))
+        target = int(round(self.intensity * self.max_drop_fraction * n))
+        mask = np.zeros(n, dtype=bool)
+        # A BLE frame carries all channels, so the mask is shared.
+        while int(mask.sum()) < target:
+            length = int(rng.integers(1, max_burst + 1))
+            start = int(rng.integers(0, max(1, n - length + 1)))
+            mask[start:start + length] = True
+        if not mask.any():
+            return trial
+        samples = recording.samples.copy()
+        if self.fill == "nan":
+            samples[:, mask] = np.nan
+        else:
+            # Zero-order hold: repeat the last received frame across
+            # each burst; a burst at the head repeats the first frame.
+            held = np.where(mask, -1, np.arange(n))
+            held = np.maximum.accumulate(held)
+            first_good = int(np.argmax(~mask))
+            held[held < 0] = first_good
+            samples = samples[:, held]
+        return _with_samples(trial, samples)
+
+
+@dataclass(frozen=True)
+class ClockDrift(FaultInjector):
+    """Phone↔wearable clock disagreement on reported keystroke times.
+
+    A constant offset (communication-path asymmetry) plus a linear
+    drift (crystal tolerance) corrupt every ``reported_time``; the
+    press-order invariant is preserved because the drift is monotone.
+
+    Attributes:
+        max_offset_s: offset magnitude at intensity 1, seconds.
+        max_drift: drift rate magnitude at intensity 1 (s per s).
+    """
+
+    max_offset_s: float = 0.15
+    max_drift: float = 0.04
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        offset = float(rng.choice((-1.0, 1.0))) * self.intensity * self.max_offset_s
+        drift = float(rng.choice((-1.0, 1.0))) * self.intensity * self.max_drift
+        start = trial.recording.start_time
+        events = tuple(
+            dataclasses.replace(
+                event,
+                reported_time=event.reported_time
+                + offset
+                + drift * (event.reported_time - start),
+            )
+            for event in trial.events
+        )
+        return _with_events(trial, events)
+
+
+@dataclass(frozen=True)
+class TimestampDuplication(FaultInjector):
+    """BLE notification coalescing: a keystroke inherits the previous
+    keystroke's timestamp.
+
+    When the radio stack batches notifications, distinct presses reach
+    the wearable time-stamped together. Each event after the first is
+    stamped with its predecessor's (possibly already duplicated)
+    reported time with probability ``intensity``.
+    """
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        events: List[KeystrokeEvent] = list(trial.events)
+        for i in range(1, len(events)):
+            if float(rng.random()) < self.intensity:
+                events[i] = dataclasses.replace(
+                    events[i], reported_time=events[i - 1].reported_time
+                )
+        return _with_events(trial, tuple(events))
+
+
+@dataclass(frozen=True)
+class ChannelDropout(FaultInjector):
+    """Mid-trial channel death: one channel stops delivering data.
+
+    A randomly chosen channel goes ``NaN`` from an onset point to the
+    end of the recording. ``intensity`` sets the dead fraction of the
+    trial: 1.0 kills the channel from the first sample — the "single
+    dead channel" case the degradation ladder must recover.
+    """
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        recording = trial.recording
+        channel = int(rng.integers(0, recording.n_channels))
+        onset = int(round((1.0 - self.intensity) * recording.n_samples))
+        if onset >= recording.n_samples:
+            return trial
+        samples = recording.samples.copy()
+        samples[channel, onset:] = np.nan
+        return _with_samples(trial, samples)
+
+
+@dataclass(frozen=True)
+class SensorDisconnect(FaultInjector):
+    """Sensor disconnect: the recording truncates before the entry ends.
+
+    Attributes:
+        max_fraction: tail fraction lost at intensity 1. Keystroke
+            events are *not* rewritten — the whole point is that late
+            events now reference samples that never arrived.
+    """
+
+    max_fraction: float = 0.6
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        recording = trial.recording
+        n = recording.n_samples
+        lost = int(round(self.intensity * self.max_fraction * n))
+        keep = max(8, n - lost)
+        if keep >= n:
+            return trial
+        return _with_samples(trial, recording.samples[:, :keep].copy())
+
+
+@dataclass(frozen=True)
+class GainDrift(FaultInjector):
+    """Slow per-channel gain drift (LED aging, contact pressure).
+
+    Each channel's amplitude ramps linearly to ``1 ± intensity *
+    max_gain`` over the trial, with an independent random direction per
+    channel.
+
+    Attributes:
+        max_gain: relative gain change at intensity 1.
+    """
+
+    max_gain: float = 0.75
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        recording = trial.recording
+        signs = rng.choice((-1.0, 1.0), size=recording.n_channels)
+        ramp = np.linspace(0.0, 1.0, recording.n_samples)
+        factors = 1.0 + signs[:, np.newaxis] * self.intensity * self.max_gain * ramp
+        return _with_samples(trial, recording.samples * factors)
+
+
+@dataclass(frozen=True)
+class MotionArtifactBurst(FaultInjector):
+    """Motion-artifact bursts: smooth high-amplitude wrist-motion bumps.
+
+    Adds Hann-windowed low-frequency bursts, coherent across channels
+    (the wrist moves as one), with amplitude scaling with ``intensity``
+    relative to each channel's own dynamic range.
+
+    Attributes:
+        n_bursts: bursts per entry.
+        width_s: (min, max) burst width in seconds.
+        max_relative_amplitude: burst amplitude at intensity 1, as a
+            multiple of the per-channel peak-to-peak range.
+    """
+
+    n_bursts: int = 2
+    width_s: Tuple[float, float] = (0.3, 0.8)
+    max_relative_amplitude: float = 1.5
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        recording = trial.recording
+        n = recording.n_samples
+        samples = recording.samples.copy()
+        ptp = np.ptp(samples, axis=1)
+        scale = self.intensity * self.max_relative_amplitude
+        for _ in range(self.n_bursts):
+            width = max(
+                4,
+                int(round(float(rng.uniform(*self.width_s)) * recording.fs)),
+            )
+            width = min(width, n)
+            start = int(rng.integers(0, max(1, n - width + 1)))
+            sign = float(rng.choice((-1.0, 1.0)))
+            bump = np.hanning(width) * sign
+            samples[:, start:start + width] += (
+                scale * ptp[:, np.newaxis] * bump[np.newaxis, :]
+            )
+        return _with_samples(trial, samples)
+
+
+#: Registry of all fault types, keyed by sweep/CLI name. Every
+#: constructor takes the intensity as its only required argument.
+FAULT_TYPES: Dict[str, Callable[[float], FaultInjector]] = {
+    "sample_dropout": SampleDropout,
+    "clock_drift": ClockDrift,
+    "timestamp_duplication": TimestampDuplication,
+    "channel_dropout": ChannelDropout,
+    "sensor_disconnect": SensorDisconnect,
+    "gain_drift": GainDrift,
+    "motion_burst": MotionArtifactBurst,
+}
+
+
+def make_fault(name: str, intensity: float) -> FaultInjector:
+    """Build a registered fault by name.
+
+    Raises:
+        ConfigurationError: on an unknown fault name.
+    """
+    factory = FAULT_TYPES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown fault {name!r}; choose from {sorted(FAULT_TYPES)}"
+        )
+    return factory(intensity)

@@ -34,6 +34,10 @@ DEAD_CHANNEL_VARIANCE = 1e-12
 #: considered saturated.
 SATURATION_FRACTION = 0.05
 
+#: Minimum fraction of finite samples for a channel to count as usable;
+#: below this, gap repair cannot reconstruct anything trustworthy.
+MIN_FINITE_FRACTION = 0.5
+
 
 @dataclass(frozen=True)
 class ChannelQuality:
@@ -45,17 +49,23 @@ class ChannelQuality:
         dynamic_range: peak-to-peak amplitude.
         dead: variance below :data:`DEAD_CHANNEL_VARIANCE`.
         saturated: too many samples pinned at the extremes.
+        finite_fraction: fraction of samples that are finite — below
+            1.0 when the receiver marked dropped samples as NaN.
     """
 
     noise_level: float
     dynamic_range: float
     dead: bool
     saturated: bool
+    finite_fraction: float = 1.0
 
     @property
     def usable(self) -> bool:
         """Whether this channel can contribute to authentication."""
-        return not (self.dead or self.saturated)
+        return (
+            not (self.dead or self.saturated)
+            and self.finite_fraction >= MIN_FINITE_FRACTION
+        )
 
 
 @dataclass(frozen=True)
@@ -93,26 +103,40 @@ def channel_quality(
     if samples.ndim != 1 or samples.size < 3:
         raise SignalError("channel quality needs a 1-D signal of >= 3 samples")
 
-    variance = float(np.var(samples))
+    finite_mask = np.isfinite(samples)
+    finite_fraction = float(np.mean(finite_mask))
+    clean = samples[finite_mask]
+    if clean.size < 3:
+        # Effectively no data arrived on this channel.
+        return ChannelQuality(
+            noise_level=float("inf"),
+            dynamic_range=0.0,
+            dead=True,
+            saturated=False,
+            finite_fraction=finite_fraction,
+        )
+
+    variance = float(np.var(clean))
     dead = variance < DEAD_CHANNEL_VARIANCE
 
-    diffs = np.abs(np.diff(samples))
+    diffs = np.abs(np.diff(clean))
     noise = float(np.median(diffs)) / 0.6745
 
-    rail = full_scale if full_scale is not None else float(np.max(np.abs(samples)))
+    rail = full_scale if full_scale is not None else float(np.max(np.abs(clean)))
     if rail <= 0:
         saturated = False
     else:
-        at_rail = np.mean(np.abs(samples) >= 0.999 * rail)
+        at_rail = np.mean(np.abs(clean) >= 0.999 * rail)
         # With an inferred rail some samples always touch it; only an
         # excessive dwell time counts.
         saturated = bool(at_rail > SATURATION_FRACTION) and not dead
 
     return ChannelQuality(
         noise_level=noise,
-        dynamic_range=float(np.ptp(samples)),
+        dynamic_range=float(np.ptp(clean)),
         dead=dead,
         saturated=saturated,
+        finite_fraction=finite_fraction,
     )
 
 
@@ -153,7 +177,11 @@ def assess_recording(
             np.mean(usable_rows, axis=0), config.detrend_lambda
         )
         energy = short_time_energy(reference, config.energy_window)
-        background = float(np.median(energy))
+        if not bool(np.all(np.isfinite(energy))):
+            # Non-finite stretches make artifact visibility unmeasurable;
+            # the verdict below then fails closed when events are given.
+            energy = np.zeros(0)
+        background = float(np.median(energy)) if energy.size else 0.0
         peaks = []
         for event in events:
             index = int(round((event.reported_time - recording.start_time)

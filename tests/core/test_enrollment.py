@@ -287,3 +287,73 @@ class TestSharedNegatives:
             enroll_trials, [], options=options, shared_negatives=bank
         )
         assert shared.full_model is not None
+
+
+class TestEnrollmentQualityGate:
+    def test_clean_trials_pass_default_gate(self, enroll_trials, third_trials):
+        models = enroll_models(
+            enroll_trials,
+            third_trials,
+            options=EnrollmentOptions(num_features=FEATURES),
+        )
+        assert models.options.quality_gate
+        assert models.full_model is not None
+
+    def test_flat_trial_rejected_with_typed_error(
+        self, enroll_trials, third_trials
+    ):
+        import dataclasses
+
+        flat = dataclasses.replace(
+            enroll_trials[2],
+            recording=enroll_trials[2].recording.with_samples(
+                np.zeros_like(enroll_trials[2].recording.samples)
+            ),
+        )
+        trials = list(enroll_trials)
+        trials[2] = flat
+        with pytest.raises(EnrollmentError, match="trial 2"):
+            enroll_models(
+                trials,
+                third_trials,
+                options=EnrollmentOptions(num_features=FEATURES),
+            )
+
+    def test_nan_trial_rejected_with_typed_error(
+        self, enroll_trials, third_trials
+    ):
+        import dataclasses
+
+        samples = enroll_trials[0].recording.samples.copy()
+        samples[1, 40:200] = np.nan
+        damaged = dataclasses.replace(
+            enroll_trials[0],
+            recording=enroll_trials[0].recording.with_samples(samples),
+        )
+        trials = [damaged] + list(enroll_trials[1:])
+        with pytest.raises(EnrollmentError, match="non-finite"):
+            enroll_models(
+                trials,
+                third_trials,
+                options=EnrollmentOptions(num_features=FEATURES),
+            )
+
+    def test_gate_can_be_disabled(self, enroll_trials, third_trials):
+        import dataclasses
+
+        flat = dataclasses.replace(
+            enroll_trials[2],
+            recording=enroll_trials[2].recording.with_samples(
+                np.zeros_like(enroll_trials[2].recording.samples)
+            ),
+        )
+        trials = list(enroll_trials)
+        trials[2] = flat
+        # With the gate off, the old train-on-anything behaviour returns
+        # (segmentation may still skip the unusable trial downstream).
+        models = enroll_models(
+            trials,
+            third_trials,
+            options=EnrollmentOptions(num_features=FEATURES, quality_gate=False),
+        )
+        assert models.full_model is not None

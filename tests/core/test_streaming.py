@@ -108,3 +108,61 @@ class TestDetection:
         detector.push(rng.normal(size=(1, 100)))
         detector.flush()
         assert detector.flush() == []
+
+
+class TestEdgeCases:
+    def test_empty_chunk_is_noop(self, rng):
+        detector = StreamingKeystrokeDetector(fs=100.0)
+        assert detector.push(np.empty((4, 0))) == []
+        assert detector.samples_seen == 0
+        # The stream continues normally afterwards.
+        detector.push(rng.normal(size=(4, 50)))
+        assert detector.samples_seen == 50
+
+    def test_empty_chunks_do_not_change_events(self, population, synthesizer):
+        rng = np.random.default_rng(13)
+        trial = synthesizer.synthesize_trial(population[0], "1628", rng)
+        samples = trial.recording.samples
+
+        plain = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        reference = [e.index for e in _run(plain, samples)]
+
+        detector = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        events = []
+        for start in range(0, samples.shape[1], 25):
+            events.extend(detector.push(np.empty((samples.shape[0], 0))))
+            events.extend(detector.push(samples[:, start:start + 25]))
+        events.extend(detector.flush())
+        assert [e.index for e in events] == reference
+
+    def test_chunk_larger_than_window(self, population, synthesizer):
+        rng = np.random.default_rng(14)
+        trial = synthesizer.synthesize_trial(population[1], "1628", rng)
+        samples = trial.recording.samples
+        detector = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        assert samples.shape[1] > detector.window
+        one_shot = [e.index for e in _run(detector, samples, samples.shape[1])]
+        reference_detector = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        reference = [e.index for e in _run(reference_detector, samples, 25)]
+        assert one_shot == reference
+
+    def test_flush_after_flush_after_events(self, population, synthesizer):
+        rng = np.random.default_rng(15)
+        trial = synthesizer.synthesize_trial(population[0], "1628", rng)
+        detector = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        detector.push(trial.recording.samples)
+        detector.flush()
+        assert detector.flush() == []
+        assert detector.flush() == []
+
+    def test_reset_restores_bit_identical_sequence(
+        self, population, synthesizer
+    ):
+        rng = np.random.default_rng(16)
+        trial = synthesizer.synthesize_trial(population[2], "1628", rng)
+        detector = StreamingKeystrokeDetector(fs=trial.recording.fs)
+        first = _run(detector, trial.recording.samples)
+        detector.reset()
+        second = _run(detector, trial.recording.samples)
+        # Full dataclass equality: index, time, energy, and threshold.
+        assert first == second

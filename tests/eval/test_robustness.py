@@ -1,0 +1,195 @@
+"""Tests for the robustness evaluation harness."""
+
+import json
+
+import pytest
+
+from repro.data import StudyData
+from repro.eval.robustness import (
+    ProbeCounts,
+    RobustnessCell,
+    build_report,
+    evaluate_recovery,
+    evaluate_robustness_cell,
+    render_markdown,
+    run_robustness_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_SEED_ENV
+
+#: Small everything: the harness logic is under test, not the models.
+SMALL = dict(
+    attacker_ids=(1,),
+    enroll_n=6,
+    test_n=3,
+    third_party_n=18,
+    ra_per_attacker=1,
+    ea_per_attacker=1,
+    num_features=840,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return StudyData(n_users=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def cells(data):
+    return run_robustness_sweep(
+        data,
+        faults=("channel_dropout", "gain_drift"),
+        intensities=(0.0, 1.0),
+        victim_ids=(0,),
+        seed=0,
+        **SMALL,
+    )
+
+
+class TestSweep:
+    def test_grid_shape(self, cells):
+        assert len(cells) == 4
+        coords = {(c.fault, c.intensity) for c in cells}
+        assert ("channel_dropout", 0.0) in coords
+        assert ("gain_drift", 1.0) in coords
+
+    def test_counts_are_complete(self, cells):
+        for cell in cells:
+            assert cell.legit.total == SMALL["test_n"]
+            assert cell.attack.total == 2  # 1 random + 1 emulating
+
+    def test_intensity_zero_matches_clean_baseline(self, cells):
+        """The no-op property end to end: every fault's zero column is
+        the same clean evaluation."""
+        zero = [c for c in cells if c.intensity == 0.0]
+        reference = (zero[0].legit, zero[0].attack)
+        for cell in zero[1:]:
+            assert (cell.legit, cell.attack) == reference
+
+    def test_serial_equals_parallel(self, data, cells):
+        parallel = run_robustness_sweep(
+            data,
+            faults=("channel_dropout", "gain_drift"),
+            intensities=(0.0, 1.0),
+            victim_ids=(0,),
+            n_jobs=2,
+            seed=0,
+            **SMALL,
+        )
+        assert parallel == cells
+
+    def test_seed_changes_faulted_cells_only_deterministically(self, data):
+        a = evaluate_robustness_cell(
+            data, "channel_dropout", 1.0, 0, seed=0, **SMALL
+        )
+        b = evaluate_robustness_cell(
+            data, "channel_dropout", 1.0, 0, seed=0, **SMALL
+        )
+        assert a == b
+
+    def test_env_seed_plumbing(self, data, monkeypatch):
+        monkeypatch.setenv(FAULT_SEED_ENV, "3")
+        from_env = run_robustness_sweep(
+            data,
+            faults=("gain_drift",),
+            intensities=(1.0,),
+            victim_ids=(0,),
+            **SMALL,
+        )
+        explicit = run_robustness_sweep(
+            data,
+            faults=("gain_drift",),
+            intensities=(1.0,),
+            victim_ids=(0,),
+            seed=3,
+            **SMALL,
+        )
+        assert from_env == explicit
+
+    def test_unknown_fault_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            evaluate_robustness_cell(data, "bitrot", 0.5, 0, **SMALL)
+
+
+class TestRecovery:
+    def test_full_ladder_recovers_dead_channel(self, data):
+        recovery = evaluate_recovery(
+            data,
+            victim_id=0,
+            enroll_n=6,
+            test_n=3,
+            third_party_n=18,
+            num_features=840,
+            seed=0,
+        )
+        assert set(recovery) == {"none", "gate_only", "full"}
+        # Without the ladder a fully dead channel never reaches a
+        # decision; with it, every probe does — and none by error.
+        assert recovery["none"]["accepted"] == 0
+        full = recovery["full"]
+        assert full["accepted"] + full["rejected"] == 3
+        assert full["errors"] == 0 and full["quality_refused"] == 0
+
+
+class TestReport:
+    def test_structure_and_serialisable(self, cells):
+        report = build_report(cells, seed=0, label="test")
+        json.dumps(report)  # must be JSON-clean
+        assert report["meta"]["faults"] == ["channel_dropout", "gain_drift"]
+        assert len(report["grid"]) == 4
+        for row in report["grid"]:
+            assert 0.0 <= row["frr"] <= 1.0
+            assert 0.0 <= row["far"] <= 1.0
+
+    def test_far_invariant_uses_zero_baseline(self, cells):
+        report = build_report(cells, seed=0, label="test")
+        inv = report["invariants"]
+        assert set(inv["baseline_far"]) == {"channel_dropout", "gain_drift"}
+        assert inv["faults_never_increase_far"] in (True, False)
+
+    def test_invariant_unknown_without_baseline(self):
+        cell = RobustnessCell(
+            fault="gain_drift",
+            intensity=1.0,
+            victim_id=0,
+            legit=ProbeCounts(accepted=1),
+            attack=ProbeCounts(rejected=1),
+        )
+        report = build_report([cell], seed=0, label="test")
+        assert report["invariants"]["faults_never_increase_far"] is None
+
+    def test_markdown_renders_grid_and_recovery(self, cells):
+        recovery = {
+            "none": ProbeCounts(errors=3).as_dict(),
+            "gate_only": ProbeCounts(quality_refused=3).as_dict(),
+            "full": ProbeCounts(accepted=3).as_dict(),
+        }
+        text = render_markdown(build_report(cells, recovery, seed=0, label="t"))
+        assert "| channel_dropout | 0.00 |" in text
+        assert "Degradation-ladder recovery" in text
+        assert "| full | 3 | 0 | 0 | 0 |" in text
+
+
+class TestProbeCounts:
+    def test_rates(self):
+        cell = RobustnessCell(
+            fault="gain_drift",
+            intensity=0.5,
+            victim_id=0,
+            legit=ProbeCounts(accepted=2, rejected=1, quality_refused=1),
+            attack=ProbeCounts(accepted=1, rejected=3),
+        )
+        assert cell.frr == pytest.approx(0.5)
+        assert cell.far == pytest.approx(0.25)
+        assert cell.quality_rejection_rate == pytest.approx(1 / 8)
+
+    def test_empty_cells_are_nan(self):
+        cell = RobustnessCell(
+            fault="gain_drift",
+            intensity=0.5,
+            victim_id=0,
+            legit=ProbeCounts(),
+            attack=ProbeCounts(),
+        )
+        assert cell.frr != cell.frr  # NaN
+        assert cell.far != cell.far

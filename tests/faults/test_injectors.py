@@ -1,0 +1,200 @@
+"""Unit tests for the fault-injection subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_SEED_ENV,
+    FAULT_TYPES,
+    ChannelDropout,
+    ClockDrift,
+    FaultChain,
+    GainDrift,
+    SampleDropout,
+    SensorDisconnect,
+    TimestampDuplication,
+    fault_rng,
+    make_fault,
+    resolve_fault_seed,
+    stable_fault_seed,
+)
+
+
+def _trials_equal(a, b):
+    """Bit-exact trial comparison (NaN-aware on the samples)."""
+    return (
+        np.array_equal(a.recording.samples, b.recording.samples, equal_nan=True)
+        and a.recording.fs == b.recording.fs
+        and a.events == b.events
+        and a.pin == b.pin
+    )
+
+
+class TestSeeding:
+    def test_resolve_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SEED_ENV, "99")
+        assert resolve_fault_seed(3) == 3
+
+    def test_resolve_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SEED_ENV, "42")
+        assert resolve_fault_seed() == 42
+
+    def test_resolve_default_zero(self, monkeypatch):
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        assert resolve_fault_seed() == 0
+
+    def test_resolve_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fault_seed(-1)
+
+    def test_resolve_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SEED_ENV, "not-a-seed")
+        with pytest.raises(ConfigurationError):
+            resolve_fault_seed()
+
+    def test_stable_seed_is_content_keyed(self):
+        assert stable_fault_seed(1, "a", 0.5) == stable_fault_seed(1, "a", 0.5)
+        assert stable_fault_seed(1, "a", 0.5) != stable_fault_seed(1, "b", 0.5)
+
+    def test_fault_rng_reproduces(self):
+        a = fault_rng(7, "sample_dropout", 0.5).random(4)
+        b = fault_rng(7, "sample_dropout", 0.5).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestNoOpAtZero:
+    @pytest.mark.parametrize("name", sorted(FAULT_TYPES))
+    def test_intensity_zero_returns_same_object(self, name, one_trial):
+        fault = make_fault(name, 0.0)
+        out = fault.apply(one_trial, fault_rng(0, name))
+        assert out is one_trial
+
+    def test_zero_chain_is_identity(self, one_trial):
+        chain = FaultChain(
+            faults=tuple(make_fault(name, 0.0) for name in sorted(FAULT_TYPES))
+        )
+        assert chain.apply(one_trial, fault_rng(0, "chain")) is one_trial
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(FAULT_TYPES))
+    def test_same_seed_same_output(self, name, one_trial):
+        fault = make_fault(name, 0.7)
+        a = fault.apply(one_trial, fault_rng(3, name, 0.7))
+        b = fault.apply(one_trial, fault_rng(3, name, 0.7))
+        assert _trials_equal(a, b)
+
+    def test_different_seed_differs(self, one_trial):
+        fault = SampleDropout(intensity=0.8)
+        a = fault.apply(one_trial, fault_rng(1, "sd"))
+        b = fault.apply(one_trial, fault_rng(2, "sd"))
+        assert not _trials_equal(a, b)
+
+
+class TestValidation:
+    def test_intensity_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SampleDropout(intensity=1.5)
+        with pytest.raises(ConfigurationError):
+            ChannelDropout(intensity=-0.1)
+
+    def test_unknown_fault_name(self):
+        with pytest.raises(ConfigurationError):
+            make_fault("cosmic_rays", 0.5)
+
+    def test_bad_dropout_fill(self):
+        with pytest.raises(ConfigurationError):
+            SampleDropout(intensity=0.5, fill="zero")
+
+    def test_registry_covers_all_injectors(self):
+        assert sorted(FAULT_TYPES) == [
+            "channel_dropout",
+            "clock_drift",
+            "gain_drift",
+            "motion_burst",
+            "sample_dropout",
+            "sensor_disconnect",
+            "timestamp_duplication",
+        ]
+
+
+class TestFaultSemantics:
+    def test_sample_dropout_marks_nan_on_all_channels(self, one_trial):
+        fault = SampleDropout(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "sd"))
+        missing = ~np.isfinite(out.recording.samples)
+        # A BLE frame carries all channels: the mask is shared.
+        assert missing.any()
+        assert np.array_equal(missing[0], missing[1])
+        fraction = float(np.mean(missing[0]))
+        assert fraction <= fault.max_drop_fraction + 0.05
+
+    def test_sample_dropout_hold_keeps_finite(self, one_trial):
+        fault = SampleDropout(intensity=1.0, fill="hold")
+        out = fault.apply(one_trial, fault_rng(0, "sd"))
+        assert np.all(np.isfinite(out.recording.samples))
+        assert not np.array_equal(
+            out.recording.samples, one_trial.recording.samples
+        )
+
+    def test_clock_drift_moves_reported_not_true_times(self, one_trial):
+        fault = ClockDrift(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "cd"))
+        for before, after in zip(one_trial.events, out.events):
+            assert after.true_time == before.true_time
+            assert after.reported_time != before.reported_time
+        # Monotone drift preserves press order.
+        reported = [e.reported_time for e in out.events]
+        assert reported == sorted(reported)
+
+    def test_timestamp_duplication_copies_predecessor(self, one_trial):
+        fault = TimestampDuplication(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "td"))
+        reported = [e.reported_time for e in out.events]
+        # Probability 1: every event inherits the first one's stamp.
+        assert len(set(reported)) == 1
+        assert reported[0] == one_trial.events[0].reported_time
+
+    def test_channel_dropout_kills_one_channel(self, one_trial):
+        fault = ChannelDropout(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "chd"))
+        dead = [
+            i
+            for i in range(out.recording.n_channels)
+            if np.all(np.isnan(out.recording.samples[i]))
+        ]
+        assert len(dead) == 1
+
+    def test_sensor_disconnect_truncates_but_keeps_events(self, one_trial):
+        fault = SensorDisconnect(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "dc"))
+        assert out.recording.n_samples < one_trial.recording.n_samples
+        assert out.events == one_trial.events
+
+    def test_gain_drift_ramps_from_unity(self, one_trial):
+        fault = GainDrift(intensity=1.0)
+        out = fault.apply(one_trial, fault_rng(0, "gd"))
+        # The ramp starts at gain 1.0: first sample is untouched.
+        assert np.allclose(
+            out.recording.samples[:, 0], one_trial.recording.samples[:, 0]
+        )
+        assert not np.allclose(
+            out.recording.samples[:, -1], one_trial.recording.samples[:, -1]
+        )
+
+    def test_motion_burst_preserves_shape_and_finiteness(self, one_trial):
+        fault = make_fault("motion_burst", 1.0)
+        out = fault.apply(one_trial, fault_rng(0, "mb"))
+        assert out.recording.samples.shape == one_trial.recording.samples.shape
+        assert np.all(np.isfinite(out.recording.samples))
+        assert not np.array_equal(
+            out.recording.samples, one_trial.recording.samples
+        )
+
+    def test_chain_composes_in_order(self, one_trial):
+        chain = FaultChain(
+            faults=(GainDrift(intensity=0.5), SensorDisconnect(intensity=1.0))
+        )
+        out = chain.apply(one_trial, fault_rng(0, "chain"))
+        assert out.recording.n_samples < one_trial.recording.n_samples

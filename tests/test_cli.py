@@ -55,3 +55,24 @@ class TestCommands:
         assert main(["simulate"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("time,")
+
+    def test_robustness_unknown_fault(self, capsys):
+        assert main(["robustness", "--faults", "bitrot"]) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_robustness_markdown_table(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--faults",
+                "gain_drift",
+                "--intensities",
+                "0,1",
+                "--features",
+                "840",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| fault | intensity |" in out
+        assert "gain_drift" in out

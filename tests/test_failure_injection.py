@@ -12,7 +12,10 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.errors import P2AuthError
+from repro.core import DegradationPolicy, EnrollmentOptions, P2Auth
+from repro.data import ThirdPartyStore
+from repro.errors import EnrollmentError, P2AuthError
+from repro.faults import FAULT_TYPES, FaultChain, fault_rng, make_fault
 from repro.types import KeystrokeEvent, PPGRecording
 
 PIN = "1628"
@@ -103,6 +106,77 @@ class TestStructuralCorruption:
         trial = study_data.trials(0, PIN, "one_handed", 1)[0]
         truncated = _corrupt_recording(trial, trial.recording.samples[:, :120])
         _authenticate_never_accepts(enrolled_auth, truncated)
+
+
+class TestInjectedFaults:
+    """Every registered injector at worst case, through the full stack."""
+
+    @pytest.mark.parametrize("name", sorted(FAULT_TYPES))
+    def test_attacker_never_accepted_under_fault(
+        self, name, enrolled_auth, study_data
+    ):
+        """Damage must never help an attacker in, policy or not."""
+        fault = make_fault(name, 1.0)
+        for index, trial in enumerate(
+            study_data.trials(5, PIN, "one_handed", 3)
+        ):
+            rng = fault_rng(0, name, "attack", index)
+            _authenticate_never_accepts(enrolled_auth, fault.apply(trial, rng))
+
+    @pytest.mark.parametrize("name", sorted(FAULT_TYPES))
+    def test_attacker_never_accepted_with_ladder(self, name, study_data):
+        """Same invariant with the degradation ladder enabled: repair
+        must recover the legitimate user, never the attacker."""
+        auth = P2Auth(
+            pin=PIN,
+            options=EnrollmentOptions(num_features=840),
+            policy=DegradationPolicy(),
+        )
+        auth.enroll(
+            study_data.trials(0, PIN, "one_handed", 7),
+            ThirdPartyStore(study_data, [1, 2, 3, 4], PIN).sample(24),
+        )
+        fault = make_fault(name, 1.0)
+        for index, trial in enumerate(
+            study_data.trials(6, PIN, "one_handed", 3)
+        ):
+            rng = fault_rng(1, name, "attack", index)
+            _authenticate_never_accepts(auth, fault.apply(trial, rng))
+
+    def test_chained_faults_never_accepted(self, enrolled_auth, study_data):
+        """Compound damage (dropout + drift + motion) on an attacker."""
+        chain = FaultChain(
+            faults=(
+                make_fault("sample_dropout", 0.8),
+                make_fault("clock_drift", 0.8),
+                make_fault("motion_burst", 0.8),
+            )
+        )
+        for index, trial in enumerate(
+            study_data.trials(5, PIN, "one_handed", 3)
+        ):
+            rng = fault_rng(2, "chain", index)
+            _authenticate_never_accepts(enrolled_auth, chain.apply(trial, rng))
+
+    @pytest.mark.parametrize("name", sorted(FAULT_TYPES))
+    def test_enrollment_on_faulted_trials_gates_or_trains(
+        self, name, study_data
+    ):
+        """Enrollment on max-intensity faulted trials must either raise
+        a typed EnrollmentError (quality gate) or produce a working
+        authenticator — never crash with an untyped error."""
+        fault = make_fault(name, 1.0)
+        trials = [
+            fault.apply(t, fault_rng(3, name, "enroll", i))
+            for i, t in enumerate(study_data.trials(0, PIN, "one_handed", 7))
+        ]
+        auth = P2Auth(pin=PIN, options=EnrollmentOptions(num_features=840))
+        store = ThirdPartyStore(study_data, [1, 2, 3, 4], PIN)
+        try:
+            auth.enroll(trials, store.sample(24))
+        except EnrollmentError:
+            return
+        assert auth.enrolled
 
 
 class TestDeadChannels:

@@ -39,3 +39,33 @@ class TestRunExperimentsScript:
         assert code == 0
         out = capsys.readouterr().out
         assert "### Fig. 9" in out
+
+
+@pytest.fixture(scope="module")
+def run_robustness():
+    spec = importlib.util.spec_from_file_location(
+        "run_robustness", SCRIPTS / "run_robustness.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunRobustnessScript:
+    def test_smoke_writes_report_and_table(self, run_robustness, tmp_path):
+        out = tmp_path / "rob.json"
+        code = run_robustness.main(["--smoke", "--out", str(out)])
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["meta"]["label"] == "smoke"
+        assert report["recovery"]["modes"]["full"]["errors"] == 0
+        table = (tmp_path / "rob.md").read_text()
+        assert "| fault | intensity |" in table
+
+    def test_smoke_is_seed_reproducible(self, run_robustness, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert run_robustness.main(["--smoke", "--seed", "7", "--out", str(a)]) == 0
+        assert run_robustness.main(["--smoke", "--seed", "7", "--out", str(b)]) == 0
+        assert a.read_text() == b.read_text()
