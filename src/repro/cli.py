@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+from . import __version__
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .eval.experiments import ExperimentResult
 
@@ -33,6 +35,24 @@ def _all_runners() -> "Dict[str, Callable[..., ExperimentResult]]":
     return runners
 
 
+_JOBS_HELP = (
+    "worker processes for evaluation fan-out "
+    "(default: REPRO_N_JOBS or 1; 0 = all cores)"
+)
+
+
+def _add_common_options(
+    sub: argparse.ArgumentParser,
+    *,
+    jobs_help: str = _JOBS_HELP,
+    seed_help: str = "seed override",
+    seed_default: Optional[int] = None,
+) -> None:
+    """Give a subcommand the uniform ``--jobs`` / ``--seed`` options."""
+    sub.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    sub.add_argument("--seed", type=int, default=seed_default, help=seed_help)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("Available experiments:")
     for name, runner in _all_runners().items():
@@ -42,10 +62,14 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
     from .eval.experiments import DEFAULT, PAPER, SMOKE
 
     scales = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
     scale = scales[args.scale]
+    if args.seed is not None:
+        scale = dc_replace(scale, seed=args.seed)
     runners = _all_runners()
     names = list(runners) if args.id == "all" else [args.id]
     unknown = [n for n in names if n not in runners]
@@ -188,11 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="P2Auth reproduction (ICDCS 2023) command-line interface",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments").set_defaults(
-        func=_cmd_list
+    lst = sub.add_parser("list", help="list available experiments")
+    _add_common_options(
+        lst,
+        jobs_help="accepted for interface uniformity; listing runs no jobs",
+        seed_help="accepted for interface uniformity; listing uses no seed",
     )
+    lst.set_defaults(func=_cmd_list)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("id", help="fig8..fig17, tab1, or 'all'")
@@ -202,12 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="smoke",
         help="evaluation scale (default: smoke)",
     )
-    exp.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for evaluation fan-out "
-        "(default: REPRO_N_JOBS or 1; 0 = all cores)",
+    _add_common_options(
+        exp, seed_help="override the scale's population seed"
     )
     exp.set_defaults(func=_cmd_experiment)
 
@@ -230,17 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=2520,
         help="MiniRocket feature count for enrollment (default: 2520)",
     )
-    rob.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
-    )
-    rob.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="fault seed (default: REPRO_FAULT_SEED or 0)",
+    _add_common_options(
+        rob,
+        jobs_help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+        seed_help="fault seed (default: REPRO_FAULT_SEED or 0)",
     )
     rob.add_argument(
         "--json", action="store_true", help="emit the JSON report on stdout"
@@ -249,17 +272,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="enroll + authenticate + attacks")
     demo.add_argument("--pin", default="1628")
-    demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--attempts", type=int, default=10)
+    _add_common_options(
+        demo,
+        jobs_help="accepted for interface uniformity; the demo runs serially",
+        seed_help="population and trial seed (default: 7)",
+        seed_default=7,
+    )
     demo.set_defaults(func=_cmd_demo)
 
     sim = sub.add_parser("simulate", help="dump one synthetic trial as CSV")
     sim.add_argument("--user", type=int, default=0)
     sim.add_argument("--pin", default="1628")
-    sim.add_argument("--seed", type=int, default=0, help="population seed")
     sim.add_argument("--trial-seed", type=int, default=0)
     sim.add_argument("--two-handed", action="store_true")
     sim.add_argument("--out", help="output CSV path (default: stdout)")
+    _add_common_options(
+        sim,
+        jobs_help="accepted for interface uniformity; simulation is serial",
+        seed_help="population seed (default: 0)",
+        seed_default=0,
+    )
     sim.set_defaults(func=_cmd_simulate)
 
     return parser

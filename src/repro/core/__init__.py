@@ -2,19 +2,46 @@
 
 The workflow of Fig. 4, end to end: preprocessing (`pipeline`), input
 case identification (`input_case`), privacy-boost waveform fusion
-(`fusion`), PIN verification (`pin`), enrollment (`enrollment`),
-authentication with results integration (`authentication`), the
-:class:`P2Auth` facade (`authenticator`), and the attack models
-(`attacks`).
+(`fusion`), PIN verification (`pin`), enrollment (`enrollment`, a
+façade over the `models` / `negatives` / `enroll` split),
+authentication through the staged engine (`stages`), the
+:class:`P2Auth` facade (`authenticator`), the multi-user
+:class:`ModelRegistry` (`registry`), and the attack models (`attacks`).
 """
 
 from .attacks import EmulatingAttacker, RandomAttacker
 from .authentication import AuthDecision, authenticate_preprocessed
 from .authenticator import P2Auth
 from .degradation import DegradationEvent, DegradationPolicy, apply_policy
-from .persistence import load_authenticator, save_authenticator
+from .persistence import (
+    load_authenticator,
+    load_session,
+    save_authenticator,
+)
+from .registry import ModelRegistry, NpzDirectoryBackend, RegistryBackend
 from .session import RetryPolicy, SessionEvent, SessionManager, SessionState
-from .streaming import DetectedKeystroke, StreamingKeystrokeDetector
+from .stages import (
+    AuthPipeline,
+    ClassifyStage,
+    DecideStage,
+    FeatureBlock,
+    Features,
+    FeaturizeStage,
+    Preprocessed,
+    PreprocessStage,
+    Recording,
+    Repaired,
+    RepairStage,
+    Scores,
+    SegmentStage,
+    Segments,
+    Stage,
+)
+from .streaming import (
+    DetectedKeystroke,
+    StreamingAuthenticator,
+    StreamingKeystrokeDetector,
+)
 from .wear import WearStatus, detect_wear
 from .enrollment import (
     EnrolledModels,
@@ -36,22 +63,41 @@ from .pipeline import PreprocessedTrial, preprocess_trial, preprocess_trials
 
 __all__ = [
     "AuthDecision",
+    "AuthPipeline",
+    "ClassifyStage",
+    "DecideStage",
     "DegradationEvent",
     "DegradationPolicy",
     "DetectedKeystroke",
     "EmulatingAttacker",
     "EnrolledModels",
     "EnrollmentOptions",
+    "FeatureBlock",
+    "Features",
+    "FeaturizeStage",
+    "ModelRegistry",
     "NegativeBank",
+    "NpzDirectoryBackend",
     "P2Auth",
+    "Preprocessed",
+    "PreprocessStage",
+    "Recording",
+    "RegistryBackend",
+    "Repaired",
+    "RepairStage",
     "RetryPolicy",
+    "Scores",
+    "SegmentStage",
+    "Segments",
     "SharedNegativeSet",
+    "Stage",
     "PinVerifier",
     "PreprocessedTrial",
     "RandomAttacker",
     "SessionEvent",
     "SessionManager",
     "SessionState",
+    "StreamingAuthenticator",
     "StreamingKeystrokeDetector",
     "WaveformModel",
     "WearStatus",
@@ -62,6 +108,7 @@ __all__ = [
     "detect_wear",
     "enroll_models",
     "load_authenticator",
+    "load_session",
     "extract_full_waveform",
     "extract_fused_waveform",
     "extract_segments",

@@ -12,91 +12,23 @@ case decides which model runs:
 - **fewer than 2 detected** — rejected outright (Section IV-B.2.6);
 - **NO-PIN mode** — per-key models on all detected keystrokes with
   the same 2-of-3 style integration, no PIN check.
+
+The actual sequence lives in the staged engine
+(:mod:`repro.core.stages`); this module keeps the historical functional
+surface — :class:`AuthDecision`, :func:`_integrate`, and
+:func:`authenticate_preprocessed` — as thin delegations so existing
+imports and call sites are untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..errors import AuthenticationError
-from ..types import InputCase
-from .degradation import DegradationEvent
-from .enrollment import (
-    EnrolledModels,
-    extract_full_waveform,
-    extract_fused_waveform,
-    extract_segments,
-)
-from .input_case import identify_input_case
+from .models import EnrolledModels
 from .pipeline import PreprocessedTrial
+from .stages import AuthDecision, AuthPipeline, Preprocessed, _integrate
 
-
-@dataclass(frozen=True)
-class AuthDecision:
-    """Outcome of one authentication attempt.
-
-    Attributes:
-        accepted: the final verdict.
-        reason: short human-readable explanation.
-        input_case: the identified input case (None if PIN failed
-            before signal analysis).
-        pin_ok: result of PIN verification (None in NO-PIN mode).
-        scores: classifier scores that contributed to the verdict.
-        keys_checked: keys whose single-waveform models ran.
-        passes: per-key pass flags aligned with ``keys_checked``.
-        degradation: rungs of the degradation ladder taken before the
-            decision (empty when no policy ran or nothing was wrong).
-    """
-
-    accepted: bool
-    reason: str
-    input_case: Optional[InputCase] = None
-    pin_ok: Optional[bool] = None
-    scores: Tuple[float, ...] = field(default_factory=tuple)
-    keys_checked: Tuple[str, ...] = field(default_factory=tuple)
-    passes: Tuple[bool, ...] = field(default_factory=tuple)
-    degradation: Tuple[DegradationEvent, ...] = field(default_factory=tuple)
-
-
-def _integrate(passes: Tuple[bool, ...]) -> bool:
-    """Results integration rule of Section IV-B.3.
-
-    3 keystrokes: pass if >= 2 legal. 2 keystrokes: all must be legal.
-    4+ keystrokes (NO-PIN one-handed entry): at most one may fail.
-    A single keystroke never authenticates.
-    """
-    n = len(passes)
-    hits = sum(passes)
-    if n <= 1:
-        return False
-    if n == 2:
-        return hits == 2
-    if n == 3:
-        return hits >= 2
-    return hits >= n - 1
-
-
-def _check_keystrokes(
-    models: EnrolledModels, preprocessed: PreprocessedTrial
-) -> Tuple[Tuple[str, ...], Tuple[float, ...], Tuple[bool, ...]]:
-    """Run the per-key models over every detected keystroke."""
-    keys = []
-    scores = []
-    passes = []
-    for segment in extract_segments(preprocessed, models.config):
-        keys.append(segment.key)
-        model = models.key_models.get(segment.key)
-        if model is None:
-            # A keystroke on a key never enrolled cannot be verified —
-            # it counts as a failed check, never as a free pass.
-            scores.append(float("-inf"))
-            passes.append(False)
-            continue
-        score = float(model.decision_function(segment.samples)[0])
-        scores.append(score)
-        passes.append(score > 0.0)
-    return tuple(keys), tuple(scores), tuple(passes)
+__all__ = ["AuthDecision", "authenticate_preprocessed", "_integrate"]
 
 
 def authenticate_preprocessed(
@@ -116,64 +48,7 @@ def authenticate_preprocessed(
     Returns:
         The authentication decision.
     """
-    if not no_pin_mode:
-        if pin_ok is None:
-            raise AuthenticationError("pin_ok is required outside NO-PIN mode")
-        if not pin_ok:
-            return AuthDecision(
-                accepted=False, reason="PIN verification failed", pin_ok=False
-            )
-
-    case = identify_input_case(preprocessed)
-    if case is InputCase.REJECT:
-        return AuthDecision(
-            accepted=False,
-            reason=(
-                f"only {preprocessed.detected_count} keystroke(s) detected; "
-                "at least two are required"
-            ),
-            input_case=case,
-            pin_ok=pin_ok,
-        )
-
-    if no_pin_mode or case is not InputCase.ONE_HANDED:
-        keys, scores, passes = _check_keystrokes(models, preprocessed)
-        accepted = _integrate(passes)
-        return AuthDecision(
-            accepted=accepted,
-            reason=(
-                f"{sum(passes)}/{len(passes)} keystroke waveforms legal "
-                f"({case.value})"
-            ),
-            input_case=case,
-            pin_ok=pin_ok,
-            scores=scores,
-            keys_checked=keys,
-            passes=passes,
-        )
-
-    # One-handed with a fixed PIN: full (or fused) waveform model.
-    options = models.options
-    if options.privacy_boost:
-        if models.fused_model is None:
-            raise AuthenticationError("privacy boost enabled but no fused model")
-        waveform = extract_fused_waveform(preprocessed, models.config)
-        score = float(models.fused_model.decision_function(waveform)[0])
-        label = "fused waveform"
-    else:
-        if models.full_model is None:
-            raise AuthenticationError("no full-waveform model enrolled")
-        waveform = extract_full_waveform(
-            preprocessed, options.full_window, options.full_margin
-        )
-        score = float(models.full_model.decision_function(waveform)[0])
-        label = "full waveform"
-
-    accepted = score > 0.0
-    return AuthDecision(
-        accepted=accepted,
-        reason=f"{label} score {score:+.3f} ({'legal' if accepted else 'illegal'})",
-        input_case=case,
-        pin_ok=pin_ok,
-        scores=(score,),
-    )
+    pipeline = AuthPipeline(models, no_pin_mode=no_pin_mode)
+    return pipeline.run_preprocessed(
+        [Preprocessed(trial=preprocessed, pin_ok=pin_ok)]
+    )[0]

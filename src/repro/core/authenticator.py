@@ -7,18 +7,22 @@ authentication with results integration. A typical session::
     auth = P2Auth(pin="1628")
     auth.enroll(my_trials, third_party_trials)
     decision = auth.authenticate(probe_trial)
+
+Since the stage refactor, P2Auth holds no pipeline logic of its own: it
+verifies the PIN and hands the probe to a cached
+:class:`~repro.core.stages.AuthPipeline` — the same stage objects that
+drive the session manager, the streaming front-end, and the evaluation
+harness.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..config import PipelineConfig
 from ..errors import EnrollmentError
 from ..types import PinEntryTrial
-from .authentication import AuthDecision, authenticate_preprocessed
-from .degradation import DegradationEvent, DegradationPolicy, apply_policy
+from .degradation import DegradationPolicy
 from .enrollment import (
     EnrolledModels,
     EnrollmentOptions,
@@ -26,7 +30,7 @@ from .enrollment import (
     enroll_models,
 )
 from .pin import PinVerifier
-from .pipeline import preprocess_trial
+from .stages import AuthDecision, AuthPipeline
 
 
 class P2Auth:
@@ -61,6 +65,7 @@ class P2Auth:
         self._options = options if options is not None else EnrollmentOptions()
         self._policy = policy
         self._models: Optional[EnrolledModels] = None
+        self._stage_pipeline: Optional[AuthPipeline] = None
 
     @property
     def no_pin_mode(self) -> bool:
@@ -94,6 +99,25 @@ class P2Auth:
         """The degradation policy in effect (``None`` = disabled)."""
         return self._policy
 
+    @property
+    def pipeline(self) -> AuthPipeline:
+        """The staged engine this authenticator runs (raises before
+        enrollment). Rebuilt automatically when the models change
+        (re-enrollment, archive load)."""
+        if self._models is None:
+            raise EnrollmentError("enroll a user before authenticating")
+        if (
+            self._stage_pipeline is None
+            or self._stage_pipeline.models is not self._models
+        ):
+            self._stage_pipeline = AuthPipeline(
+                self._models,
+                config=self._config,
+                policy=self._policy,
+                no_pin_mode=self.no_pin_mode,
+            )
+        return self._stage_pipeline
+
     def enroll(
         self,
         legit_trials: Sequence[PinEntryTrial],
@@ -118,7 +142,16 @@ class P2Auth:
             self._options,
             shared_negatives=shared_negatives,
         )
+        self._stage_pipeline = None
         return self
+
+    def _pin_verdict(
+        self, trial: PinEntryTrial, claimed_pin: Optional[str]
+    ) -> Optional[bool]:
+        if self.no_pin_mode:
+            return None
+        entered = claimed_pin if claimed_pin is not None else trial.pin
+        return self._pin.verify(entered)
 
     def authenticate(
         self,
@@ -140,28 +173,32 @@ class P2Auth:
                 trial is too damaged to score (gap beyond the repair
                 budget, too few usable channels, failed quality gate).
         """
-        if self._models is None:
-            raise EnrollmentError("enroll a user before authenticating")
-        entered = claimed_pin if claimed_pin is not None else trial.pin
-        pin_ok: Optional[bool]
-        if self.no_pin_mode:
-            pin_ok = None
-        else:
-            pin_ok = self._pin.verify(entered)
-            if not pin_ok:
-                # Short-circuit: no signal processing on a wrong PIN.
-                return AuthDecision(
-                    accepted=False,
-                    reason="PIN verification failed",
-                    pin_ok=False,
-                )
-        degradation: Tuple[DegradationEvent, ...] = ()
-        if self._policy is not None:
-            trial, degradation = apply_policy(trial, self._config, self._policy)
-        preprocessed = preprocess_trial(trial, self._config)
-        decision = authenticate_preprocessed(
-            self._models, preprocessed, pin_ok, no_pin_mode=self.no_pin_mode
-        )
-        if degradation:
-            decision = dataclasses.replace(decision, degradation=degradation)
-        return decision
+        return self.pipeline.run([trial], [self._pin_verdict(trial, claimed_pin)])[0]
+
+    def authenticate_many(
+        self,
+        trials: Sequence[PinEntryTrial],
+        claimed_pins: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[AuthDecision]:
+        """Authenticate a batch of probe trials in one pipeline pass.
+
+        Decision-for-decision identical to calling :meth:`authenticate`
+        in a loop, but the preprocessing runs batched (shared-shape
+        trials detrend as one banded solve).
+
+        Args:
+            trials: the probe trials.
+            claimed_pins: entered PINs, aligned with ``trials``; each
+                ``None`` entry defaults to that trial's recorded digits.
+        """
+        if claimed_pins is None:
+            claimed_pins = [None] * len(trials)
+        if len(claimed_pins) != len(trials):
+            raise EnrollmentError(
+                f"got {len(trials)} trials but {len(claimed_pins)} PINs"
+            )
+        verdicts = [
+            self._pin_verdict(trial, pin)
+            for trial, pin in zip(trials, claimed_pins)
+        ]
+        return self.pipeline.run(trials, verdicts)

@@ -1,779 +1,63 @@
-"""Enrollment phase: building the per-user authentication models.
+"""Enrollment façade: the public surface of the enrollment layer.
 
-Enrollment turns a handful of legitimate PIN entries plus the
-third-party sample store into the binary classifiers of Section
-IV-B.2: a *full waveform* model for one-handed entries, an optional
-*fused waveform* model when the privacy boost is enabled (Eq. 4), and
-one *single waveform* model per key for the two-handed and NO-PIN
-cases. Every model is MiniRocket features + a ridge classifier by
-default; the feature method and classifier are pluggable so the
-evaluation can swap in the manual baseline (Fig. 11) and the
-alternative learners (Fig. 15).
+The enrollment monolith is split along its natural seams —
+:mod:`repro.core.models` (waveform extraction + :class:`WaveformModel`
+/ :class:`EnrolledModels`), :mod:`repro.core.negatives` (the shared
+third-party :class:`NegativeBank`), and :mod:`repro.core.enroll` (the
+quality gate and training orchestration). This module re-exports the
+complete historical surface so every existing import keeps working;
+the submodules are an implementation detail (reprolint rule RL007
+rejects importing them from outside ``repro.core``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..config import PipelineConfig
-from ..errors import EnrollmentError, NotFittedError, SignalError
-from ..features import ManualFeatureExtractor, MiniRocket
-from ..signal.quality import assess_recording
-from ..ml import RidgeClassifier, StandardScaler
-from ..ml.base import BinaryClassifier
-from ..types import PinEntryTrial, SegmentedKeystroke
-from .fusion import fuse_waveforms
-from .pipeline import PreprocessedTrial, preprocess_trials
-
-#: Feature methods supported by :class:`WaveformModel`.
-FEATURE_METHODS = ("rocket", "manual", "raw")
-
-#: Feature methods whose extractor can be fitted on the negative class
-#: alone, making the featurized negatives shareable across victims.
-#: "manual" fits its extractor on the positives, so it cannot share.
-SHAREABLE_FEATURE_METHODS = ("rocket", "raw")
-
-#: Minimum same-key third-party segments before a per-key model uses
-#: them instead of falling back to the whole store.
-MIN_SAME_KEY_NEGATIVES = 10
-
-
-@dataclass(frozen=True)
-class EnrollmentOptions:
-    """Knobs of the enrollment phase.
-
-    Attributes:
-        privacy_boost: also train the fused-waveform model and use it
-            for one-handed authentication (Section IV-B.2.2).
-        num_features: total MiniRocket feature budget (paper: ~10K).
-        full_window: length of the fixed one-handed waveform window in
-            samples (covers all four keystrokes at typical rhythm).
-        full_margin: samples kept before the first keystroke in the
-            full window.
-        feature_method: "rocket" (paper default), "manual"
-            (statistical + DTW baseline), or "raw" (hand the raw series
-            to the classifier — used by the neural baselines).
-        classifier_factory: builds a fresh binary classifier per model.
-        seed: seed for the MiniRocket bias sampling.
-        min_positive_samples: minimum legitimate samples a model needs.
-        quality_gate: refuse to train on enrollment trials whose
-            :class:`~repro.signal.quality.QualityReport` is unusable —
-            a model fitted on garbage silently degrades every later
-            decision, so a bad trial raises
-            :class:`~repro.errors.EnrollmentError` instead.
-        min_quality_artifact_ratio: keystroke-artifact visibility
-            threshold the gate forwards to
-            :func:`~repro.signal.quality.assess_recording`.
-    """
-
-    privacy_boost: bool = False
-    num_features: int = 9996
-    full_window: int = 480
-    full_margin: int = 45
-    feature_method: str = "rocket"
-    classifier_factory: Callable[[], BinaryClassifier] = RidgeClassifier
-    seed: int = 0
-    min_positive_samples: int = 3
-    quality_gate: bool = True
-    min_quality_artifact_ratio: float = 3.0
-
-    def __post_init__(self) -> None:
-        if self.feature_method not in FEATURE_METHODS:
-            raise EnrollmentError(
-                f"feature_method must be one of {FEATURE_METHODS}, "
-                f"got {self.feature_method!r}"
-            )
-        if self.full_window < 8 or self.full_margin < 0:
-            raise EnrollmentError("invalid full-window geometry")
-        if self.min_positive_samples < 1:
-            raise EnrollmentError("min_positive_samples must be >= 1")
-
-
-def fixed_window(samples: np.ndarray, start: int, window: int) -> np.ndarray:
-    """Cut ``window`` columns starting at ``start``, edge-padding.
-
-    Unlike :func:`repro.signal.segment_around`, the window is anchored
-    (not centered) and the signal may be shorter than the window — the
-    missing tail is edge-replicated, modelling a capture buffer that
-    holds the last sample until the window fills.
-    """
-    samples = np.asarray(samples, dtype=np.float64)
-    if samples.ndim == 1:
-        samples = samples[np.newaxis, :]
-    n = samples.shape[1]
-    start = int(np.clip(start, 0, max(0, n - 1)))
-    end = start + window
-    chunk = samples[:, start:min(end, n)]
-    if chunk.shape[1] < window:
-        pad = window - chunk.shape[1]
-        chunk = np.pad(chunk, ((0, 0), (0, pad)), mode="edge")
-    return chunk
-
-
-def extract_full_waveform(
-    preprocessed: PreprocessedTrial, window: int = 480, margin: int = 45
-) -> np.ndarray:
-    """The one-handed "whole PPG sample": a fixed window from just
-    before the first calibrated keystroke, shape ``(channels, window)``.
-    """
-    first = min(preprocessed.keystroke_indices)
-    return fixed_window(preprocessed.detrended, first - margin, window)
-
-
-def extract_segments(
-    preprocessed: PreprocessedTrial, config: PipelineConfig
-) -> List[SegmentedKeystroke]:
-    """Single-keystroke segments for every *detected* keystroke."""
-    return [
-        preprocessed.segment(pos, config.segment_window)
-        for pos in preprocessed.detected_positions()
-    ]
-
-
-def extract_fused_waveform(
-    preprocessed: PreprocessedTrial, config: PipelineConfig
-) -> np.ndarray:
-    """Privacy-boost fused waveform (Eq. 4) of the detected keystrokes."""
-    segments = extract_segments(preprocessed, config)
-    if not segments:
-        raise SignalError("no detected keystrokes to fuse")
-    return fuse_waveforms(segments)
-
-
-class WaveformModel:
-    """One binary authentication model over fixed-length waveforms.
-
-    Args:
-        feature_method: see :class:`EnrollmentOptions`.
-        num_features: MiniRocket feature budget (rocket method only).
-        classifier_factory: builds the classifier.
-        seed: MiniRocket bias seed.
-    """
-
-    def __init__(
-        self,
-        feature_method: str = "rocket",
-        num_features: int = 9996,
-        classifier_factory: Callable[[], BinaryClassifier] = RidgeClassifier,
-        seed: int = 0,
-        balanced: bool = False,
-    ) -> None:
-        if feature_method not in FEATURE_METHODS:
-            raise EnrollmentError(f"unknown feature method: {feature_method!r}")
-        self.feature_method = feature_method
-        self.num_features = num_features
-        self.seed = seed
-        self.balanced = balanced
-        self._classifier = classifier_factory()
-        self._rocket: Optional[MiniRocket] = None
-        self._manual: Optional[ManualFeatureExtractor] = None
-        self._scaler: Optional[StandardScaler] = None
-        self._fitted = False
-
-    def _featurize(
-        self, x: np.ndarray, fit: bool, positives: Optional[np.ndarray] = None
-    ) -> np.ndarray:
-        if self.feature_method == "rocket":
-            if fit:
-                self._rocket = MiniRocket(
-                    num_features=self.num_features, seed=self.seed
-                )
-                self._rocket.fit(x)
-            if self._rocket is None:
-                raise NotFittedError("WaveformModel.fit has not been called")
-            features = self._rocket.transform(x)
-        elif self.feature_method == "manual":
-            if fit:
-                # Stride 2 halves the DTW cost while keeping the
-                # manual baseline one to two orders of magnitude
-                # slower than the ROCKET path (Table I's comparison).
-                self._manual = ManualFeatureExtractor(dtw_stride=2)
-                self._manual.fit(positives if positives is not None else x)
-            if self._manual is None:
-                raise NotFittedError("WaveformModel.fit has not been called")
-            features = self._manual.transform(x)
-        else:  # raw
-            return x
-        if fit:
-            self._scaler = StandardScaler().fit(features)
-        if self._scaler is None:
-            raise NotFittedError("WaveformModel.fit has not been called")
-        return self._scaler.transform(features)
-
-    def fit(self, positives: np.ndarray, negatives: np.ndarray) -> "WaveformModel":
-        """Train on legitimate (``positives``) vs third-party samples.
-
-        Both inputs have shape ``(n, channels, window)``.
-        """
-        positives = np.asarray(positives, dtype=np.float64)
-        negatives = np.asarray(negatives, dtype=np.float64)
-        if positives.ndim != 3 or negatives.ndim != 3:
-            raise EnrollmentError(
-                "expected 3-D (n, channels, window) training arrays, got "
-                f"{positives.shape} and {negatives.shape}"
-            )
-        if positives.shape[0] == 0 or negatives.shape[0] == 0:
-            raise EnrollmentError("both classes need at least one sample")
-        x = np.concatenate([positives, negatives], axis=0)
-        y = np.concatenate(
-            [np.ones(positives.shape[0]), -np.ones(negatives.shape[0])]
-        )
-        features = self._featurize(x, fit=True, positives=positives)
-        if self.balanced:
-            n_pos = positives.shape[0]
-            n_neg = negatives.shape[0]
-            n = n_pos + n_neg
-            weights = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
-            try:
-                self._classifier.fit(features, y, sample_weight=weights)
-            except TypeError:
-                # Classifier without weight support: fall back silently;
-                # balance is an optimization, not a correctness need.
-                self._classifier.fit(features, y)
-        else:
-            self._classifier.fit(features, y)
-        self._fitted = True
-        return self
-
-    def fit_shared(
-        self, positives: np.ndarray, shared: "SharedNegativeSet"
-    ) -> "WaveformModel":
-        """Train against a pre-featurized shared negative set.
-
-        The extractor comes pre-fitted (on the negatives alone) from
-        the :class:`NegativeBank`, so only the positives are featurized
-        here; the negative features are reused verbatim across every
-        user enrolled against the same bank.
-        """
-        positives = np.asarray(positives, dtype=np.float64)
-        if positives.ndim != 3:
-            raise EnrollmentError(
-                f"expected a 3-D (n, channels, window) positive array, "
-                f"got {positives.shape}"
-            )
-        if positives.shape[0] == 0:
-            raise EnrollmentError("both classes need at least one sample")
-        if shared.feature_method != self.feature_method:
-            raise EnrollmentError(
-                f"shared negatives were featurized with "
-                f"{shared.feature_method!r} but this model uses "
-                f"{self.feature_method!r}"
-            )
-        if self.feature_method == "rocket":
-            if shared.extractor is None:
-                raise EnrollmentError("shared negative set has no extractor")
-            self._rocket = shared.extractor
-            pos_features = self._rocket.transform(positives)
-        elif self.feature_method == "raw":
-            pos_features = positives
-        else:
-            raise EnrollmentError(
-                f"feature method {self.feature_method!r} cannot use shared "
-                f"negatives (its extractor is fitted on the positives)"
-            )
-        features = np.concatenate([pos_features, shared.features], axis=0)
-        n_pos = positives.shape[0]
-        n_neg = shared.features.shape[0]
-        y = np.concatenate([np.ones(n_pos), -np.ones(n_neg)])
-        if self.feature_method == "rocket":
-            self._scaler = StandardScaler().fit(features)
-            features = self._scaler.transform(features)
-        if self.balanced:
-            n = n_pos + n_neg
-            weights = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
-            try:
-                self._classifier.fit(features, y, sample_weight=weights)
-            except TypeError:
-                self._classifier.fit(features, y)
-        else:
-            self._classifier.fit(features, y)
-        self._fitted = True
-        return self
-
-    def decision_function(self, x: np.ndarray) -> np.ndarray:
-        """Signed scores for waveforms of shape ``(n, channels, window)``
-        or a single ``(channels, window)`` waveform."""
-        if not self._fitted:
-            raise NotFittedError("WaveformModel.fit has not been called")
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim == 2:
-            x = x[np.newaxis]
-        features = self._featurize(x, fit=False)
-        return np.asarray(self._classifier.decision_function(features))
-
-    def accepts(self, waveform: np.ndarray) -> bool:
-        """Accept/reject a single waveform (Eq. 9)."""
-        return bool(self.decision_function(waveform)[0] > 0.0)
-
-
-@dataclass
-class EnrolledModels:
-    """The trained models of one enrolled user.
-
-    Attributes:
-        full_model: one-handed full-waveform classifier.
-        fused_model: privacy-boost classifier, if enabled.
-        key_models: per-key single-waveform classifiers.
-        options: the enrollment options used.
-        config: the pipeline configuration used.
-    """
-
-    full_model: Optional[WaveformModel]
-    fused_model: Optional[WaveformModel]
-    key_models: Dict[str, WaveformModel]
-    options: EnrollmentOptions
-    config: PipelineConfig
-    keys_enrolled: Tuple[str, ...] = field(default_factory=tuple)
-
-
-def _collect_segments(
-    preprocessed: Sequence[PreprocessedTrial], config: PipelineConfig
-) -> Dict[str, List[np.ndarray]]:
-    """Group detected single-keystroke waveforms by key."""
-    by_key: Dict[str, List[np.ndarray]] = {}
-    for pre in preprocessed:
-        for segment in extract_segments(pre, config):
-            by_key.setdefault(segment.key, []).append(segment.samples)
-    return by_key
-
-
-def check_enrollment_quality(
-    trials: Sequence[PinEntryTrial],
-    config: PipelineConfig,
-    options: EnrollmentOptions,
-) -> None:
-    """The enrollment quality gate: refuse to train on garbage.
-
-    The quality module has always warned that training on unusable
-    recordings is worse than rejecting them; this enforces it. Every
-    legitimate enrollment trial must pass
-    :func:`~repro.signal.quality.assess_recording` against its own
-    keystroke events.
-
-    Raises:
-        EnrollmentError: naming the first failing trial and why.
-    """
-    if not options.quality_gate:
-        return
-    for index, trial in enumerate(trials):
-        if not bool(np.all(np.isfinite(trial.recording.samples))):
-            # Enrollment is supervised: missing samples mean re-record,
-            # never repair-and-train (repaired signal would teach the
-            # model the interpolator, not the user).
-            raise EnrollmentError(
-                f"enrollment trial {index} contains non-finite samples; "
-                "re-prompt the user instead of training on this entry"
-            )
-        report = assess_recording(
-            trial.recording,
-            trial.events,
-            config,
-            min_artifact_ratio=options.min_quality_artifact_ratio,
-        )
-        if not report.ok:
-            ratio = (
-                f"{report.artifact_ratio:.2f}"
-                if report.artifact_ratio is not None
-                else "n/a"
-            )
-            raise EnrollmentError(
-                f"enrollment trial {index} failed the quality gate: "
-                f"{report.usable_channels} usable channel(s), keystroke "
-                f"artifact ratio {ratio} (need >= "
-                f"{options.min_quality_artifact_ratio:.2f}); re-prompt the "
-                "user instead of training on this entry"
-            )
-
-
-def _usable(p: PreprocessedTrial) -> bool:
-    """Whether an entry qualifies for whole-entry models: (nearly) all
-    of its keystrokes were detected (one miss tolerated, so enrollment
-    stays possible at the low sampling rates of Fig. 16/17)."""
-    return p.detected_count >= max(2, len(p.trial.pin) - 1)
-
-
-@dataclass(frozen=True)
-class SharedNegativeSet:
-    """Featurized third-party negatives for one model slot.
-
-    Attributes:
-        feature_method: the method the features were produced with.
-        extractor: the MiniRocket fitted on the negatives ("rocket"
-            method; ``None`` for "raw").
-        features: the featurized negatives — ``(n_neg, n_features)``
-            for "rocket", the raw ``(n_neg, channels, window)`` stack
-            for "raw".
-    """
-
-    feature_method: str
-    extractor: Optional[MiniRocket]
-    features: np.ndarray
-
-
-@dataclass(frozen=True)
-class NegativeBank:
-    """Third-party negatives preprocessed and featurized once.
-
-    Built by :func:`build_negative_bank` from a third-party store and
-    passed to :func:`enroll_models` (via ``shared_negatives=``) so that
-    enrolling many users against the same store repeats none of the
-    store-side preprocessing or feature extraction. The extractors are
-    fitted on the negatives alone, so the bank is independent of any
-    particular enrolling user.
-
-    Attributes:
-        full: negatives for the full-waveform model.
-        fused: negatives for the privacy-boost fused model (``None``
-            when the bank was built without privacy boost or no store
-            trial had a detected keystroke).
-        key_sets: per-key negatives, only for keys with at least
-            ``MIN_SAME_KEY_NEGATIVES`` same-key segments in the store.
-        key_fallback: all store segments pooled — used for keys not in
-            ``key_sets`` (mirrors the unshared fallback rule).
-        config: pipeline configuration the store was preprocessed with.
-        options: enrollment options the bank was featurized under.
-    """
-
-    full: SharedNegativeSet
-    fused: Optional[SharedNegativeSet]
-    key_sets: Dict[str, SharedNegativeSet]
-    key_fallback: Optional[SharedNegativeSet]
-    config: PipelineConfig
-    options: EnrollmentOptions
-
-
-def _fit_shared_set(
-    stack: np.ndarray, options: EnrollmentOptions
-) -> SharedNegativeSet:
-    """Fit an extractor on a negative stack and featurize it."""
-    if options.feature_method == "rocket":
-        rocket = MiniRocket(
-            num_features=options.num_features, seed=options.seed
-        )
-        rocket.fit(stack)
-        return SharedNegativeSet(
-            feature_method="rocket",
-            extractor=rocket,
-            features=rocket.transform(stack),
-        )
-    if options.feature_method == "raw":
-        return SharedNegativeSet(
-            feature_method="raw", extractor=None, features=stack
-        )
-    raise EnrollmentError(
-        f"feature method {options.feature_method!r} cannot share negatives: "
-        f"its extractor is fitted on the positive class"
-    )
-
-
-def build_negative_bank(
-    third_party_trials: Sequence[PinEntryTrial],
-    config: Optional[PipelineConfig] = None,
-    options: Optional[EnrollmentOptions] = None,
-    preprocessed: Optional[Sequence[PreprocessedTrial]] = None,
-) -> NegativeBank:
-    """Preprocess and featurize a third-party store once.
-
-    Args:
-        third_party_trials: the store's trials.
-        config: pipeline constants.
-        options: enrollment options; ``feature_method`` must be one of
-            ``SHAREABLE_FEATURE_METHODS``.
-        preprocessed: already-preprocessed store trials (e.g. from the
-            evaluation feature cache); skips the preprocessing pass.
-
-    Returns:
-        The reusable negative bank.
-    """
-    if config is None:
-        config = PipelineConfig()
-    if options is None:
-        options = EnrollmentOptions()
-    if preprocessed is None:
-        if not third_party_trials:
-            raise EnrollmentError("no third-party trials supplied")
-        preprocessed = preprocess_trials(list(third_party_trials), config)
-    elif not preprocessed:
-        raise EnrollmentError("no preprocessed third-party trials supplied")
-
-    full_neg = [
-        extract_full_waveform(p, options.full_window, options.full_margin)
-        for p in preprocessed
-    ]
-    full = _fit_shared_set(np.stack(full_neg), options)
-
-    fused: Optional[SharedNegativeSet] = None
-    if options.privacy_boost:
-        fused_neg = [
-            extract_fused_waveform(p, config)
-            for p in preprocessed
-            if p.detected_count > 0
-        ]
-        if fused_neg:
-            fused = _fit_shared_set(np.stack(fused_neg), options)
-
-    by_key = _collect_segments(preprocessed, config)
-    all_segments = [s for segs in by_key.values() for s in segs]
-    key_sets = {
-        key: _fit_shared_set(np.stack(segs), options)
-        for key, segs in by_key.items()
-        if len(segs) >= MIN_SAME_KEY_NEGATIVES
-    }
-    key_fallback = (
-        _fit_shared_set(np.stack(all_segments), options)
-        if all_segments
-        else None
-    )
-
-    return NegativeBank(
-        full=full,
-        fused=fused,
-        key_sets=key_sets,
-        key_fallback=key_fallback,
-        config=config,
-        options=options,
-    )
-
-
-def _check_bank(
-    bank: NegativeBank, config: PipelineConfig, options: EnrollmentOptions
-) -> None:
-    """Reject a bank built under incompatible settings."""
-    if bank.config != config:
-        raise EnrollmentError(
-            "shared negative bank was built with a different pipeline config"
-        )
-    relevant = (
-        "feature_method",
-        "num_features",
-        "seed",
-        "full_window",
-        "full_margin",
-    )
-    for name in relevant:
-        if getattr(bank.options, name) != getattr(options, name):
-            raise EnrollmentError(
-                f"shared negative bank was built with {name}="
-                f"{getattr(bank.options, name)!r} but enrollment uses "
-                f"{getattr(options, name)!r}"
-            )
-
-
-def enroll_models(
-    legit_trials: Sequence[PinEntryTrial],
-    third_party_trials: Sequence[PinEntryTrial],
-    config: Optional[PipelineConfig] = None,
-    options: Optional[EnrollmentOptions] = None,
-    shared_negatives: Optional[NegativeBank] = None,
-) -> EnrolledModels:
-    """Run the enrollment phase.
-
-    Args:
-        legit_trials: the enrolling user's PIN entries (the paper caps
-            usability at 9).
-        third_party_trials: samples from the third-party store used as
-            negatives (paper default: 100). Ignored when
-            ``shared_negatives`` is given.
-        config: pipeline constants.
-        options: enrollment options.
-        shared_negatives: a :class:`NegativeBank` built from the store
-            by :func:`build_negative_bank`; when given, the store-side
-            preprocessing and feature extraction are skipped entirely
-            and every model trains against the bank's pre-featurized
-            negatives (extractors fitted on the negatives alone).
-
-    Returns:
-        The user's trained models.
-
-    Raises:
-        EnrollmentError: when a required model cannot be trained (too
-            few usable samples), when an enrollment trial fails the
-            quality gate (``options.quality_gate``), or when
-            ``shared_negatives`` was built under incompatible settings.
-    """
-    if config is None:
-        config = PipelineConfig()
-    if options is None:
-        options = EnrollmentOptions()
-    if not legit_trials:
-        raise EnrollmentError("no legitimate trials supplied")
-    if shared_negatives is None and not third_party_trials:
-        raise EnrollmentError("no third-party trials supplied")
-    if shared_negatives is not None:
-        _check_bank(shared_negatives, config, options)
-    check_enrollment_quality(legit_trials, config, options)
-
-    legit_pre = preprocess_trials(list(legit_trials), config)
-    if shared_negatives is not None:
-        return _enroll_shared(legit_pre, shared_negatives, config, options)
-    third_pre = preprocess_trials(list(third_party_trials), config)
-
-    def model(balanced: bool = False) -> WaveformModel:
-        return WaveformModel(
-            feature_method=options.feature_method,
-            num_features=options.num_features,
-            classifier_factory=options.classifier_factory,
-            seed=options.seed,
-            balanced=balanced,
-        )
-
-    # Full-waveform model: trained on legitimate one-handed entries,
-    # vs third-party entries. An entry qualifies when (nearly) all of
-    # its keystrokes were detected; tolerating one miss keeps
-    # enrollment possible at low sampling rates, where the energy
-    # detector occasionally drops a keystroke (Fig. 16/17 regimes).
-    full_pos = [
-        extract_full_waveform(p, options.full_window, options.full_margin)
-        for p in legit_pre
-        if _usable(p)
-    ]
-    full_neg = [
-        extract_full_waveform(p, options.full_window, options.full_margin)
-        for p in third_pre
-    ]
-    full_model = None
-    if len(full_pos) >= options.min_positive_samples:
-        full_model = model().fit(np.stack(full_pos), np.stack(full_neg))
-
-    fused_model = None
-    if options.privacy_boost:
-        fused_pos = [
-            extract_fused_waveform(p, config)
-            for p in legit_pre
-            if _usable(p)
-        ]
-        fused_neg = [
-            extract_fused_waveform(p, config)
-            for p in third_pre
-            if p.detected_count > 0
-        ]
-        if len(fused_pos) < options.min_positive_samples:
-            raise EnrollmentError(
-                "privacy boost requires at least "
-                f"{options.min_positive_samples} fully detected entries"
-            )
-        fused_model = model().fit(np.stack(fused_pos), np.stack(fused_neg))
-
-    # Single-waveform models: one binary classifier per enrolled key.
-    legit_by_key = _collect_segments(legit_pre, config)
-    third_by_key = _collect_segments(third_pre, config)
-    third_all = [s for segs in third_by_key.values() for s in segs]
-
-    key_models: Dict[str, WaveformModel] = {}
-    for key, positives in legit_by_key.items():
-        if len(positives) < options.min_positive_samples:
-            continue
-        negatives = list(third_by_key.get(key, []))
-        if len(negatives) < 10:
-            # Too few same-key third-party samples: fall back to the
-            # whole store so the classifier still sees other people.
-            negatives = third_all
-        # Deliberately NOT negatives: the user's own other keys.
-        # Intra-user key discrimination is much harder than inter-user
-        # discrimination and dragging those samples into the negative
-        # class collapses the margin around the legitimate keystrokes.
-        # Security in every mode (including NO-PIN) rests on *user*
-        # specificity, which third-party negatives capture.
-        if not negatives:
-            continue
-        # Single-keystroke models are trained class-balanced: a 90-sample
-        # waveform carries far less evidence than a full entry, and the
-        # ~10:1 negative imbalance would otherwise push the boundary
-        # into the legitimate class (every watch-hand keystroke would
-        # score near zero and two-handed integration would fail).
-        key_models[key] = model(balanced=True).fit(
-            np.stack(positives), np.stack(negatives)
-        )
-
-    if full_model is None and fused_model is None and not key_models:
-        raise EnrollmentError(
-            "no model could be trained: too few usable enrollment samples"
-        )
-
-    return EnrolledModels(
-        full_model=full_model,
-        fused_model=fused_model,
-        key_models=key_models,
-        options=options,
-        config=config,
-        keys_enrolled=tuple(sorted(key_models)),
-    )
-
-
-def _enroll_shared(
-    legit_pre: Sequence[PreprocessedTrial],
-    bank: NegativeBank,
-    config: PipelineConfig,
-    options: EnrollmentOptions,
-) -> EnrolledModels:
-    """The :func:`enroll_models` flow against a pre-built negative bank.
-
-    Mirrors the unshared path model for model — same positive
-    extraction, same usability and minimum-sample rules, same per-key
-    fallback behavior — but every ``fit`` is a :meth:`WaveformModel.
-    fit_shared` against the bank's pre-featurized negatives.
-    """
-
-    def model(balanced: bool = False) -> WaveformModel:
-        return WaveformModel(
-            feature_method=options.feature_method,
-            num_features=options.num_features,
-            classifier_factory=options.classifier_factory,
-            seed=options.seed,
-            balanced=balanced,
-        )
-
-    full_pos = [
-        extract_full_waveform(p, options.full_window, options.full_margin)
-        for p in legit_pre
-        if _usable(p)
-    ]
-    full_model = None
-    if len(full_pos) >= options.min_positive_samples:
-        full_model = model().fit_shared(np.stack(full_pos), bank.full)
-
-    fused_model = None
-    if options.privacy_boost:
-        if bank.fused is None:
-            raise EnrollmentError(
-                "privacy boost requested but the shared negative bank was "
-                "built without fused negatives"
-            )
-        fused_pos = [
-            extract_fused_waveform(p, config) for p in legit_pre if _usable(p)
-        ]
-        if len(fused_pos) < options.min_positive_samples:
-            raise EnrollmentError(
-                "privacy boost requires at least "
-                f"{options.min_positive_samples} fully detected entries"
-            )
-        fused_model = model().fit_shared(np.stack(fused_pos), bank.fused)
-
-    legit_by_key = _collect_segments(legit_pre, config)
-    key_models: Dict[str, WaveformModel] = {}
-    for key, positives in legit_by_key.items():
-        if len(positives) < options.min_positive_samples:
-            continue
-        shared = bank.key_sets.get(key, bank.key_fallback)
-        if shared is None:
-            continue
-        key_models[key] = model(balanced=True).fit_shared(
-            np.stack(positives), shared
-        )
-
-    if full_model is None and fused_model is None and not key_models:
-        raise EnrollmentError(
-            "no model could be trained: too few usable enrollment samples"
-        )
-
-    return EnrolledModels(
-        full_model=full_model,
-        fused_model=fused_model,
-        key_models=key_models,
-        options=options,
-        config=config,
-        keys_enrolled=tuple(sorted(key_models)),
-    )
+from .enroll import (
+    _enroll_shared,
+    _usable,
+    check_enrollment_quality,
+    enroll_models,
+)
+from .models import (
+    FEATURE_METHODS,
+    SHAREABLE_FEATURE_METHODS,
+    EnrolledModels,
+    EnrollmentOptions,
+    WaveformModel,
+    _collect_segments,
+    extract_full_waveform,
+    extract_fused_waveform,
+    extract_segments,
+    fixed_window,
+)
+from .negatives import (
+    MIN_SAME_KEY_NEGATIVES,
+    NegativeBank,
+    SharedNegativeSet,
+    _check_bank,
+    _fit_shared_set,
+    build_negative_bank,
+)
+
+__all__ = [
+    "FEATURE_METHODS",
+    "SHAREABLE_FEATURE_METHODS",
+    "MIN_SAME_KEY_NEGATIVES",
+    "EnrollmentOptions",
+    "WaveformModel",
+    "EnrolledModels",
+    "SharedNegativeSet",
+    "NegativeBank",
+    "fixed_window",
+    "extract_full_waveform",
+    "extract_segments",
+    "extract_fused_waveform",
+    "build_negative_bank",
+    "check_enrollment_quality",
+    "enroll_models",
+    "_collect_segments",
+    "_check_bank",
+    "_fit_shared_set",
+    "_enroll_shared",
+    "_usable",
+]

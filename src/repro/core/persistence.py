@@ -15,33 +15,36 @@ fused-waveform statistics, never per-key waveforms.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
 from ..config import PipelineConfig
-from ..errors import ConfigurationError, EnrollmentError
+from ..errors import ConfigurationError, PersistenceError
 from ..features import MiniRocket
 from ..ml import RidgeClassifier, StandardScaler
 from .authenticator import P2Auth
+from .degradation import DegradationPolicy
 from .enrollment import EnrolledModels, EnrollmentOptions, WaveformModel
+from .session import RetryPolicy, SessionManager
 
 #: Format version written into every archive.
 FORMAT_VERSION = 1
 
 
 def _require_rocket_ridge(model: WaveformModel, name: str) -> None:
-    if model.feature_method != "rocket":
-        raise EnrollmentError(
-            f"model {name!r} uses feature method {model.feature_method!r}; "
-            "only the rocket+ridge configuration is serializable"
-        )
-    if not isinstance(model._classifier, RidgeClassifier):
-        raise EnrollmentError(
-            f"model {name!r} uses a custom classifier; only RidgeClassifier "
-            "is serializable"
+    classifier = type(model._classifier).__name__
+    if model.feature_method != "rocket" or not isinstance(
+        model._classifier, RidgeClassifier
+    ):
+        raise PersistenceError(
+            f"model {name!r} uses the unsupported combination "
+            f"(feature_method={model.feature_method!r}, "
+            f"classifier={classifier!r}); only (feature_method='rocket', "
+            "classifier='RidgeClassifier') is serializable"
         )
 
 
@@ -52,7 +55,7 @@ def _pack_model(model: WaveformModel, prefix: str, arrays: Dict[str, np.ndarray]
     scaler: StandardScaler = model._scaler
     clf: RidgeClassifier = model._classifier
     if rocket is None or scaler is None or clf.coef_ is None:
-        raise EnrollmentError(f"model {prefix!r} is not fitted")
+        raise PersistenceError(f"model {prefix!r} is not fitted")
 
     arrays[f"{prefix}/dilations"] = np.asarray(rocket._dilations)
     arrays[f"{prefix}/features_per_dilation"] = np.asarray(
@@ -121,12 +124,34 @@ def _unpack_model(
     return model
 
 
-def save_authenticator(auth: P2Auth, path: Union[str, Path]) -> None:
+def save_authenticator(
+    auth: P2Auth,
+    path: Union[str, Path],
+    session: Optional[SessionManager] = None,
+) -> None:
     """Serialize an enrolled authenticator to ``path`` (.npz).
 
+    The archive carries everything a reload needs to behave
+    identically: the models, the pipeline constants, the enrollment
+    options (including the quality gate), the salted PIN digest, and
+    the :class:`~repro.core.degradation.DegradationPolicy` — a reloaded
+    authenticator keeps its recovery ladder instead of failing open to
+    the no-policy path.
+
+    Args:
+        auth: the enrolled authenticator.
+        path: destination ``.npz`` path.
+        session: optionally, a :class:`~repro.core.session.
+            SessionManager` whose configuration (wear threshold and
+            :class:`~repro.core.session.RetryPolicy`) is stored
+            alongside, for :func:`load_session`. Session *state* (the
+            event log, failure counter) is deliberately not persisted —
+            a reload starts a fresh session.
+
     Raises:
-        EnrollmentError: if no user is enrolled or a model uses a
-            non-serializable configuration.
+        EnrollmentError: if no user is enrolled.
+        PersistenceError: if a model uses a non-serializable
+            configuration.
     """
     models = auth.models  # raises EnrollmentError when not enrolled
     arrays: Dict[str, np.ndarray] = {}
@@ -165,9 +190,23 @@ def save_authenticator(auth: P2Auth, path: Union[str, Path]) -> None:
             "feature_method": options.feature_method,
             "seed": options.seed,
             "min_positive_samples": options.min_positive_samples,
+            "quality_gate": options.quality_gate,
+            "min_quality_artifact_ratio": options.min_quality_artifact_ratio,
         },
+        "policy": (
+            dataclasses.asdict(auth.policy) if auth.policy is not None else None
+        ),
         "headers": headers,
     }
+    if session is not None:
+        meta["session"] = {
+            "wear_threshold": session._wear_threshold,
+            "retry": (
+                dataclasses.asdict(session._retry)
+                if session._retry is not None
+                else None
+            ),
+        }
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -193,6 +232,10 @@ def load_authenticator(path: Union[str, Path]) -> P2Auth:
 
     config = PipelineConfig(**meta["pipeline"])
     options = EnrollmentOptions(**meta["options"])
+    policy_meta = meta.get("policy")
+    policy = (
+        DegradationPolicy(**policy_meta) if policy_meta is not None else None
+    )
     headers = meta["headers"]
 
     full_model = (
@@ -208,7 +251,9 @@ def load_authenticator(path: Union[str, Path]) -> P2Auth:
         for key, header in headers["keys"].items()
     }
 
-    auth = P2Auth(pin=None, pipeline_config=config, options=options)
+    auth = P2Auth(
+        pin=None, pipeline_config=config, options=options, policy=policy
+    )
     # Restore the PIN digest without ever knowing the PIN.
     auth._pin._salt = bytes.fromhex(meta["pin_salt"])
     auth._pin._digest = (
@@ -223,3 +268,36 @@ def load_authenticator(path: Union[str, Path]) -> P2Auth:
         keys_enrolled=tuple(sorted(key_models)),
     )
     return auth
+
+
+def load_session(path: Union[str, Path]) -> SessionManager:
+    """Rebuild a session manager from an archive written with
+    ``save_authenticator(auth, path, session=...)``.
+
+    The authenticator is loaded exactly as :func:`load_authenticator`
+    does (models, policy, PIN digest), then wrapped in a fresh
+    :class:`~repro.core.session.SessionManager` with the stored wear
+    threshold and retry policy. The session starts OFF_WRIST with an
+    empty log — state is lifecycle, not configuration.
+
+    Raises:
+        ConfigurationError: if the archive carries no session block.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive.files:
+            raise ConfigurationError(f"{path} is not a P2Auth archive")
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    session_meta = meta.get("session")
+    if session_meta is None:
+        raise ConfigurationError(
+            f"{path} was saved without a session (pass session= to "
+            "save_authenticator)"
+        )
+    auth = load_authenticator(path)
+    retry_meta = session_meta.get("retry")
+    retry = RetryPolicy(**retry_meta) if retry_meta is not None else None
+    return SessionManager(
+        auth,
+        wear_threshold=float(session_meta["wear_threshold"]),
+        retry=retry,
+    )

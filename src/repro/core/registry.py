@@ -1,0 +1,267 @@
+"""Multi-user model registry: many enrolled users in one process.
+
+A deployed authentication service holds templates for many users, not
+one. :class:`ModelRegistry` separates template storage from the
+:class:`~repro.core.authenticator.P2Auth` façade: each user maps to
+their own enrolled authenticator, an LRU bound caps how many live in
+memory, and a pluggable :class:`RegistryBackend` (the bundled
+:class:`NpzDirectoryBackend` reuses :mod:`repro.core.persistence`)
+keeps evicted or restarted users loadable. The registry never touches
+the authentication path — a user's ``P2Auth`` behaves identically
+whether it came from :meth:`ModelRegistry.enroll`, a backend load, or
+direct construction.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Protocol, Sequence, Union
+
+from ..config import PipelineConfig
+from ..errors import ConfigurationError
+from ..types import PinEntryTrial
+from .authenticator import P2Auth
+from .degradation import DegradationPolicy
+from .enrollment import EnrollmentOptions, NegativeBank
+from .stages import AuthDecision
+
+_USER_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _check_user_id(user_id: str) -> str:
+    if not _USER_ID_RE.match(user_id):
+        raise ConfigurationError(
+            f"invalid user id {user_id!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-]"
+        )
+    return user_id
+
+
+class RegistryBackend(Protocol):
+    """Persistence behind a :class:`ModelRegistry`.
+
+    Implementations store whole enrolled authenticators keyed by user
+    id. They need not be thread-safe — the registry serializes access.
+    """
+
+    def store(self, user_id: str, auth: P2Auth) -> None:
+        """Persist one enrolled authenticator."""
+        ...
+
+    def load(self, user_id: str) -> P2Auth:
+        """Reload a stored authenticator (KeyError when absent)."""
+        ...
+
+    def delete(self, user_id: str) -> None:
+        """Forget a stored user (no-op when absent)."""
+        ...
+
+    def user_ids(self) -> List[str]:
+        """All stored user ids."""
+        ...
+
+
+class NpzDirectoryBackend:
+    """One ``.npz`` archive per user in a directory.
+
+    Reuses :func:`~repro.core.persistence.save_authenticator` /
+    :func:`~repro.core.persistence.load_authenticator`, so the same
+    serializability rules apply (rocket+ridge models only).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, user_id: str) -> Path:
+        return self._root / f"{_check_user_id(user_id)}.npz"
+
+    def store(self, user_id: str, auth: P2Auth) -> None:
+        from .persistence import save_authenticator
+
+        save_authenticator(auth, self._path(user_id))
+
+    def load(self, user_id: str) -> P2Auth:
+        from .persistence import load_authenticator
+
+        path = self._path(user_id)
+        if not path.exists():
+            raise KeyError(user_id)
+        return load_authenticator(path)
+
+    def delete(self, user_id: str) -> None:
+        self._path(user_id).unlink(missing_ok=True)
+
+    def user_ids(self) -> List[str]:
+        return sorted(p.stem for p in self._root.glob("*.npz"))
+
+
+class ModelRegistry:
+    """Enrolled authenticators for many users, LRU-bounded in memory.
+
+    Args:
+        capacity: maximum authenticators held in memory; ``None`` means
+            unbounded. When the bound is hit, the least recently used
+            user is dropped from memory (their templates survive in the
+            backend, if one is configured).
+        backend: optional persistence backend. Enrollments are written
+            through immediately; a :meth:`get` for a user not in memory
+            falls back to a backend load.
+        config: pipeline constants for authenticators built by
+            :meth:`enroll`.
+        options: enrollment options for :meth:`enroll`.
+        policy: degradation policy for :meth:`enroll`-built
+            authenticators.
+
+    All public methods are thread-safe; enrollment (the expensive part)
+    runs outside the lock, so concurrent enrollments of different users
+    proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        backend: Optional[RegistryBackend] = None,
+        config: Optional[PipelineConfig] = None,
+        options: Optional[EnrollmentOptions] = None,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 (or None)")
+        self._capacity = capacity
+        self._backend = backend
+        self._config = config
+        self._options = options
+        self._policy = policy
+        self._cache: "OrderedDict[str, P2Auth]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def __contains__(self, user_id: str) -> bool:
+        with self._lock:
+            if user_id in self._cache:
+                return True
+        if self._backend is not None:
+            return user_id in self._backend.user_ids()
+        return False
+
+    def enroll(
+        self,
+        user_id: str,
+        pin: Optional[str],
+        legit_trials: Sequence[PinEntryTrial],
+        third_party_trials: Sequence[PinEntryTrial],
+        shared_negatives: Optional[NegativeBank] = None,
+        salt: Optional[bytes] = None,
+    ) -> P2Auth:
+        """Enroll (or re-enroll) a user and register their models.
+
+        Builds a fresh :class:`P2Auth` under the registry's config /
+        options / policy, trains it, then registers it under
+        ``user_id`` (write-through to the backend when one is set).
+        """
+        _check_user_id(user_id)
+        auth = P2Auth(
+            pin=pin,
+            pipeline_config=self._config,
+            options=self._options,
+            salt=salt,
+            policy=self._policy,
+        )
+        auth.enroll(
+            legit_trials, third_party_trials, shared_negatives=shared_negatives
+        )
+        self.add(user_id, auth)
+        return auth
+
+    def add(self, user_id: str, auth: P2Auth) -> None:
+        """Register an already-enrolled authenticator under ``user_id``."""
+        _check_user_id(user_id)
+        if not auth.enrolled:
+            raise ConfigurationError(
+                f"cannot register {user_id!r}: the authenticator has no "
+                "enrolled models"
+            )
+        if self._backend is not None:
+            self._backend.store(user_id, auth)
+        with self._lock:
+            self._cache[user_id] = auth
+            self._cache.move_to_end(user_id)
+            self._shrink()
+
+    def get(self, user_id: str) -> P2Auth:
+        """The user's authenticator (memory hit or backend load).
+
+        Raises:
+            KeyError: when the user is in neither memory nor backend.
+        """
+        with self._lock:
+            auth = self._cache.get(user_id)
+            if auth is not None:
+                self._cache.move_to_end(user_id)
+                return auth
+            if self._backend is None:
+                raise KeyError(user_id)
+            auth = self._backend.load(user_id)
+            self._cache[user_id] = auth
+            self._cache.move_to_end(user_id)
+            self._shrink()
+            return auth
+
+    def authenticate(
+        self,
+        user_id: str,
+        trial: PinEntryTrial,
+        claimed_pin: Optional[str] = None,
+    ) -> AuthDecision:
+        """Authenticate a probe against one user's models."""
+        return self.get(user_id).authenticate(trial, claimed_pin=claimed_pin)
+
+    def evict(self, user_id: str) -> bool:
+        """Drop a user from memory (backend copy, if any, is kept).
+
+        Returns:
+            whether the user was in memory.
+        """
+        with self._lock:
+            return self._cache.pop(user_id, None) is not None
+
+    def remove(self, user_id: str) -> None:
+        """Forget a user entirely: memory and backend."""
+        with self._lock:
+            self._cache.pop(user_id, None)
+        if self._backend is not None:
+            self._backend.delete(user_id)
+
+    def list_users(self) -> List[str]:
+        """All known user ids (memory plus backend), sorted."""
+        with self._lock:
+            known = set(self._cache)
+        if self._backend is not None:
+            known.update(self._backend.user_ids())
+        return sorted(known)
+
+    def cached_users(self) -> List[str]:
+        """User ids currently in memory, least recently used first."""
+        with self._lock:
+            return list(self._cache)
+
+    def _shrink(self) -> None:
+        # Caller holds the lock.
+        if self._capacity is None:
+            return
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+
+__all__ = [
+    "ModelRegistry",
+    "NpzDirectoryBackend",
+    "RegistryBackend",
+]

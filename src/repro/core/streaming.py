@@ -22,12 +22,17 @@ indices can be used directly as segment centers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import PipelineConfig
-from ..errors import ConfigurationError, SignalError
+from ..errors import AuthenticationError, ConfigurationError, SignalError
+from ..types import ChannelInfo, KeystrokeEvent, PinEntryTrial, PPGRecording
+
+if TYPE_CHECKING:
+    from .authenticator import P2Auth
+    from .stages import AuthDecision
 
 
 @dataclass(frozen=True)
@@ -233,3 +238,143 @@ class StreamingKeystrokeDetector:
         self._last_emit = self._burst_peak_index
         self._in_burst = False
         return [event]
+
+
+class StreamingAuthenticator:
+    """Online front-end over the staged authentication engine.
+
+    Consumes PPG chunks as they arrive, detects keystrokes causally
+    with :class:`StreamingKeystrokeDetector`, and — once the PIN entry
+    is complete — assembles a :class:`~repro.types.PinEntryTrial` and
+    runs it through the *same*
+    :class:`~repro.core.stages.AuthPipeline` as the batch path (via
+    ``auth.authenticate``), degradation ladder included. There is no
+    streaming-specific scoring logic to drift out of sync.
+
+    Args:
+        auth: an enrolled :class:`~repro.core.authenticator.P2Auth`.
+        fs: stream sampling rate, Hz.
+        channels: per-channel metadata for the assembled recording;
+            defaults to the prototype's four channels.
+        detector: a configured detector; defaults to
+            ``StreamingKeystrokeDetector(fs, auth.config)``.
+
+    Usage::
+
+        stream = StreamingAuthenticator(auth, fs=100.0)
+        for chunk in device:          # (channels, n) arrays
+            stream.push(chunk)
+        decision = stream.finalize(pin="1628")
+    """
+
+    def __init__(
+        self,
+        auth: "P2Auth",
+        fs: float,
+        channels: Optional[Tuple[ChannelInfo, ...]] = None,
+        detector: Optional[StreamingKeystrokeDetector] = None,
+    ) -> None:
+        if not auth.enrolled:
+            raise AuthenticationError(
+                "enroll a user before streaming authentication"
+            )
+        self._auth = auth
+        self._fs = fs
+        self._channels = channels
+        self._detector = (
+            detector
+            if detector is not None
+            else StreamingKeystrokeDetector(fs, auth.config)
+        )
+        self._chunks: List[np.ndarray] = []
+        self._events: List[DetectedKeystroke] = []
+
+    @property
+    def detected(self) -> Tuple[DetectedKeystroke, ...]:
+        """Keystrokes confirmed so far (pending apex not included)."""
+        return tuple(self._events)
+
+    def push(self, chunk: np.ndarray) -> List[DetectedKeystroke]:
+        """Consume a chunk; returns keystrokes confirmed within it."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim == 1:
+            chunk = chunk[np.newaxis, :]
+        events = self._detector.push(chunk)
+        self._chunks.append(chunk)
+        self._events.extend(events)
+        return events
+
+    def reset(self) -> None:
+        """Discard the buffered entry and all detector state."""
+        self._detector.reset()
+        self._chunks = []
+        self._events = []
+
+    def finalize(
+        self,
+        pin: str,
+        claimed_pin: Optional[str] = None,
+        user_id: int = -1,
+        reported_times: Optional[Sequence[float]] = None,
+        one_handed: bool = True,
+    ) -> "AuthDecision":
+        """End the entry and authenticate it through the stage pipeline.
+
+        Args:
+            pin: the digits the typist entered on the phone.
+            claimed_pin: the PIN claim forwarded to the authenticator;
+                defaults to ``pin``.
+            user_id: typist identity for evaluation bookkeeping.
+            reported_times: phone-reported keystroke timestamps (one
+                per digit). When omitted, the detector's apex times
+                stand in — which requires the detector to have found
+                exactly one keystroke per digit.
+            one_handed: whether the entry was typed one-handed.
+
+        Returns:
+            The :class:`~repro.core.stages.AuthDecision`.
+
+        Raises:
+            AuthenticationError: when nothing was streamed, or the
+                detected keystroke count does not match the PIN length
+                and no ``reported_times`` were given.
+        """
+        self._events.extend(self._detector.flush())
+        if not self._chunks:
+            raise AuthenticationError("no samples were streamed")
+        if reported_times is None:
+            if len(self._events) != len(pin):
+                raise AuthenticationError(
+                    f"detected {len(self._events)} keystroke(s) for a "
+                    f"{len(pin)}-digit PIN; pass reported_times to "
+                    "authenticate anyway"
+                )
+            times: List[float] = [e.time for e in self._events]
+        else:
+            if len(reported_times) != len(pin):
+                raise AuthenticationError(
+                    f"{len(reported_times)} reported times for a "
+                    f"{len(pin)}-digit PIN"
+                )
+            times = [float(t) for t in reported_times]
+        samples = np.concatenate(self._chunks, axis=1)
+        recording = (
+            PPGRecording(samples=samples, fs=self._fs)
+            if self._channels is None
+            else PPGRecording(
+                samples=samples, fs=self._fs, channels=self._channels
+            )
+        )
+        events = tuple(
+            KeystrokeEvent(key=digit, true_time=t, reported_time=t)
+            for digit, t in zip(pin, times)
+        )
+        trial = PinEntryTrial(
+            recording=recording,
+            events=events,
+            pin=pin,
+            user_id=user_id,
+            one_handed=one_handed,
+        )
+        entered = claimed_pin if claimed_pin is not None else pin
+        return self._auth.authenticate(trial, claimed_pin=entered)

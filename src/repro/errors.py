@@ -43,6 +43,18 @@ class EnrollmentError(P2AuthError):
     """User enrollment failed (e.g. too few samples to train a model)."""
 
 
+class PersistenceError(EnrollmentError):
+    """An enrolled model cannot be serialized or deserialized.
+
+    Raised by :mod:`repro.core.persistence` when an archive operation is
+    asked to handle a configuration outside the deployable rocket+ridge
+    combination (e.g. the manual-feature baseline or a custom
+    classifier), naming the unsupported ``(feature_method, classifier)``
+    pair. Subclasses :class:`EnrollmentError` because the remedy is the
+    same — re-enroll under a serializable configuration.
+    """
+
+
 class AuthenticationError(P2AuthError):
     """An authentication request was malformed (not a mere rejection).
 

@@ -1,16 +1,22 @@
 """Unit tests for authenticator save/load."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core import (
+    DegradationPolicy,
     EnrollmentOptions,
     P2Auth,
+    RetryPolicy,
+    SessionManager,
     load_authenticator,
+    load_session,
     save_authenticator,
 )
 from repro.data import ThirdPartyStore
-from repro.errors import ConfigurationError, EnrollmentError
+from repro.errors import ConfigurationError, EnrollmentError, PersistenceError
 from repro.ml import KNNClassifier
 
 PIN = "1628"
@@ -89,3 +95,95 @@ class TestSaveLoad:
             restored.authenticate(probe).accepted
             == enrolled_auth_boost.authenticate(probe).accepted
         )
+
+
+class TestUnsupportedCombos:
+    def _enroll(self, study_data, options):
+        auth = P2Auth(pin=PIN, options=options)
+        store = ThirdPartyStore(study_data, [1, 2, 3], PIN)
+        auth.enroll(study_data.trials(0, PIN, "one_handed", 5), store.sample(15))
+        return auth
+
+    def test_manual_model_names_the_combo(self, study_data, tmp_path):
+        auth = self._enroll(
+            study_data, EnrollmentOptions(feature_method="manual")
+        )
+        with pytest.raises(PersistenceError) as excinfo:
+            save_authenticator(auth, tmp_path / "manual.npz")
+        message = str(excinfo.value)
+        assert "feature_method='manual'" in message
+        assert "model 'full'" in message
+
+    def test_fused_custom_classifier_names_the_combo(self, study_data, tmp_path):
+        auth = self._enroll(
+            study_data,
+            EnrollmentOptions(
+                num_features=FEATURES,
+                privacy_boost=True,
+                classifier_factory=lambda: KNNClassifier(3),
+            ),
+        )
+        with pytest.raises(PersistenceError) as excinfo:
+            save_authenticator(auth, tmp_path / "fused-knn.npz")
+        assert "classifier='KNNClassifier'" in str(excinfo.value)
+
+    def test_persistence_error_is_an_enrollment_error(self):
+        assert issubclass(PersistenceError, EnrollmentError)
+
+
+class TestPolicyRoundTrip:
+    @pytest.fixture(scope="class")
+    def policied_auth(self, study_data):
+        auth = P2Auth(
+            pin=PIN,
+            options=EnrollmentOptions(num_features=FEATURES),
+            policy=DegradationPolicy(max_gap_s=0.3, min_usable_channels=2),
+        )
+        store = ThirdPartyStore(study_data, [1, 2, 3], PIN)
+        auth.enroll(study_data.trials(0, PIN, "one_handed", 5), store.sample(15))
+        return auth
+
+    @pytest.fixture(scope="class")
+    def gappy_probe(self, study_data):
+        probe = study_data.trials(0, PIN, "one_handed", 7)[6]
+        samples = probe.recording.samples.copy()
+        samples[:, 50:60] = np.nan  # repairable 0.1 s gap
+        return dataclasses.replace(
+            probe, recording=probe.recording.with_samples(samples)
+        )
+
+    def test_policy_restored_with_identical_degradation_events(
+        self, policied_auth, gappy_probe, tmp_path
+    ):
+        path = tmp_path / "policied.npz"
+        save_authenticator(policied_auth, path)
+        restored = load_authenticator(path)
+        assert restored.policy == policied_auth.policy
+        original = policied_auth.authenticate(gappy_probe)
+        loaded = restored.authenticate(gappy_probe)
+        assert original.degradation == loaded.degradation
+        assert original.degradation  # the gap actually exercised the ladder
+        assert original.accepted == loaded.accepted
+        np.testing.assert_allclose(
+            original.scores, loaded.scores, rtol=0, atol=0
+        )
+
+    def test_archive_without_policy_restores_none(self, archive_path):
+        assert load_authenticator(archive_path).policy is None
+
+
+class TestSessionRoundTrip:
+    def test_session_round_trip(self, enrolled_auth, study_data, tmp_path):
+        retry = RetryPolicy(max_failures=3, backoff_base_s=0.5)
+        session = SessionManager(
+            enrolled_auth, wear_threshold=0.4, retry=retry
+        )
+        path = tmp_path / "session.npz"
+        save_authenticator(enrolled_auth, path, session=session)
+        restored = load_session(path)
+        assert restored._wear_threshold == 0.4
+        assert restored._retry == retry
+
+    def test_archive_without_session_rejected(self, archive_path):
+        with pytest.raises(ConfigurationError, match="saved without a session"):
+            load_session(archive_path)

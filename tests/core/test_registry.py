@@ -1,0 +1,172 @@
+"""Unit tests for the multi-user model registry."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnrollmentOptions,
+    ModelRegistry,
+    NpzDirectoryBackend,
+    P2Auth,
+)
+from repro.data import ThirdPartyStore
+from repro.errors import ConfigurationError
+
+PIN = "1628"
+FEATURES = 840
+
+
+def _enrolled(study_data, user_id):
+    enroll = study_data.trials(user_id, PIN, "one_handed", 5)
+    store = ThirdPartyStore(
+        study_data, [u for u in range(5) if u != user_id], PIN
+    )
+    auth = P2Auth(pin=PIN, options=EnrollmentOptions(num_features=FEATURES))
+    auth.enroll(enroll, store.sample(15))
+    return auth
+
+
+@pytest.fixture(scope="module")
+def alice(study_data):
+    return _enrolled(study_data, 0)
+
+
+@pytest.fixture(scope="module")
+def bob(study_data):
+    return _enrolled(study_data, 1)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ModelRegistry(capacity=0)
+
+    def test_user_id_charset_enforced(self, alice):
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.add("no spaces allowed", alice)
+        with pytest.raises(ConfigurationError):
+            registry.add("", alice)
+
+    def test_unenrolled_authenticator_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.add("alice", P2Auth(pin=PIN))
+
+    def test_missing_user_raises_key_error(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get("nobody")
+
+
+class TestLruBehaviour:
+    def test_capacity_bound_holds(self, alice):
+        registry = ModelRegistry(capacity=2)
+        for name in ("a", "b", "c", "d"):
+            registry.add(name, alice)
+            assert len(registry) <= 2
+
+    def test_eviction_order_is_least_recently_used(self, alice):
+        registry = ModelRegistry(capacity=2)
+        registry.add("a", alice)
+        registry.add("b", alice)
+        # Touch "a" so "b" becomes the LRU entry.
+        registry.get("a")
+        registry.add("c", alice)
+        assert registry.cached_users() == ["a", "c"]
+        with pytest.raises(KeyError):
+            registry.get("b")
+
+    def test_explicit_evict_only_touches_memory(self, alice, tmp_path):
+        backend = NpzDirectoryBackend(tmp_path)
+        registry = ModelRegistry(backend=backend)
+        registry.add("alice", alice)
+        assert registry.evict("alice")
+        assert not registry.evict("alice")
+        # Still loadable through the backend.
+        assert "alice" in registry.list_users()
+        assert registry.get("alice").enrolled
+
+    def test_remove_forgets_backend_copy(self, alice, tmp_path):
+        registry = ModelRegistry(backend=NpzDirectoryBackend(tmp_path))
+        registry.add("alice", alice)
+        registry.remove("alice")
+        assert registry.list_users() == []
+        with pytest.raises(KeyError):
+            registry.get("alice")
+
+
+class TestBackendRoundTrip:
+    def test_evicted_user_scores_identically_after_reload(
+        self, alice, study_data, tmp_path
+    ):
+        registry = ModelRegistry(capacity=1, backend=NpzDirectoryBackend(tmp_path))
+        registry.add("alice", alice)
+        probes = study_data.trials(0, PIN, "one_handed", 7)[5:]
+        before = [registry.authenticate("alice", p) for p in probes]
+        registry.add("filler", alice)  # evicts alice from memory
+        assert registry.cached_users() == ["filler"]
+        after = [registry.authenticate("alice", p) for p in probes]
+        for b, a in zip(before, after):
+            assert b.accepted == a.accepted
+            assert b.reason == a.reason
+            np.testing.assert_allclose(b.scores, a.scores, rtol=0, atol=0)
+
+    def test_fresh_registry_sees_stored_users(self, alice, bob, tmp_path):
+        backend = NpzDirectoryBackend(tmp_path)
+        first = ModelRegistry(backend=backend)
+        first.add("alice", alice)
+        first.add("bob", bob)
+        rebooted = ModelRegistry(backend=NpzDirectoryBackend(tmp_path))
+        assert rebooted.list_users() == ["alice", "bob"]
+        assert rebooted.cached_users() == []
+        assert rebooted.get("bob").enrolled
+
+    def test_two_users_authenticate_independently(
+        self, alice, bob, study_data
+    ):
+        registry = ModelRegistry()
+        registry.add("alice", alice)
+        registry.add("bob", bob)
+        alice_probe = study_data.trials(0, PIN, "one_handed", 7)[6]
+        bob_probe = study_data.trials(1, PIN, "one_handed", 7)[6]
+        assert registry.authenticate("alice", alice_probe).accepted
+        assert registry.authenticate("bob", bob_probe).accepted
+        # Cross-user probes score differently from same-user probes.
+        cross = registry.authenticate("bob", alice_probe)
+        own = registry.authenticate("alice", alice_probe)
+        assert cross.scores != own.scores
+
+
+class TestThreadSafety:
+    def test_concurrent_get_add_evict(self, alice):
+        registry = ModelRegistry(capacity=3)
+        names = [f"user-{i}" for i in range(8)]
+        for name in names[:3]:
+            registry.add(name, alice)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(worker):
+            barrier.wait()
+            try:
+                for i in range(50):
+                    name = names[(worker + i) % len(names)]
+                    registry.add(name, alice)
+                    try:
+                        assert registry.get(name).enrolled
+                    except KeyError:
+                        pass  # concurrently evicted: allowed
+                    registry.evict(names[(worker + i + 1) % len(names)])
+                    assert len(registry) <= 3
+                    registry.cached_users()
+                    registry.list_users()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert errors == []
+        assert len(registry) <= 3

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -14,6 +15,8 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig9"])
         assert args.id == "fig9"
         assert args.scale == "smoke"
+        assert args.jobs is None
+        assert args.seed is None
 
     def test_simulate_flags(self):
         args = build_parser().parse_args(
@@ -22,6 +25,31 @@ class TestParser:
         assert args.user == 2
         assert args.pin == "3570"
         assert args.two_handed
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["list"],
+            ["experiment", "fig9"],
+            ["robustness"],
+            ["demo"],
+            ["simulate"],
+        ],
+    )
+    def test_every_subcommand_accepts_jobs_and_seed(self, command):
+        args = build_parser().parse_args(command + ["--jobs", "2", "--seed", "9"])
+        assert args.jobs == 2
+        assert args.seed == 9
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_seed_defaults_preserved(self):
+        assert build_parser().parse_args(["demo"]).seed == 7
+        assert build_parser().parse_args(["simulate"]).seed == 0
 
 
 class TestCommands:
@@ -59,6 +87,14 @@ class TestCommands:
     def test_robustness_unknown_fault(self, capsys):
         assert main(["robustness", "--faults", "bitrot"]) == 2
         assert "unknown fault" in capsys.readouterr().err
+
+    def test_experiment_seed_override_changes_population(self, capsys):
+        assert main(["experiment", "fig9", "--seed", "11"]) == 0
+        seeded = capsys.readouterr().out
+        assert main(["experiment", "fig9"]) == 0
+        default = capsys.readouterr().out
+        assert "Fig. 9" in seeded
+        assert seeded != default
 
     def test_robustness_markdown_table(self, capsys):
         code = main(

@@ -1,0 +1,10 @@
+"""RL007 fixture: enrollment split internals imported directly (all fire)."""
+
+import repro.core.models
+import repro.core.negatives as neg
+from repro.core.models import WaveformModel
+from repro.core.enroll import enroll_models
+from repro.core import models, negatives
+from repro.core import enroll
+from ..core.models import fixed_window
+from ..core import negatives as shared
