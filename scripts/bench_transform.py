@@ -96,7 +96,7 @@ def bench_case(name, n, channels, length, num_features, repeats):
 
     engines = {"reference": lambda: rocket._transform_reference(x)}
     engines["vectorized"] = run_vectorized
-    if mr._ckernel.available():
+    if mr.c_kernel_available():
         engines["c"] = run_c
 
     reference_out = None
@@ -166,7 +166,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
-        "c_kernel_available": mr._ckernel.available(),
+        "c_kernel_available": mr.c_kernel_available(),
         "cases": [],
     }
     for case_args in cases:

@@ -13,6 +13,7 @@ from .attacks import EmulatingAttacker, RandomAttacker
 from .authentication import AuthDecision, authenticate_preprocessed
 from .authenticator import P2Auth
 from .degradation import DegradationEvent, DegradationPolicy, apply_policy
+from .hotpath import HotAuthPipeline
 from .persistence import (
     load_authenticator,
     load_session,
@@ -75,6 +76,7 @@ __all__ = [
     "FeatureBlock",
     "Features",
     "FeaturizeStage",
+    "HotAuthPipeline",
     "ModelRegistry",
     "NegativeBank",
     "NpzDirectoryBackend",

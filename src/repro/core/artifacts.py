@@ -141,6 +141,12 @@ class AuthDecision:
         passes: per-key pass flags aligned with ``keys_checked``.
         degradation: rungs of the degradation ladder taken before the
             decision (empty when no policy ran or nothing was wrong).
+        stage_timings: per-stage wall time in seconds, ``(name, s)`` in
+            execution order — observability metadata only, attached when
+            the pipeline ran with ``profile=True`` and shared by every
+            decision of the same batch. Never part of the parity
+            contract: the numeric fields above are computed identically
+            with and without profiling.
     """
 
     accepted: bool
@@ -151,6 +157,7 @@ class AuthDecision:
     keys_checked: Tuple[str, ...] = field(default_factory=tuple)
     passes: Tuple[bool, ...] = field(default_factory=tuple)
     degradation: Tuple[DegradationEvent, ...] = field(default_factory=tuple)
+    stage_timings: Optional[Tuple[Tuple[str, float], ...]] = None
 
 
 def _integrate(passes: Tuple[bool, ...]) -> bool:

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 from ..config import PipelineConfig
 from ..errors import EnrollmentError
+from ..features import warm_engine
 from ..types import PinEntryTrial
 from .degradation import DegradationPolicy
 from .enrollment import (
@@ -29,6 +30,7 @@ from .enrollment import (
     NegativeBank,
     enroll_models,
 )
+from .hotpath import HotAuthPipeline
 from .pin import PinVerifier
 from .stages import AuthDecision, AuthPipeline
 
@@ -66,6 +68,11 @@ class P2Auth:
         self._policy = policy
         self._models: Optional[EnrolledModels] = None
         self._stage_pipeline: Optional[AuthPipeline] = None
+        self._hot_pipeline: Optional[HotAuthPipeline] = None
+        # Move the one-off C-kernel compile/load off the request path:
+        # constructing an authenticator is the natural "service starting"
+        # moment, authenticate() is not.
+        warm_engine()
 
     @property
     def no_pin_mode(self) -> bool:
@@ -118,6 +125,41 @@ class P2Auth:
             )
         return self._stage_pipeline
 
+    @property
+    def hot_pipeline(self) -> HotAuthPipeline:
+        """The fused low-latency engine (raises before enrollment).
+
+        Bit-identical to :attr:`pipeline` decision-for-decision; rebuilt
+        automatically when the models change, like the staged one.
+        """
+        if self._models is None:
+            raise EnrollmentError("enroll a user before authenticating")
+        if (
+            self._hot_pipeline is None
+            or self._hot_pipeline.models is not self._models
+        ):
+            self._hot_pipeline = HotAuthPipeline(
+                self._models,
+                config=self._config,
+                policy=self._policy,
+                no_pin_mode=self.no_pin_mode,
+            )
+        return self._hot_pipeline
+
+    def warmup(self, signal_lengths: Sequence[int] = ()) -> bool:
+        """Pay one-off costs now so the first authenticate call doesn't.
+
+        Delegates to :meth:`HotAuthPipeline.warmup` once a user is
+        enrolled (C-kernel plans, SG coefficients, optional detrend
+        factorizations for the given signal lengths); before enrollment
+        only the feature engine is warmed. Idempotent: a second call
+        with the same arguments does no work and returns False.
+        """
+        if self._models is None:
+            warm_engine()
+            return False
+        return self.hot_pipeline.warmup(signal_lengths)
+
     def enroll(
         self,
         legit_trials: Sequence[PinEntryTrial],
@@ -143,6 +185,7 @@ class P2Auth:
             shared_negatives=shared_negatives,
         )
         self._stage_pipeline = None
+        self._hot_pipeline = None
         return self
 
     def _pin_verdict(
@@ -157,6 +200,7 @@ class P2Auth:
         self,
         trial: PinEntryTrial,
         claimed_pin: Optional[str] = None,
+        profile: bool = False,
     ) -> AuthDecision:
         """Authenticate one PIN-entry trial.
 
@@ -164,6 +208,9 @@ class P2Auth:
             trial: the probe trial.
             claimed_pin: the PIN the typist entered; defaults to the
                 digits recorded in the trial.
+            profile: attach per-stage wall times to the decision
+                (``AuthDecision.stage_timings``); observability only,
+                the decision itself is unchanged.
 
         Returns:
             The authentication decision.
@@ -173,12 +220,34 @@ class P2Auth:
                 trial is too damaged to score (gap beyond the repair
                 budget, too few usable channels, failed quality gate).
         """
-        return self.pipeline.run([trial], [self._pin_verdict(trial, claimed_pin)])[0]
+        return self.pipeline.run(
+            [trial], [self._pin_verdict(trial, claimed_pin)], profile=profile
+        )[0]
+
+    def authenticate_fast(
+        self,
+        trial: PinEntryTrial,
+        claimed_pin: Optional[str] = None,
+    ) -> AuthDecision:
+        """Authenticate one trial on the fused low-latency path.
+
+        Bit-identical to :meth:`authenticate` (same decision fields,
+        same exceptions — pinned by ``tests/test_stage_parity.py``) but
+        runs :class:`~repro.core.hotpath.HotAuthPipeline`: no
+        intermediate stage artifacts, preallocated scratch buffers, and
+        the pre-marshalled C-kernel call. Call :meth:`warmup` first to
+        keep one-off costs out of the request; see
+        ``docs/performance.md`` for the latency budget.
+        """
+        return self.hot_pipeline.authenticate(
+            trial, self._pin_verdict(trial, claimed_pin)
+        )
 
     def authenticate_many(
         self,
         trials: Sequence[PinEntryTrial],
         claimed_pins: Optional[Sequence[Optional[str]]] = None,
+        profile: bool = False,
     ) -> List[AuthDecision]:
         """Authenticate a batch of probe trials in one pipeline pass.
 
@@ -190,6 +259,8 @@ class P2Auth:
             trials: the probe trials.
             claimed_pins: entered PINs, aligned with ``trials``; each
                 ``None`` entry defaults to that trial's recorded digits.
+            profile: attach per-stage wall times to every decision of
+                the batch (shared timings; observability only).
         """
         if claimed_pins is None:
             claimed_pins = [None] * len(trials)
@@ -201,4 +272,4 @@ class P2Auth:
             self._pin_verdict(trial, pin)
             for trial, pin in zip(trials, claimed_pins)
         ]
-        return self.pipeline.run(trials, verdicts)
+        return self.pipeline.run(trials, verdicts, profile=profile)

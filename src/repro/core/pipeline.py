@@ -131,6 +131,27 @@ def _finalize_trial(
     )
 
 
+def _validate_probe(trial: PinEntryTrial, config: PipelineConfig) -> None:
+    """Input checks shared by the batched and fused preprocessing paths.
+
+    Raising the exact same errors from both entry points is part of the
+    hot path's parity contract (``repro.core.hotpath``).
+    """
+    if abs(trial.recording.fs - config.fs) > 1e-9:
+        raise SignalError(
+            f"recording at {trial.recording.fs} Hz but pipeline configured "
+            f"for {config.fs} Hz; use PipelineConfig.scaled_to"
+        )
+    if not bool(np.all(np.isfinite(trial.recording.samples))):
+        # Fail with a typed error instead of a NaN-poisoned crash
+        # deep inside scipy. Known-missing (NaN) samples are the
+        # degradation policy's job, upstream of preprocessing.
+        raise SignalError(
+            "recording contains non-finite samples; repair them first "
+            "(e.g. via a DegradationPolicy with gap repair)"
+        )
+
+
 def preprocess_trials(
     trials: Sequence[PinEntryTrial], config: Optional[PipelineConfig] = None
 ) -> List[PreprocessedTrial]:
@@ -158,19 +179,7 @@ def preprocess_trials(
         config = PipelineConfig()
     trials = list(trials)
     for trial in trials:
-        if abs(trial.recording.fs - config.fs) > 1e-9:
-            raise SignalError(
-                f"recording at {trial.recording.fs} Hz but pipeline configured "
-                f"for {config.fs} Hz; use PipelineConfig.scaled_to"
-            )
-        if not bool(np.all(np.isfinite(trial.recording.samples))):
-            # Fail with a typed error instead of a NaN-poisoned crash
-            # deep inside scipy. Known-missing (NaN) samples are the
-            # degradation policy's job, upstream of preprocessing.
-            raise SignalError(
-                "recording contains non-finite samples; repair them first "
-                "(e.g. via a DegradationPolicy with gap repair)"
-            )
+        _validate_probe(trial, config)
 
     filtered_list = [
         median_filter_multi(trial.recording.samples, config.median_kernel)

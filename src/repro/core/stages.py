@@ -397,16 +397,52 @@ class AuthPipeline:
             self.decide,
         )
 
+    @staticmethod
+    def _execute(
+        items: Sequence, stages: Tuple[Stage, ...], profile: bool
+    ) -> List[AuthDecision]:
+        """Run a stage chain; optionally attach per-stage wall times.
+
+        Profiling wraps each stage's batch call in ``profile_call`` and
+        never touches the artifacts themselves, so the numeric path is
+        identical with and without it — only the observability field
+        ``AuthDecision.stage_timings`` differs.
+        """
+        if not profile:
+            for stage in stages:
+                items = stage.run(items)
+            return list(items)
+        from dataclasses import replace
+
+        from ..eval.profiling import profile_call
+
+        timings: List[Tuple[str, float]] = []
+        for stage in stages:
+            run = profile_call(lambda s=stage, batch=items: s.run(batch))
+            items = run.result
+            timings.append((stage.name, run.seconds))
+        frozen = tuple(timings)
+        return [replace(d, stage_timings=frozen) for d in items]
+
     def run(
         self,
         trials: Sequence[PinEntryTrial],
         pin_oks: Optional[Sequence[Optional[bool]]] = None,
+        profile: bool = False,
     ) -> List[AuthDecision]:
         """Authenticate a batch of raw probe trials.
 
         Wrong-PIN probes short-circuit before any signal processing —
         they never reach the repair ladder, so a damaged recording with
         a wrong PIN is rejected for the PIN, not refused for quality.
+
+        Args:
+            trials: the probe trials.
+            pin_oks: per-trial PIN verdicts (``None`` entries only in
+                NO-PIN mode).
+            profile: attach per-stage wall times to the decisions (see
+                :meth:`_execute`); short-circuited wrong-PIN decisions
+                carry no timings because no stage ran for them.
         """
         if pin_oks is None:
             pin_oks = [None] * len(trials)
@@ -433,21 +469,13 @@ class AuthPipeline:
             live.append(Recording(trial=trial, pin_ok=pin_ok))
             live_at.append(i)
         if live:
-            decisions = self.decide.run(
-                self.classify.run(
-                    self.featurize.run(
-                        self.segment.run(
-                            self.preprocess.run(self.repair.run(live))
-                        )
-                    )
-                )
-            )
+            decisions = self._execute(live, self.stages, profile)
             for i, decision in zip(live_at, decisions):
                 results[i] = decision
         return [r for r in results if r is not None]
 
     def run_preprocessed(
-        self, items: Sequence[Preprocessed]
+        self, items: Sequence[Preprocessed], profile: bool = False
     ) -> List[AuthDecision]:
         """Authenticate already-preprocessed probes (eval hot path)."""
         results: List[Optional[AuthDecision]] = [None] * len(items)
@@ -469,9 +497,8 @@ class AuthPipeline:
             live.append(item)
             live_at.append(i)
         if live:
-            decisions = self.decide.run(
-                self.classify.run(self.featurize.run(self.segment.run(live)))
-            )
+            stages = (self.segment, self.featurize, self.classify, self.decide)
+            decisions = self._execute(live, stages, profile)
             for i, decision in zip(live_at, decisions):
                 results[i] = decision
         return [r for r in results if r is not None]

@@ -317,6 +317,7 @@ class StreamingAuthenticator:
         user_id: int = -1,
         reported_times: Optional[Sequence[float]] = None,
         one_handed: bool = True,
+        profile: bool = False,
     ) -> "AuthDecision":
         """End the entry and authenticate it through the stage pipeline.
 
@@ -330,6 +331,10 @@ class StreamingAuthenticator:
                 stand in — which requires the detector to have found
                 exactly one keystroke per digit.
             one_handed: whether the entry was typed one-handed.
+            profile: attach per-stage wall times to the decision
+                (``AuthDecision.stage_timings``), forwarded to
+                :meth:`P2Auth.authenticate`; observability only, the
+                decision itself is unchanged.
 
         Returns:
             The :class:`~repro.core.stages.AuthDecision`.
@@ -377,4 +382,6 @@ class StreamingAuthenticator:
             one_handed=one_handed,
         )
         entered = claimed_pin if claimed_pin is not None else pin
-        return self._auth.authenticate(trial, claimed_pin=entered)
+        return self._auth.authenticate(
+            trial, claimed_pin=entered, profile=profile
+        )

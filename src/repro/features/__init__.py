@@ -10,11 +10,19 @@ and `dtw` the banded dynamic-time-warping distance they rely on.
 
 from .dtw import dtw_distance
 from .manual import ManualFeatureExtractor, manual_feature_names
-from .minirocket import MiniRocket
+from .minirocket import (
+    MiniRocket,
+    c_kernel_available,
+    transform_stacked,
+    warm_engine,
+)
 
 __all__ = [
     "MiniRocket",
     "ManualFeatureExtractor",
     "manual_feature_names",
     "dtw_distance",
+    "c_kernel_available",
+    "transform_stacked",
+    "warm_engine",
 ]

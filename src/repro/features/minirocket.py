@@ -185,6 +185,87 @@ def _resolve_engine(name: Optional[str]) -> str:
     return name
 
 
+def c_kernel_available() -> bool:
+    """True when the compiled MiniRocket kernel can be built and loaded.
+
+    The public probe for scripts and benchmarks; triggers the on-demand
+    compile on first call, so a ``True`` answer means the kernel is
+    already loaded.
+    """
+    return _ckernel.available()
+
+
+def warm_engine(engine: Optional[str] = None) -> str:
+    """Resolve the feature engine, paying the one-off compile cost now.
+
+    Resolving ``"auto"`` (or an explicit ``"c"``) probes kernel
+    availability, which builds and loads the shared library on first
+    call — the dominant first-request cost (~hundreds of ms) when it
+    happens inside ``authenticate``. Call this at process start, from
+    ``P2Auth.__init__``, or via ``warmup()`` to move it off the request
+    path.
+
+    Unlike :func:`_resolve_engine` this never raises for a missing
+    compiler: an unavailable compiled kernel demotes to
+    ``"vectorized"``, matching what ``transform`` would actually run.
+
+    Returns:
+        The concrete engine name that will serve transforms.
+    """
+    try:
+        return _resolve_engine(engine)
+    except ConfigurationError:
+        if engine in (None, "auto", "c"):
+            return "vectorized"
+        raise
+
+
+def transform_stacked(
+    rockets: List["MiniRocket"], x: np.ndarray
+) -> Optional[np.ndarray]:
+    """Transform one instance per fitted extractor in a single C call.
+
+    The cross-user hot path: ``x[i]`` is transformed by ``rockets[i]``
+    (typically one enrolled user's extractor each), with all instances
+    batched into one compiled-kernel invocation carrying per-instance
+    bias tables. Row ``i`` is bit-identical to
+    ``rockets[i].transform(x[i:i + 1])`` — the kernel processes
+    instances independently — which is what lets a registry batch
+    probes across users without perturbing any decision.
+
+    Returns ``None`` whenever stacking does not apply — extractors not
+    all fitted at the same shape/schedule, an engine not resolving to
+    the compiled kernel, or the kernel declining — and the caller
+    falls back to the per-extractor loop it replaces.
+
+    Args:
+        rockets: fitted extractors, one per instance of ``x``.
+        x: input of shape ``(n, channels, length)``.
+    """
+    x = np.asarray(x)
+    if x.dtype != np.float64 or not x.flags.c_contiguous:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+    if x.ndim != 3 or x.shape[0] == 0 or len(rockets) != x.shape[0]:
+        return None
+    plans: List[_ckernel.TransformPlan] = []
+    for rocket in rockets:
+        if not rocket._fitted:
+            return None
+        if (rocket._n_channels, rocket._input_length) != x.shape[1:]:
+            return None
+        try:
+            engine = _resolve_engine(rocket.engine)
+        except ConfigurationError:
+            return None
+        if engine != "c":
+            return None
+        plan = rocket._c_plan()
+        if plan is None:
+            return None
+        plans.append(plan)
+    return _ckernel.transform_prepared_multi(plans, x)
+
+
 class MiniRocket:
     """The MiniRocket transform.
 
@@ -241,6 +322,9 @@ class MiniRocket:
         self._features_per_dilation: Optional[np.ndarray] = None
         # biases[channel] -> list over dilations of (84, features) arrays
         self._biases: Optional[List[List[np.ndarray]]] = None
+        # Pre-marshalled compiled-kernel arguments; built lazily on the
+        # first C-engine transform and invalidated by fit().
+        self._plan: Optional[_ckernel.TransformPlan] = None
 
     @staticmethod
     def _as_3d(x: np.ndarray) -> np.ndarray:
@@ -348,6 +432,7 @@ class MiniRocket:
         self._biases = biases
         self._n_channels = channels
         self._input_length = length
+        self._plan = None
         self._fitted = True
         return self
 
@@ -366,12 +451,45 @@ class MiniRocket:
             )
         return x
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    def _c_plan(self) -> Optional[_ckernel.TransformPlan]:
+        """The cached compiled-kernel plan; ``None`` when unavailable."""
+        if self._plan is None:
+            self._plan = _ckernel.prepare(
+                self._dilations,
+                self._features_per_dilation,
+                self._biases,
+                self.n_features_out,
+            )
+        return self._plan
+
+    def warm(self) -> "MiniRocket":
+        """Pay the one-off transform costs ahead of the first real call.
+
+        Resolves the engine (building and loading the C kernel if
+        needed), marshals the prepared argument plan, and runs one
+        throwaway transform at the fitted shape so every lazy path the
+        first real call would hit is already primed. Results are
+        unaffected — warming is observable only as latency. Idempotent
+        and cheap after the first call (one small transform).
+        """
+        if not self._fitted:
+            raise NotFittedError("MiniRocket.fit has not been called")
+        x = np.zeros((1, int(self._n_channels), int(self._input_length)))
+        self.transform(x)
+        return self
+
+    def transform(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Transform series into PPV features.
 
         Args:
             x: series with the same channel count and length as the
                 training data.
+            out: optional preallocated C-contiguous float64 buffer of
+                shape ``(n, n_features_out)`` to write features into
+                (the hot authentication path reuses one across calls).
+                The returned array is ``out`` when it was used.
 
         Returns:
             Feature matrix of shape ``(n, n_features_out)``.
@@ -379,21 +497,23 @@ class MiniRocket:
         x = self._check_transform_input(x)
         engine = _resolve_engine(self.engine)
         if engine == "reference":
-            return self._transform_loop(x)
-        if engine == "c":
-            out = _ckernel.transform(
-                x,
-                self._dilations,
-                self._features_per_dilation,
-                self._biases,
-                self.n_features_out,
-            )
+            features = self._transform_loop(x)
             if out is not None:
+                np.copyto(out, features)
                 return out
+            return features
+        if engine == "c":
+            plan = self._c_plan()
+            if plan is not None:
+                features = _ckernel.transform_prepared(plan, x, out=out)
+                if features is not None:
+                    return features
             # Compiled path declined the shape; fall through to NumPy.
-        return self._transform_vectorized(x)
+        return self._transform_vectorized(x, out=out)
 
-    def _transform_vectorized(self, x: np.ndarray) -> np.ndarray:
+    def _transform_vectorized(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Batched-linear-algebra engine.
 
         Per (channel, instance batch, dilation): one matrix product
@@ -406,7 +526,12 @@ class MiniRocket:
         n, channels, length = x.shape
         n_feature_cols = self.n_features_out
         per_channel = n_feature_cols // channels
-        out = np.empty((n, n_feature_cols))
+        if out is None:
+            out = np.empty((n, n_feature_cols))
+        elif out.shape != (n, n_feature_cols):
+            raise SignalError(
+                f"out has shape {out.shape}, expected {(n, n_feature_cols)}"
+            )
         batch = self.batch_size
 
         for ch in range(channels):

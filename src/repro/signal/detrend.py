@@ -103,6 +103,20 @@ def clear_detrend_cache() -> None:
     _banded_cholesky.cache_clear()
 
 
+def warm_detrend_factor(n: int, lam: float = 50.0) -> None:
+    """Prime the factorization cache for signals of length ``n``.
+
+    Factorizing the pentadiagonal system is the dominant first-call
+    cost of detrending a new signal length (~1 ms at paper shapes);
+    warmup paths call this so the first real probe pays only the
+    backsubstitution.
+    """
+    lam = _validate_lam(lam)
+    if n < 3:
+        raise SignalError(f"detrending needs at least 3 samples, got {n}")
+    _banded_cholesky(int(n), lam)
+
+
 def _solve_trend(rows: np.ndarray, lam: float) -> np.ndarray:
     """Solve ``A x = b`` for every row of ``rows`` in one banded call.
 
@@ -119,6 +133,31 @@ def _solve_trend(rows: np.ndarray, lam: float) -> np.ndarray:
         return cho_solve_banded((factor, False), rows, check_finite=False)
     solved = cho_solve_banded((factor, False), rows.T, check_finite=False)
     return np.ascontiguousarray(solved.T)
+
+
+_pbtrs = None
+
+
+def _solve_trend_fast(rows: np.ndarray, lam: float) -> np.ndarray:
+    """Hot-path twin of :func:`_solve_trend` for 2-D float64 rows.
+
+    Issues the exact LAPACK ``pbtrs`` backsubstitution that
+    ``cho_solve_banded`` wraps — same cached factor, same right-hand
+    -side memory — minus the wrapper's per-call validation, and returns
+    the transposed solution *view* instead of a contiguous copy (the
+    caller only reads it elementwise). Bit-identical values to
+    :func:`_solve_trend`; pinned by ``tests/signal/test_detrend.py``.
+    """
+    global _pbtrs
+    factor = _banded_cholesky(rows.shape[-1], lam)
+    if _pbtrs is None:
+        from scipy.linalg import get_lapack_funcs
+
+        (_pbtrs,) = get_lapack_funcs(("pbtrs",), (factor, rows))
+    solved, info = _pbtrs(factor, rows.T, lower=False)
+    if info != 0:  # pragma: no cover - factor is known positive-definite
+        raise SignalError(f"banded backsubstitution failed (info={info})")
+    return solved.T
 
 
 def estimate_trend(samples: np.ndarray, lam: float = 50.0) -> np.ndarray:

@@ -170,3 +170,88 @@ class TestThreadSafety:
             list(pool.map(hammer, range(8)))
         assert errors == []
         assert len(registry) <= 3
+
+
+class _BlockingBackend:
+    """Test backend whose ``load`` parks on a barrier.
+
+    The barrier only releases when *both* loader threads are inside
+    ``load`` at the same time — which is impossible if the registry
+    still held its lock across backend I/O. A timeout (broken barrier)
+    therefore means the loads serialized.
+    """
+
+    def __init__(self, auth, parties=2, timeout=10.0):
+        self._auth = auth
+        self._barrier = threading.Barrier(parties)
+        self._timeout = timeout
+
+    def store(self, user_id, auth):
+        pass
+
+    def load(self, user_id):
+        self._barrier.wait(timeout=self._timeout)
+        import copy
+
+        return copy.copy(self._auth)
+
+    def delete(self, user_id):
+        pass
+
+    def user_ids(self):
+        return []
+
+
+class TestLockFreeLoads:
+    def test_concurrent_misses_load_in_parallel(self, alice):
+        registry = ModelRegistry(backend=_BlockingBackend(alice))
+        results, errors = {}, []
+
+        def fetch(name):
+            try:
+                results[name] = registry.get(name)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fetch, args=(name,))
+            for name in ("u1", "u2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert results["u1"].enrolled and results["u2"].enrolled
+        assert sorted(registry.cached_users()) == ["u1", "u2"]
+
+    def test_same_user_race_publishes_one_instance(self, alice):
+        registry = ModelRegistry(backend=_BlockingBackend(alice))
+        results, errors = [], []
+
+        def fetch():
+            try:
+                results.append(registry.get("shared"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        # Both loads completed, but exactly one instance was published
+        # and every caller got it.
+        assert len(results) == 2
+        assert results[0] is results[1]
+        assert registry.get("shared") is results[0]
+
+    def test_loaded_user_arrives_warmed(self, alice, tmp_path):
+        registry = ModelRegistry(backend=NpzDirectoryBackend(tmp_path))
+        registry.add("alice", alice)
+        registry.evict("alice")
+        loaded = registry.get("alice")
+        # The registry warmed the authenticator on load: a direct
+        # warmup call finds no cold work left.
+        assert loaded.warmup() is False

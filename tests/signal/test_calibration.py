@@ -99,3 +99,103 @@ class TestTrialCalibration:
         # (slightly after the press); what matters is consistency:
         # their spread must be tight.
         assert np.std(cal_err) <= np.std(raw_err) + 2.0
+
+
+def _recording(n, fs=100.0, start_time=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = rng.standard_normal((4, n))
+    from repro.types import PPGRecording
+
+    return PPGRecording(samples=samples, fs=fs, start_time=start_time)
+
+
+def _events(times):
+    from repro.types import KeystrokeEvent
+
+    return [
+        KeystrokeEvent(key=str(i % 10), true_time=t, reported_time=t)
+        for i, t in enumerate(times)
+    ]
+
+
+class TestFastTrialCalibration:
+    """calibrate_trial_indices_fast must be result-identical to the
+    reference implementation — same indices, same errors."""
+
+    def test_randomized_parity(self):
+        from repro.signal.calibration import (
+            calibrate_trial_indices,
+            calibrate_trial_indices_fast,
+        )
+        from repro.signal.filters import clear_savgol_cache
+
+        rng = np.random.default_rng(7)
+        clear_savgol_cache()
+        for case in range(40):
+            n = int(rng.integers(40, 800))
+            window = int(rng.integers(2, 61))
+            sg_window = int(rng.choice([5, 7, 11, 15]))
+            config = PipelineConfig(
+                calibration_window=window,
+                sg_window=sg_window,
+                sg_polyorder=3,
+            )
+            rec = _recording(n, seed=case)
+            # A heartbeat-like reference with occasional flat plateaus,
+            # so ties and candidate-poor windows get exercised too.
+            t = np.arange(n) / rec.fs
+            reference = np.sin(2 * np.pi * 1.3 * t) + 0.1 * rng.standard_normal(n)
+            if case % 3 == 0:
+                lo = int(rng.integers(0, max(1, n - 10)))
+                reference[lo : lo + 10] = reference[lo]
+            k = int(rng.integers(1, 7))
+            # Reported times spanning edges, interior, and out-of-range
+            # (the raw index is clipped into the signal by both paths).
+            times = rng.uniform(-0.2, n / rec.fs + 0.2, size=k)
+            events = _events(times)
+            slow = calibrate_trial_indices(rec, events, config, reference)
+            fast = calibrate_trial_indices_fast(rec, events, config, reference)
+            assert fast == slow, (
+                f"case {case}: n={n} window={window} sg={sg_window}"
+            )
+
+    def test_empty_events(self, pipeline_config):
+        from repro.signal.calibration import (
+            calibrate_trial_indices,
+            calibrate_trial_indices_fast,
+        )
+
+        rec = _recording(120)
+        reference = np.linspace(0.0, 1.0, 120)
+        assert calibrate_trial_indices_fast(
+            rec, [], pipeline_config, reference
+        ) == calibrate_trial_indices(rec, [], pipeline_config, reference)
+
+    def test_error_parity(self, pipeline_config):
+        from repro.signal.calibration import (
+            calibrate_trial_indices,
+            calibrate_trial_indices_fast,
+        )
+
+        rec = _recording(100)
+        events = _events([0.5])
+        bad_ref = np.zeros(10)
+        with pytest.raises(SignalError) as slow_err:
+            calibrate_trial_indices(rec, events, pipeline_config, bad_ref)
+        with pytest.raises(SignalError) as fast_err:
+            calibrate_trial_indices_fast(rec, events, pipeline_config, bad_ref)
+        assert str(fast_err.value) == str(slow_err.value)
+
+        # PipelineConfig rejects calibration_window < 2 at construction,
+        # so a stub drives the functions' own defensive check.
+        tiny = type(
+            "TinyConfig",
+            (),
+            {"calibration_window": 1, "sg_window": 11, "sg_polyorder": 3},
+        )()
+        good_ref = np.zeros(100)
+        with pytest.raises(ConfigurationError) as slow_cfg:
+            calibrate_trial_indices(rec, events, tiny, good_ref)
+        with pytest.raises(ConfigurationError) as fast_cfg:
+            calibrate_trial_indices_fast(rec, events, tiny, good_ref)
+        assert str(fast_cfg.value) == str(slow_cfg.value)

@@ -178,3 +178,58 @@ class TestMovingAverageMatchesConvolveFormulation:
         out = moving_average(x, 11)
         assert out.shape == x.shape
         np.testing.assert_allclose(out, np.full(5, 2.0), rtol=1e-12)
+
+
+class TestSavitzkyGolayCached:
+    """The cached SG twin must be bit-identical where it promises to be."""
+
+    def test_matches_uncached_bit_for_bit(self):
+        from repro.signal.filters import savitzky_golay, savitzky_golay_cached
+
+        rng = np.random.default_rng(0)
+        for n in (12, 57, 200, 457):
+            x = rng.standard_normal(n)
+            for window, polyorder in ((11, 3), (5, 2), (7, 3)):
+                assert np.array_equal(
+                    savitzky_golay_cached(x, window=window, polyorder=polyorder),
+                    savitzky_golay(x, window=window, polyorder=polyorder),
+                )
+
+    def test_fit_edges_false_interior_identical(self):
+        # Skipping the polynomial edge fits must leave every interior
+        # sample (index half .. n-half-1) bit-identical; the edge
+        # samples are unspecified and callers must never read them.
+        from repro.signal.filters import savitzky_golay, savitzky_golay_cached
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(300)
+        window = 11
+        half = window // 2
+        full = savitzky_golay(x, window=window, polyorder=3)
+        lazy = savitzky_golay_cached(
+            x, window=window, polyorder=3, fit_edges=False
+        )
+        assert np.array_equal(lazy[half:-half], full[half:-half])
+
+    def test_cache_reuse_identical_across_calls(self):
+        from repro.signal.filters import (
+            clear_savgol_cache,
+            savitzky_golay_cached,
+        )
+
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(128)
+        clear_savgol_cache()
+        cold = savitzky_golay_cached(x)
+        warm = savitzky_golay_cached(x)
+        assert np.array_equal(cold, warm)
+
+    def test_validation_matches_uncached(self):
+        from repro.signal.filters import savitzky_golay_cached
+
+        with pytest.raises(ConfigurationError):
+            savitzky_golay_cached(np.ones(32), window=10)
+        with pytest.raises(ConfigurationError):
+            savitzky_golay_cached(np.ones(32), window=3, polyorder=3)
+        with pytest.raises(SignalError):
+            savitzky_golay_cached(np.ones((2, 32)))

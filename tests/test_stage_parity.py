@@ -410,3 +410,160 @@ class TestRobustnessParity:
         )
         report = build_report(cells, seed=0, label="default")
         assert report["grid"] == expected
+
+
+# ---------------------------------------------------------------------------
+# 6. Fused hot path vs the staged engine
+# ---------------------------------------------------------------------------
+
+
+class TestFusedParity:
+    """``authenticate_fast`` must never differ from ``authenticate``.
+
+    The fused pipeline skips every intermediate artifact and reuses
+    preallocated scratch buffers, so these tests run the same probes
+    through both engines and compare field-for-field at rtol=0/atol=0.
+    """
+
+    @pytest.mark.parametrize("kind", ["legit", "two_handed", "attack"])
+    def test_all_probe_kinds(self, auth, probes, kind):
+        for trial in probes[kind]:
+            assert_decisions_identical(
+                auth.authenticate_fast(trial), auth.authenticate(trial)
+            )
+
+    @pytest.mark.parametrize("kind", ["legit", "attack"])
+    def test_privacy_boost_route(self, boost_auth, probes, kind):
+        for trial in probes[kind]:
+            assert_decisions_identical(
+                boost_auth.authenticate_fast(trial),
+                boost_auth.authenticate(trial),
+            )
+
+    def test_wrong_pin_short_circuits(self, auth, probes):
+        trial = probes["legit"][0]
+        fast = auth.authenticate_fast(trial, claimed_pin="0000")
+        assert_decisions_identical(
+            fast, auth.authenticate(trial, claimed_pin="0000")
+        )
+        assert fast.reason == "PIN verification failed"
+
+    def test_scratch_reuse_does_not_drift(self, auth, probes):
+        # Repeated fused calls share one scratch allocation; a stale or
+        # partially overwritten buffer would show up as a changed score.
+        staged = [auth.authenticate(t) for t in probes["legit"]]
+        for _ in range(3):
+            for trial, reference in zip(probes["legit"], staged):
+                assert_decisions_identical(
+                    auth.authenticate_fast(trial), reference
+                )
+
+    def test_post_degradation_repaired_probe(self, data, third_party):
+        import dataclasses
+
+        from repro.core import DegradationPolicy
+
+        enroll = data.trials(0, PIN, "one_handed", 8)[:6]
+        a = P2Auth(
+            pin=PIN,
+            options=EnrollmentOptions(num_features=FEATURES),
+            policy=DegradationPolicy(),
+        )
+        a.enroll(enroll, third_party)
+        probe = data.trials(0, PIN, "one_handed", 8)[6]
+        samples = probe.recording.samples.copy()
+        samples[0, 40:50] = np.nan  # 0.1 s gap: inside the repair budget
+        damaged = dataclasses.replace(
+            probe, recording=probe.recording.with_samples(samples)
+        )
+        staged = a.authenticate(damaged)
+        assert staged.degradation, "the repair ladder never ran"
+        assert_decisions_identical(a.authenticate_fast(damaged), staged)
+
+
+class TestWarmup:
+    def test_idempotent_and_results_invisible(
+        self, enroll_trials, third_party, probes
+    ):
+        warmed = P2Auth(
+            pin=PIN, options=EnrollmentOptions(num_features=FEATURES)
+        )
+        warmed.enroll(enroll_trials, third_party)
+        n = probes["legit"][0].recording.n_samples
+        assert warmed.warmup((n,)) is True
+        assert warmed.warmup((n,)) is False  # idempotence contract
+        cold = P2Auth(
+            pin=PIN, options=EnrollmentOptions(num_features=FEATURES)
+        )
+        cold.enroll(enroll_trials, third_party)
+        for trial in probes["legit"] + probes["attack"]:
+            assert_decisions_identical(
+                warmed.authenticate_fast(trial),
+                cold.authenticate_fast(trial),
+            )
+
+    def test_warmup_before_enrollment_is_safe(self):
+        assert P2Auth(pin=PIN).warmup() is False
+
+
+# ---------------------------------------------------------------------------
+# 7. Cross-user registry batch == per-user loop
+# ---------------------------------------------------------------------------
+
+
+class TestCrossUserBatchParity:
+    @pytest.fixture(scope="class")
+    def registry(self, data):
+        from repro.data import ThirdPartyStore
+
+        registry = ModelRegistry(
+            options=EnrollmentOptions(num_features=FEATURES)
+        )
+        for user in (0, 1, 2):
+            store = ThirdPartyStore(
+                data, [u for u in range(5) if u != user], PIN
+            )
+            registry.enroll(
+                f"user{user}",
+                PIN,
+                data.trials(user, PIN, "one_handed", 6),
+                store.sample(12),
+            )
+        return registry
+
+    def test_batch_equals_loop_across_users(self, registry, data):
+        ids, trials, pins = [], [], []
+        for user in (0, 1, 2):  # each user's own probe
+            ids.append(f"user{user}")
+            trials.append(data.trials(user, PIN, "one_handed", 7)[6])
+            pins.append(None)
+        # a cross-user attack, a wrong PIN, and a two-handed probe
+        ids.append("user0")
+        trials.append(data.emulating_trials(4, 0, PIN, 1)[0])
+        pins.append(None)
+        ids.append("user1")
+        trials.append(data.trials(1, PIN, "one_handed", 8)[7])
+        pins.append("0000")
+        ids.append("user2")
+        trials.append(data.trials(2, PIN, "double3", 1)[0])
+        pins.append(None)
+
+        batched = registry.authenticate_many(ids, trials, pins)
+        looped = [
+            registry.authenticate(u, t, claimed_pin=p)
+            for u, t, p in zip(ids, trials, pins)
+        ]
+        assert len(batched) == len(looped)
+        for b, l in zip(batched, looped):
+            assert_decisions_identical(b, l)
+
+    def test_length_mismatches_rejected(self, registry, data):
+        from repro.errors import ConfigurationError, EnrollmentError
+
+        probe = data.trials(0, PIN, "one_handed", 1)[0]
+        with pytest.raises(ConfigurationError, match="user ids"):
+            registry.authenticate_many(["user0", "user1"], [probe])
+        with pytest.raises(EnrollmentError, match="PINs"):
+            registry.authenticate_many(
+                ["user0"], [probe], claimed_pins=[PIN, PIN]
+            )

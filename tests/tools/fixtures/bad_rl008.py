@@ -1,0 +1,24 @@
+"""RL008 fixture: C-kernel build internals used directly (warm paths exempt)."""
+
+import repro.features._ckernel
+import repro.features._ckernel as ck
+from repro.features._ckernel import transform_prepared
+from repro.features import _ckernel
+
+
+def build_features(mr, x):
+    return mr._ckernel.transform(x, plan=None)
+
+
+def warm_feature_engine():
+    # Exempt: warmup helpers are exactly where touching the build
+    # internals eagerly is the point.
+    from repro.features import _ckernel as kernel
+
+    return _ckernel.available() and kernel is not None
+
+
+def sneaky_availability_probe(extractor):
+    if extractor.backend._ckernel.available():
+        return "c"
+    return "vectorized"

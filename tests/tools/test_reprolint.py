@@ -100,6 +100,40 @@ class TestRuleFixtures:
         result = lint_source(source, path="src/repro/core/enrollment.py")
         assert result.findings == []
 
+    def test_rl008_ckernel_internals(self):
+        assert findings_for("bad_rl008.py") == [
+            ("RL008", 3),
+            ("RL008", 4),
+            ("RL008", 5),
+            ("RL008", 6),
+            ("RL008", 10),
+            ("RL008", 22),
+        ]
+
+    def test_rl008_silent_inside_features(self):
+        source = "from repro.features import _ckernel\n"
+        result = lint_source(source, path="src/repro/features/minirocket.py")
+        assert result.findings == []
+
+    def test_rl008_warm_functions_exempt(self):
+        source = (
+            "def warmup_models():\n"
+            "    from repro.features import _ckernel\n"
+            "    return _ckernel.available()\n"
+        )
+        result = lint_source(source, path="src/repro/core/registry.py")
+        assert result.findings == []
+
+    def test_rl008_allowlisted_in_tests(self):
+        source = "from repro.features import _ckernel\n"
+        assert lint_source(
+            source, path="tests/features/test_minirocket_parity.py"
+        ).findings == []
+        assert [
+            f.rule_id
+            for f in lint_source(source, path="scripts/run_eval.py").findings
+        ] == ["RL008"]
+
     def test_clean_fixture_is_silent(self):
         assert findings_for("clean.py") == []
 

@@ -66,6 +66,11 @@ DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
         "benchmarks/*",
         "*/benchmarks/*",
     ),
+    # Parity tests legitimately probe the C-kernel internals directly.
+    "RL008": (
+        "tests/*",
+        "*/tests/*",
+    ),
 }
 
 _SUPPRESS_RE = re.compile(

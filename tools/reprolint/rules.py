@@ -1,4 +1,4 @@
-"""The seven reproduction-invariant rules.
+"""The eight reproduction-invariant rules.
 
 Each rule is a small :mod:`ast` visitor grounded in a hazard this repo
 has actually hit (or deliberately guards against):
@@ -21,6 +21,10 @@ RL007     imports of the split enrollment internals
           (``repro.core.models`` / ``negatives`` / ``enroll``) from
           outside ``repro.core`` — external code must go through the
           ``repro.core.enrollment`` façade or ``repro.core`` itself
+RL008     direct use of the ``repro.features._ckernel`` build/compile
+          internals outside ``repro/features/`` or a warmup path — the
+          module compiles a shared library on first touch, so stray
+          callers move that one-off cost into the authenticate hot path
 ========  ====================================================================
 """
 
@@ -578,6 +582,88 @@ class EnrollmentInternalsRule(Rule):
         )
 
 
+class CKernelInternalsRule(Rule):
+    """RL008: C-kernel build internals reached from outside features/."""
+
+    rule_id = "RL008"
+    name = "ckernel-internals"
+    description = "direct use of repro.features._ckernel build internals"
+    rationale = (
+        "repro.features._ckernel compiles and dlopens a shared library on "
+        "first touch. Reaching it from outside repro/features/ (or a "
+        "warmup path) moves that one-off build cost into the "
+        "authenticate hot path and bypasses the MiniRocket engine "
+        "fallback; go through repro.features (MiniRocket, warm_engine, "
+        "c_kernel_available) instead."
+    )
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        if "repro/features/" in ctx.path.replace("\\", "/"):
+            return
+        warm_nodes = self._nodes_in_warm_functions(module)
+        for node in ast.walk(module):
+            if id(node) in warm_nodes:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._names_ckernel(alias.name):
+                        yield self._finding(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                module_name = node.module or ""
+                if self._names_ckernel(module_name):
+                    yield self._finding(ctx, node)
+                elif module_name.rpartition(".")[2] == "features" and any(
+                    alias.name == "_ckernel" for alias in node.names
+                ):
+                    yield self._finding(ctx, node)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and self._is_ckernel_ref(func.value)
+                ):
+                    yield self._finding(ctx, node)
+
+    @staticmethod
+    def _names_ckernel(module_name: str) -> bool:
+        return "_ckernel" in module_name.split(".")
+
+    @staticmethod
+    def _is_ckernel_ref(node: ast.expr) -> bool:
+        """True for ``_ckernel`` / ``anything._ckernel`` expressions."""
+        if isinstance(node, ast.Name):
+            return node.id == "_ckernel"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "_ckernel"
+        return False
+
+    @staticmethod
+    def _nodes_in_warm_functions(module: ast.Module) -> Set[int]:
+        """ids of every node inside a function whose name says 'warm'.
+
+        Warmup helpers are exactly where eagerly touching the build
+        internals is the point, so they are exempt wherever they live.
+        """
+        exempt: Set[int] = set()
+        for func in ast.walk(module):
+            if (
+                isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and "warm" in func.name.lower()
+            ):
+                for child in ast.walk(func):
+                    exempt.add(id(child))
+        return exempt
+
+    def _finding(self, ctx: FileContext, node: ast.AST) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            "'repro.features._ckernel' is a build/compile internal; use "
+            "the repro.features API (MiniRocket, warm_engine, "
+            "c_kernel_available) or confine the call to a warmup helper",
+        )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     FalsyDefaultRule(),
     UnseededRandomRule(),
@@ -586,6 +672,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     FloatEqualityRule(),
     SilentExceptRule(),
     EnrollmentInternalsRule(),
+    CKernelInternalsRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
