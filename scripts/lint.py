@@ -42,6 +42,42 @@ def _run(name: str, cmd: List[str]) -> Tuple[str, int]:
     return name, proc.returncode
 
 
+def _check_manifest() -> int:
+    """Fail when the committed CONCURRENCY.md is stale."""
+    print("== concurrency-manifest: CONCURRENCY.md freshness")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.reprolint",
+            "--concurrency-manifest",
+            "src",
+            "tools",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    committed_path = REPO_ROOT / "CONCURRENCY.md"
+    committed = (
+        committed_path.read_text(encoding="utf-8")
+        if committed_path.exists()
+        else ""
+    )
+    if proc.stdout != committed:
+        print(
+            "CONCURRENCY.md is stale; regenerate with\n"
+            "  python -m tools.reprolint --concurrency-manifest src tools"
+            " > CONCURRENCY.md",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -58,6 +94,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     results.append(
         _run("reprolint", [sys.executable, "-m", "tools.reprolint", *paths])
     )
+    results.append(("concurrency-manifest", _check_manifest()))
 
     if shutil.which("ruff"):
         results.append(_run("ruff", ["ruff", "check", "."]))

@@ -1,0 +1,162 @@
+"""Runtime lock-discipline checks behind ``REPRO_CONCURRENCY_DEBUG``.
+
+The static side of the concurrency contract lives in
+``tools/reprolint`` (rules RL009-RL012 and the generated
+``CONCURRENCY.md`` manifest): state is *declared* guarded with
+``# guarded-by: <lock>`` annotations and the linter proves every access
+sits inside a ``with <lock>:`` block. This module is the runtime half:
+the same declarations can be asserted while the race-stress harness
+(``tests/concurrency/``) thrashes the real objects.
+
+Two pieces:
+
+* :func:`checked_rlock` — the lock constructor guarded classes use.
+  With ``REPRO_CONCURRENCY_DEBUG`` unset (production) it returns a
+  plain :class:`threading.RLock`, so the debug machinery costs nothing
+  on the hot path. With the flag set it returns a
+  :class:`CheckedRLock` that tracks its owning thread.
+* :func:`assert_owned` — called by ``# guarded-by: caller`` helpers
+  (methods whose contract is "the caller already holds the lock").  A
+  no-op in production; under the debug flag it raises
+  :class:`~repro.errors.ConcurrencyError` when the calling thread does
+  not own the lock — turning a silent data race into a loud failure.
+
+The debug flag is read once per lock at construction time: services
+set the environment before building their registries/caches, which is
+also what the CI race-stress job does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Optional, Protocol
+
+from .errors import ConcurrencyError
+
+#: Environment variable enabling the runtime ownership assertions.
+CONCURRENCY_DEBUG_ENV = "REPRO_CONCURRENCY_DEBUG"
+
+
+def debug_enabled() -> bool:
+    """Whether ``REPRO_CONCURRENCY_DEBUG`` asks for runtime checks."""
+    value = os.environ.get(CONCURRENCY_DEBUG_ENV, "0").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+class CheckedRLock:
+    """A reentrant lock that knows which thread owns it.
+
+    Drop-in for the :class:`threading.RLock` usage patterns in this
+    repo (``with lock:``, ``acquire``/``release``) plus an
+    :meth:`assert_owned` hook for ``guarded-by: caller`` helpers.  The
+    owner bookkeeping is itself protected by the GIL: the owner field
+    is only written by the thread that just acquired (or is about to
+    release) the underlying RLock.
+    """
+
+    __slots__ = ("_lock", "_owner", "_count", "name")
+
+    def __init__(self, name: str = "lock") -> None:
+        self._lock = threading.RLock()
+        self._owner: Optional[int] = None
+        self._count = 0
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count += 1
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise ConcurrencyError(
+                f"{self.name}: release() by a thread that does not own "
+                "the lock"
+            )
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        self._lock.release()
+
+    def __enter__(self) -> "CheckedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def owned(self) -> bool:
+        """Whether the calling thread currently holds this lock."""
+        return self._owner == threading.get_ident()
+
+    # threading.RLock spells the same query _is_owned(); keeping the
+    # alias lets assert_owned treat both lock kinds uniformly.
+    _is_owned = owned
+
+    def assert_owned(self, what: str = "guarded state") -> None:
+        """Raise unless the calling thread holds this lock."""
+        if not self.owned():
+            raise ConcurrencyError(
+                f"{what} is guarded by {self.name!r} but was touched by "
+                f"thread {threading.current_thread().name!r} without "
+                "holding it"
+            )
+
+
+class LockLike(Protocol):
+    """What guarded classes actually store: a checked lock when
+    debugging, a plain RLock in production."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> Any: ...
+
+    def __exit__(self, *exc_info: object) -> Any: ...
+
+
+def checked_rlock(name: str = "lock") -> LockLike:
+    """A reentrant lock for ``guarded-by`` state.
+
+    Returns a :class:`CheckedRLock` when ``REPRO_CONCURRENCY_DEBUG`` is
+    set at construction time, a plain :class:`threading.RLock`
+    otherwise — guarded classes pay zero overhead in production while
+    the race-stress harness gets live ownership assertions.
+    """
+    if debug_enabled():
+        return CheckedRLock(name)
+    return threading.RLock()
+
+
+def assert_owned(lock: LockLike, what: str = "guarded state") -> None:
+    """Assert the calling thread holds ``lock`` (debug builds only).
+
+    ``guarded-by: caller`` helpers call this at entry.  With a plain
+    RLock (production) the CPython ``_is_owned`` probe is consulted
+    only when the debug flag is set, so the common path is one env-less
+    boolean check per call.
+    """
+    if isinstance(lock, CheckedRLock):
+        lock.assert_owned(what)
+        return
+    if not debug_enabled():
+        return
+    is_owned = getattr(lock, "_is_owned", None)
+    if is_owned is not None and not is_owned():
+        raise ConcurrencyError(
+            f"{what} requires the caller to hold its lock, but thread "
+            f"{threading.current_thread().name!r} does not"
+        )
+
+
+__all__ = [
+    "CONCURRENCY_DEBUG_ENV",
+    "CheckedRLock",
+    "assert_owned",
+    "checked_rlock",
+    "debug_enabled",
+]

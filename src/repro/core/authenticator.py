@@ -17,6 +17,7 @@ harness.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence
 
 from ..config import PipelineConfig
@@ -66,9 +67,13 @@ class P2Auth:
         )
         self._options = options if options is not None else EnrollmentOptions()
         self._policy = policy
-        self._models: Optional[EnrolledModels] = None
-        self._stage_pipeline: Optional[AuthPipeline] = None
-        self._hot_pipeline: Optional[HotAuthPipeline] = None
+        # Lazy engine builds are double-checked against this lock; the
+        # unlocked fast-path reads in `pipeline`/`hot_pipeline` are the
+        # deliberate (suppressed) half of that pattern.
+        self._engine_lock = threading.Lock()
+        self._models: Optional[EnrolledModels] = None  # guarded-by: _engine_lock
+        self._stage_pipeline: Optional[AuthPipeline] = None  # guarded-by: _engine_lock
+        self._hot_pipeline: Optional[HotAuthPipeline] = None  # guarded-by: _engine_lock
         # Move the one-off C-kernel compile/load off the request path:
         # constructing an authenticator is the natural "service starting"
         # moment, authenticate() is not.
@@ -82,14 +87,17 @@ class P2Auth:
     @property
     def enrolled(self) -> bool:
         """Whether :meth:`enroll` has completed."""
+        # reprolint: disable-next=RL010 -- lone reference read; enroll publishes atomically
         return self._models is not None
 
     @property
     def models(self) -> EnrolledModels:
         """The trained models (raises before enrollment)."""
-        if self._models is None:
+        # reprolint: disable-next=RL010 -- lone reference read; enroll publishes atomically
+        models = self._models
+        if models is None:
             raise EnrollmentError("no user is enrolled")
-        return self._models
+        return models
 
     @property
     def config(self) -> PipelineConfig:
@@ -111,19 +119,31 @@ class P2Auth:
         """The staged engine this authenticator runs (raises before
         enrollment). Rebuilt automatically when the models change
         (re-enrollment, archive load)."""
-        if self._models is None:
+        # Double-checked lazy build: the unlocked read is safe because
+        # assignment publishes a fully constructed pipeline atomically.
+        # reprolint: disable-next=RL010 -- deliberate unlocked fast path
+        models = self._models
+        if models is None:
             raise EnrollmentError("enroll a user before authenticating")
-        if (
-            self._stage_pipeline is None
-            or self._stage_pipeline.models is not self._models
-        ):
-            self._stage_pipeline = AuthPipeline(
-                self._models,
-                config=self._config,
-                policy=self._policy,
-                no_pin_mode=self.no_pin_mode,
-            )
-        return self._stage_pipeline
+        # reprolint: disable-next=RL010 -- deliberate unlocked fast path
+        pipeline = self._stage_pipeline
+        if pipeline is not None and pipeline.models is models:
+            return pipeline
+        with self._engine_lock:
+            models = self._models
+            if models is None:  # pragma: no cover - raced with un-enroll
+                raise EnrollmentError("enroll a user before authenticating")
+            if (
+                self._stage_pipeline is None
+                or self._stage_pipeline.models is not models
+            ):
+                self._stage_pipeline = AuthPipeline(
+                    models,
+                    config=self._config,
+                    policy=self._policy,
+                    no_pin_mode=self.no_pin_mode,
+                )
+            return self._stage_pipeline
 
     @property
     def hot_pipeline(self) -> HotAuthPipeline:
@@ -132,19 +152,29 @@ class P2Auth:
         Bit-identical to :attr:`pipeline` decision-for-decision; rebuilt
         automatically when the models change, like the staged one.
         """
-        if self._models is None:
+        # reprolint: disable-next=RL010 -- deliberate unlocked fast path
+        models = self._models
+        if models is None:
             raise EnrollmentError("enroll a user before authenticating")
-        if (
-            self._hot_pipeline is None
-            or self._hot_pipeline.models is not self._models
-        ):
-            self._hot_pipeline = HotAuthPipeline(
-                self._models,
-                config=self._config,
-                policy=self._policy,
-                no_pin_mode=self.no_pin_mode,
-            )
-        return self._hot_pipeline
+        # reprolint: disable-next=RL010 -- deliberate unlocked fast path
+        pipeline = self._hot_pipeline
+        if pipeline is not None and pipeline.models is models:
+            return pipeline
+        with self._engine_lock:
+            models = self._models
+            if models is None:  # pragma: no cover - raced with un-enroll
+                raise EnrollmentError("enroll a user before authenticating")
+            if (
+                self._hot_pipeline is None
+                or self._hot_pipeline.models is not models
+            ):
+                self._hot_pipeline = HotAuthPipeline(
+                    models,
+                    config=self._config,
+                    policy=self._policy,
+                    no_pin_mode=self.no_pin_mode,
+                )
+            return self._hot_pipeline
 
     def warmup(self, signal_lengths: Sequence[int] = ()) -> bool:
         """Pay one-off costs now so the first authenticate call doesn't.
@@ -155,6 +185,7 @@ class P2Auth:
         only the feature engine is warmed. Idempotent: a second call
         with the same arguments does no work and returns False.
         """
+        # reprolint: disable-next=RL010 -- lone reference read; enroll publishes atomically
         if self._models is None:
             warm_engine()
             return False
@@ -177,15 +208,17 @@ class P2Auth:
                 :class:`~repro.core.enrollment.NegativeBank`; skips the
                 store-side preprocessing and feature extraction.
         """
-        self._models = enroll_models(
+        models = enroll_models(
             legit_trials,
             third_party_trials,
             self._config,
             self._options,
             shared_negatives=shared_negatives,
         )
-        self._stage_pipeline = None
-        self._hot_pipeline = None
+        with self._engine_lock:
+            self._models = models
+            self._stage_pipeline = None
+            self._hot_pipeline = None
         return self
 
     def _pin_verdict(

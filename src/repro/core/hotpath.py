@@ -12,8 +12,9 @@ latency instead of batch throughput:
 - **Preallocated scratch buffers.** The median-filter network, the
   detrended channels, and the per-model feature rows are written into
   buffers owned by the pipeline and reused across calls (keyed by
-  signal shape, small LRU). Decisions carry only scalars, strings, and
-  tuples, so nothing the caller sees aliases the scratch.
+  signal shape, small LRU, one set per thread via ``threading.local``).
+  Decisions carry only scalars, strings, and tuples, so nothing the
+  caller sees aliases the scratch.
 - **Cheaper-but-identical kernels.** The 5-point median runs as a
   min/max selection network, the Savitzky-Golay smoothing reuses cached
   FIR coefficients, the calibration extreme-point search is vectorized,
@@ -34,11 +35,13 @@ errors with the same messages on the same inputs.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..concurrency import checked_rlock
 from ..config import PipelineConfig
 from ..errors import AuthenticationError, NotFittedError
 from ..features import warm_engine
@@ -69,8 +72,11 @@ from .pipeline import PreprocessedTrial, _validate_probe
 SCRATCH_SHAPES = 8
 
 
-class _Scratch:
-    """Preprocessing buffers for one ``(channels, n)`` signal shape."""
+class _Scratch:  # concurrency: thread-hostile
+    """Preprocessing buffers for one ``(channels, n)`` signal shape.
+
+    Unsynchronized by design: instances live in ``threading.local``
+    storage, one set per thread, and must never escape it."""
 
     __slots__ = ("median_work", "filtered", "detrended", "calib_ref",
                  "energy_ref")
@@ -98,9 +104,12 @@ class HotAuthPipeline:
         policy: graceful-degradation policy (``None`` disables it).
         no_pin_mode: authenticate by keystroke pattern alone.
 
-    Not thread-safe: the scratch buffers are shared mutable state. Use
-    one instance per thread (the staged pipeline remains the safe
-    default for concurrent callers).
+    Thread-safe: the scratch and feature-row buffers live in
+    ``threading.local`` storage (one set per thread, allocated lazily),
+    so concurrent ``authenticate`` calls on one shared instance are
+    decision-identical to serial runs — pinned by
+    ``tests/concurrency/test_race_stress.py``. The warmup flags are the
+    only cross-thread state and sit behind an internal lock.
     """
 
     def __init__(
@@ -115,12 +124,13 @@ class HotAuthPipeline:
         self.policy = policy
         self.no_pin_mode = no_pin_mode
         self._lam = _validate_lam(self.config.detrend_lambda)
-        self._scratch: "OrderedDict[Tuple[int, int], _Scratch]" = OrderedDict()
-        self._feature_buffers: Dict[
-            int, Tuple[WaveformModel, np.ndarray, np.ndarray]
-        ] = {}
-        self._warmed = False
-        self._warmed_lengths: set = set()
+        # Per-thread buffer sets: `_tls.scratch` is the shape-keyed LRU,
+        # `_tls.feature_buffers` the per-model rows. _Scratch instances
+        # are thread-hostile and must never leave their thread's slot.
+        self._tls = threading.local()
+        self._warm_lock = checked_rlock("HotAuthPipeline._warm_lock")
+        self._warmed = False  # guarded-by: _warm_lock
+        self._warmed_lengths: set = set()  # guarded-by: _warm_lock
 
     # -- warmup ------------------------------------------------------------
 
@@ -150,10 +160,27 @@ class HotAuthPipeline:
         Returns:
             True when any cold work was done; False when everything was
             already warm (the idempotence contract — a second call with
-            the same arguments is a no-op).
+            the same arguments is a no-op). A *concurrent* caller may
+            see False while another thread's warm work is still in
+            flight; results are unaffected either way, and the registry
+            publishes instances only after their warmup returned.
         """
+        # Claim outstanding work under the lock, run it outside: the
+        # underlying warms are idempotent process-wide caches, so a
+        # racing claimer doing duplicate cache fills would be benign —
+        # but holding the lock across a kernel compile (RL012) would
+        # stall every concurrent warmup behind one slow build.
+        with self._warm_lock:
+            need_engine = not self._warmed
+            self._warmed = True
+            new_lengths: List[int] = []
+            for length in signal_lengths:
+                length = int(length)
+                if length not in self._warmed_lengths:
+                    self._warmed_lengths.add(length)
+                    new_lengths.append(length)
         did_work = False
-        if not self._warmed:
+        if need_engine:
             warm_engine()
             warm_savgol(self.config.sg_window, self.config.sg_polyorder)
             warmed_rockets = set()
@@ -164,38 +191,52 @@ class HotAuthPipeline:
                         rocket.warm()
                         warmed_rockets.add(id(rocket))
                     self._feature_buffers_for(model)
-            self._warmed = True
             did_work = True
-        for length in signal_lengths:
-            length = int(length)
-            if length not in self._warmed_lengths:
-                warm_detrend_factor(length, self._lam)
-                self._warmed_lengths.add(length)
-                did_work = True
+        for length in new_lengths:
+            warm_detrend_factor(length, self._lam)
+            did_work = True
         return did_work
 
     # -- buffer management -------------------------------------------------
 
+    def _local_buffers(
+        self,
+    ) -> Tuple[
+        "OrderedDict[Tuple[int, int], _Scratch]",
+        Dict[int, Tuple[WaveformModel, np.ndarray, np.ndarray]],
+    ]:
+        """This thread's buffer set, allocated on first use."""
+        tls = self._tls
+        try:
+            return tls.scratch, tls.feature_buffers
+        except AttributeError:
+            tls.scratch = OrderedDict()
+            tls.feature_buffers = {}
+            return tls.scratch, tls.feature_buffers
+
     def _scratch_for(self, channels: int, n: int) -> _Scratch:
+        scratches, _ = self._local_buffers()
         key = (channels, n)
-        scratch = self._scratch.get(key)
+        scratch = scratches.get(key)
         if scratch is None:
             scratch = _Scratch(channels, n, self.config.median_kernel)
-            self._scratch[key] = scratch
-            while len(self._scratch) > SCRATCH_SHAPES:
-                self._scratch.popitem(last=False)
+            # reprolint: disable-next=RL011 -- confinement, not escape: this dict lives in threading.local storage
+            scratches[key] = scratch
+            while len(scratches) > SCRATCH_SHAPES:
+                scratches.popitem(last=False)
         else:
-            self._scratch.move_to_end(key)
+            scratches.move_to_end(key)
         return scratch
 
     def _feature_buffers_for(
         self, model: WaveformModel
     ) -> Tuple[np.ndarray, np.ndarray]:
-        entry = self._feature_buffers.get(id(model))
+        _, feature_buffers = self._local_buffers()
+        entry = feature_buffers.get(id(model))
         if entry is None or entry[0] is not model:
             width = model._rocket.n_features_out
             entry = (model, np.empty((1, width)), np.empty((1, width)))
-            self._feature_buffers[id(model)] = entry
+            feature_buffers[id(model)] = entry
         return entry[1], entry[2]
 
     # -- the fused request path --------------------------------------------

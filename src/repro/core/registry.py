@@ -15,13 +15,13 @@ direct construction.
 from __future__ import annotations
 
 import re
-import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..concurrency import assert_owned, checked_rlock
 from ..config import PipelineConfig
 from ..errors import (
     AuthenticationError,
@@ -151,8 +151,8 @@ class ModelRegistry:
         self._config = config
         self._options = options
         self._policy = policy
-        self._cache: "OrderedDict[str, P2Auth]" = OrderedDict()
-        self._lock = threading.RLock()
+        self._cache: "OrderedDict[str, P2Auth]" = OrderedDict()  # guarded-by: _lock
+        self._lock = checked_rlock("ModelRegistry._lock")
 
     def __len__(self) -> int:
         with self._lock:
@@ -510,8 +510,8 @@ class ModelRegistry:
         with self._lock:
             return list(self._cache)
 
-    def _shrink(self) -> None:
-        # Caller holds the lock.
+    def _shrink(self) -> None:  # guarded-by: caller
+        assert_owned(self._lock, "ModelRegistry._shrink")
         if self._capacity is None:
             return
         while len(self._cache) > self._capacity:

@@ -96,8 +96,12 @@ class RetryPolicy:
         return float(min(self.max_backoff_s, delay))
 
 
-class SessionManager:
+class SessionManager:  # concurrency: thread-hostile
     """Drives an enrolled authenticator through the session lifecycle.
+
+    A manager models one user's session state machine and is not
+    thread-safe; drive it from a single thread (the wrapped ``P2Auth``
+    may still be shared elsewhere).
 
     Args:
         auth: an enrolled :class:`P2Auth`.

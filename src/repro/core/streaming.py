@@ -52,8 +52,12 @@ class DetectedKeystroke:
     threshold: float
 
 
-class StreamingKeystrokeDetector:
+class StreamingKeystrokeDetector:  # concurrency: thread-hostile
     """Causal keystroke detector over a PPG sample stream.
+
+    One detector serves one stream: it carries running EMA baselines
+    and energy statistics that a second feeding thread would corrupt.
+    Use one instance per stream (thread); never share.
 
     Args:
         fs: stream sampling rate, Hz.
@@ -240,8 +244,12 @@ class StreamingKeystrokeDetector:
         return [event]
 
 
-class StreamingAuthenticator:
+class StreamingAuthenticator:  # concurrency: thread-hostile
     """Online front-end over the staged authentication engine.
+
+    Like its detector, an instance belongs to one stream and must not
+    be shared across threads (the shared ``P2Auth`` it wraps is safe;
+    the per-stream assembly state here is not).
 
     Consumes PPG chunks as they arrive, detects keystrokes causally
     with :class:`StreamingKeystrokeDetector`, and — once the PIN entry

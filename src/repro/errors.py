@@ -67,3 +67,13 @@ class AuthenticationError(P2AuthError):
 
 class NotFittedError(P2AuthError):
     """A model or transform was used before :meth:`fit` was called."""
+
+
+class ConcurrencyError(P2AuthError):
+    """A lock-discipline invariant was violated at runtime.
+
+    Raised only under ``REPRO_CONCURRENCY_DEBUG=1`` (see
+    :mod:`repro.concurrency`), when state declared ``guarded-by`` a lock
+    is touched by a thread that does not hold that lock. In production
+    the checks compile away to plain :class:`threading.RLock` usage.
+    """

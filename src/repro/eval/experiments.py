@@ -319,8 +319,8 @@ CustomBody = Callable[
 # Case grids for the sweep-style figures
 # ---------------------------------------------------------------------------
 
-_CHANNEL_SUBSETS = {1: [0], 2: [0, 1], 3: [0, 1, 2], 4: [0, 1, 2, 3]}
-_CHANNEL_LABELS = ["s0/infrared", "s0/red", "s1/infrared", "s1/red"]
+_CHANNEL_SUBSETS = {1: [0], 2: [0, 1], 3: [0, 1, 2], 4: [0, 1, 2, 3]}  # concurrency: immutable-after-init
+_CHANNEL_LABELS = ["s0/infrared", "s0/red", "s1/infrared", "s1/red"]  # concurrency: immutable-after-init
 _STORE_SIZES = (5, 10, 20, 60, 100, 200, 300)
 _SAMPLING_RATES = (30.0, 50.0, 75.0, 100.0)
 
@@ -1023,7 +1023,7 @@ SPECS: Tuple[ExperimentSpec, ...] = (
     ),
 )
 
-SPECS_BY_ID: Dict[str, ExperimentSpec] = {
+SPECS_BY_ID: Dict[str, ExperimentSpec] = {  # concurrency: immutable-after-init
     spec.experiment: spec for spec in SPECS
 }
 
@@ -1073,7 +1073,7 @@ def _make_runner(spec: ExperimentSpec) -> Callable[..., ExperimentResult]:
 
 
 #: Registry of all experiment runners, keyed by artifact id.
-RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
+RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {  # concurrency: immutable-after-init
     spec.experiment: _make_runner(spec) for spec in SPECS
 }
 

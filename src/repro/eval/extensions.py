@@ -257,7 +257,7 @@ def run_eer_analysis(
 
 
 #: Extension runners, keyed like the paper runners.
-EXTENSION_RUNNERS = {
+EXTENSION_RUNNERS = {  # concurrency: immutable-after-init
     "ext-aging": run_aging_sweep,
     "ext-enroll": run_enrollment_size_sweep,
     "ext-eer": run_eer_analysis,

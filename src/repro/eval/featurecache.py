@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..concurrency import checked_rlock
 from ..config import PipelineConfig
 from ..core.enrollment import (
     EnrollmentOptions,
@@ -142,6 +144,15 @@ class CacheStats:
             bank_misses=self.bank_misses + other.bank_misses,
         )
 
+    def copy(self) -> "CacheStats":
+        """An independent snapshot of the counters."""
+        return CacheStats(
+            trial_hits=self.trial_hits,
+            trial_misses=self.trial_misses,
+            bank_hits=self.bank_hits,
+            bank_misses=self.bank_misses,
+        )
+
 
 def _freeze(preprocessed: PreprocessedTrial) -> PreprocessedTrial:
     """Make a cached trial's arrays read-only; hits share these objects."""
@@ -152,7 +163,15 @@ def _freeze(preprocessed: PreprocessedTrial) -> PreprocessedTrial:
 
 
 class FeatureCache:
-    """Two-level LRU over preprocessed trials and negative banks."""
+    """Two-level LRU over preprocessed trials and negative banks.
+
+    Thread-safe: both LRUs, and the counters, live behind one internal
+    reentrant lock. Lookups and publications are locked; the expensive
+    preprocessing/bank-building itself runs *outside* the lock, so a
+    slow miss never stalls concurrent hits. Two threads missing the
+    same key may both compute it — the content-keyed results are
+    identical, and the first publication wins.
+    """
 
     def __init__(
         self,
@@ -161,9 +180,16 @@ class FeatureCache:
     ) -> None:
         self._max_trials = max_trials
         self._max_banks = max_banks
-        self._trials: "OrderedDict[str, PreprocessedTrial]" = OrderedDict()
-        self._banks: "OrderedDict[str, NegativeBank]" = OrderedDict()
-        self.stats = CacheStats()
+        self._lock = checked_rlock("FeatureCache._lock")
+        self._trials: "OrderedDict[str, PreprocessedTrial]" = OrderedDict()  # guarded-by: _lock
+        self._banks: "OrderedDict[str, NegativeBank]" = OrderedDict()  # guarded-by: _lock
+        self._stats = CacheStats()  # guarded-by: _lock
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the hit/miss counters."""
+        with self._lock:
+            return self._stats.copy()
 
     def preprocess(
         self,
@@ -181,23 +207,32 @@ class FeatureCache:
         keys = [trial_content_key(trial, config) for trial in trials]
         out: Dict[int, PreprocessedTrial] = {}
         missing: List[int] = []
-        for idx, key in enumerate(keys):
-            cached = self._trials.get(key)
-            if cached is not None:
-                self._trials.move_to_end(key)
-                self.stats.trial_hits += 1
-                out[idx] = cached
-            else:
-                self.stats.trial_misses += 1
-                missing.append(idx)
+        with self._lock:
+            for idx, key in enumerate(keys):
+                cached = self._trials.get(key)
+                if cached is not None:
+                    self._trials.move_to_end(key)
+                    self._stats.trial_hits += 1
+                    out[idx] = cached
+                else:
+                    self._stats.trial_misses += 1
+                    missing.append(idx)
         if missing:
+            # The batched solve runs unlocked; only the publication is
+            # locked, re-checking so a racing filler's entry stays
+            # canonical (the content key guarantees equal values).
             fresh = preprocess_trials([trials[idx] for idx in missing], config)
-            for idx, pre in zip(missing, fresh):
-                frozen = _freeze(pre)
-                out[idx] = frozen
-                self._trials[keys[idx]] = frozen
-                while len(self._trials) > self._max_trials:
-                    self._trials.popitem(last=False)
+            with self._lock:
+                for idx, pre in zip(missing, fresh):
+                    existing = self._trials.get(keys[idx])
+                    if existing is not None:
+                        out[idx] = existing
+                        continue
+                    frozen = _freeze(pre)
+                    out[idx] = frozen
+                    self._trials[keys[idx]] = frozen
+                    while len(self._trials) > self._max_trials:
+                        self._trials.popitem(last=False)
         return [out[idx] for idx in range(len(keys))]
 
     def negative_bank(
@@ -212,50 +247,66 @@ class FeatureCache:
         if options is None:
             options = EnrollmentOptions()
         key = store_content_key(trials, config, options)
-        cached = self._banks.get(key)
-        if cached is not None:
-            self._banks.move_to_end(key)
-            self.stats.bank_hits += 1
-            return cached
-        self.stats.bank_misses += 1
+        with self._lock:
+            cached = self._banks.get(key)
+            if cached is not None:
+                self._banks.move_to_end(key)
+                self._stats.bank_hits += 1
+                return cached
+            self._stats.bank_misses += 1
         preprocessed = self.preprocess(trials, config)
         bank = build_negative_bank(
             trials, config, options, preprocessed=preprocessed
         )
-        self._banks[key] = bank
-        while len(self._banks) > self._max_banks:
-            self._banks.popitem(last=False)
+        with self._lock:
+            existing = self._banks.get(key)
+            if existing is not None:
+                return existing
+            self._banks[key] = bank
+            while len(self._banks) > self._max_banks:
+                self._banks.popitem(last=False)
         return bank
 
     def clear(self) -> None:
         """Drop every cached entry and reset the counters."""
-        self._trials.clear()
-        self._banks.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._trials.clear()
+            self._banks.clear()
+            self._stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._trials) + len(self._banks)
+        with self._lock:
+            return len(self._trials) + len(self._banks)
 
 
-_DEFAULT_CACHE: Optional[FeatureCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
+_DEFAULT_CACHE: Optional[FeatureCache] = None  # guarded-by: _DEFAULT_CACHE_LOCK
 
 
 def default_cache() -> FeatureCache:
-    """The process-wide cache instance (one per evaluation worker)."""
+    """The process-wide cache instance (one per evaluation worker).
+
+    Locked lazy init: the old check-then-set let two racing threads
+    build two caches and split every later hit between them.
+    """
     global _DEFAULT_CACHE
-    if _DEFAULT_CACHE is None:
-        _DEFAULT_CACHE = FeatureCache()
-    return _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = FeatureCache()
+        return _DEFAULT_CACHE
 
 
 def clear_default_cache() -> None:
     """Reset the process-wide cache (tests and benchmarks)."""
     global _DEFAULT_CACHE
-    _DEFAULT_CACHE = None
+    with _DEFAULT_CACHE_LOCK:
+        _DEFAULT_CACHE = None
 
 
 def cache_stats() -> CacheStats:
     """Counters of the process-wide cache (zeros if never used)."""
-    if _DEFAULT_CACHE is None:
+    with _DEFAULT_CACHE_LOCK:
+        cache = _DEFAULT_CACHE
+    if cache is None:
         return CacheStats()
-    return _DEFAULT_CACHE.stats
+    return cache.stats

@@ -22,7 +22,7 @@ T = TypeVar("T")
 #: counter to isolate their own allocations; this watermark preserves
 #: the pre-reset peak so the outermost frame still reports the true
 #: maximum over its whole duration.
-_peak_watermark = 0
+_peak_watermark = 0  # concurrency: thread-hostile -- tracemalloc peaks are process-global; profile_call is a single-threaded measurement harness
 
 
 @dataclass(frozen=True)

@@ -266,7 +266,7 @@ class MotionArtifactBurst(FaultInjector):
 
 #: Registry of all fault types, keyed by sweep/CLI name. Every
 #: constructor takes the intensity as its only required argument.
-FAULT_TYPES: Dict[str, Callable[[float], FaultInjector]] = {
+FAULT_TYPES: Dict[str, Callable[[float], FaultInjector]] = {  # concurrency: immutable-after-init
     "sample_dropout": SampleDropout,
     "clock_drift": ClockDrift,
     "timestamp_duplication": TimestampDuplication,

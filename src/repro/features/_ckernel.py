@@ -40,8 +40,8 @@ _FLAG_SETS = (
 )
 
 _lock = threading.Lock()
-_lib: Optional[ctypes.CDLL] = None
-_failed = False
+_lib: Optional[ctypes.CDLL] = None  # guarded-by: _lock
+_failed = False  # guarded-by: _lock
 
 
 def _try_compile(so_path: Path) -> bool:
@@ -73,8 +73,13 @@ def _build_digest() -> str:
 
 def _load() -> Optional[ctypes.CDLL]:
     global _lib, _failed
+    # Double-checked fast path: the unlocked reads race the locked
+    # writer benignly — a stale None only sends the caller into the
+    # locked slow path, and CPython publishes the CDLL reference
+    # atomically.
+    # reprolint: disable-next=RL010 -- double-checked fast path; stale read falls through to the lock
     if _lib is not None or _failed:
-        return _lib
+        return _lib  # reprolint: disable=RL010 -- same double-checked fast path
     with _lock:
         if _lib is not None or _failed:
             return _lib
@@ -82,9 +87,11 @@ def _load() -> Optional[ctypes.CDLL]:
             so_path = _BUILD_DIR / f"minirocket_kernel-{_build_digest()}.so"
             if not so_path.exists():
                 _BUILD_DIR.mkdir(exist_ok=True)
+                # reprolint: disable-next=RL012 -- this lock exists to serialize the one-off build; the authenticate path never takes it
                 if not _try_compile(so_path):
                     _failed = True
                     return None
+            # reprolint: disable-next=RL012 -- one-off dlopen under the build lock, same contract as the compile above
             lib = ctypes.CDLL(str(so_path))
             f64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
             i64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
@@ -110,7 +117,7 @@ def _load() -> Optional[ctypes.CDLL]:
         except Exception:
             _failed = True
             _lib = None
-    return _lib
+        return _lib
 
 
 def available() -> bool:

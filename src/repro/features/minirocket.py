@@ -91,9 +91,14 @@ KERNEL_WEIGHTS.setflags(write=False)
 #: The three +2 tap positions of each kernel as index vectors, used to
 #: gather the shifted stack with the same addition order as the
 #: reference loop (``(s_a + s_b) + s_c``).
-_TAP_A = np.array([idx[0] for idx in KERNEL_INDICES])
-_TAP_B = np.array([idx[1] for idx in KERNEL_INDICES])
-_TAP_C = np.array([idx[2] for idx in KERNEL_INDICES])
+_TAP_A = np.array([idx[0] for idx in KERNEL_INDICES])  # concurrency: immutable-after-init
+_TAP_B = np.array([idx[1] for idx in KERNEL_INDICES])  # concurrency: immutable-after-init
+_TAP_C = np.array([idx[2] for idx in KERNEL_INDICES])  # concurrency: immutable-after-init
+# Enforce the immutability declared above: these index vectors are read
+# concurrently by every featurization thread.
+for _tap in (_TAP_A, _TAP_B, _TAP_C):
+    _tap.setflags(write=False)
+del _tap
 
 #: Engine names accepted by ``MiniRocket(engine=...)`` and the
 #: ``REPRO_MINIROCKET_ENGINE`` environment variable.

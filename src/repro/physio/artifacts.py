@@ -118,7 +118,7 @@ def artifact_waveform(
 #: Per-parameter scale of the smooth pad-position response. Chosen so
 #: that adjacent keys are distinguishable but same-user keys remain far
 #: closer to each other than to another user's.
-_GRADIENT_SCALE: Dict[str, float] = {
+_GRADIENT_SCALE: Dict[str, float] = {  # concurrency: immutable-after-init
     "amplitude": 0.22,
     "peak_time": 0.018,
     "peak_width": 0.012,
@@ -132,12 +132,12 @@ _GRADIENT_SCALE: Dict[str, float] = {
 
 #: Per-parameter scale of the fixed per-key residual (idiosyncratic
 #: deviations from the smooth response, e.g. an awkward stretch to "0").
-_RESIDUAL_SCALE: Dict[str, float] = {
+_RESIDUAL_SCALE: Dict[str, float] = {  # concurrency: immutable-after-init
     name: 0.35 * scale for name, scale in _GRADIENT_SCALE.items()
 }
 
 #: Hard lower bounds keeping perturbed parameters physical.
-_PARAM_FLOORS: Dict[str, float] = {
+_PARAM_FLOORS: Dict[str, float] = {  # concurrency: immutable-after-init
     "amplitude": 0.05,
     "peak_time": 0.02,
     "peak_width": 0.015,

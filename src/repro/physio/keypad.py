@@ -29,7 +29,7 @@ from ..errors import ConfigurationError
 from ..types import Hand, PIN_PAD_KEYS
 
 #: Grid coordinates (column, row) of each key on the 3x4 pad.
-_KEY_GRID: Dict[str, Tuple[int, int]] = {
+_KEY_GRID: Dict[str, Tuple[int, int]] = {  # concurrency: immutable-after-init
     "1": (0, 0), "2": (1, 0), "3": (2, 0),
     "4": (0, 1), "5": (1, 1), "6": (2, 1),
     "7": (0, 2), "8": (1, 2), "9": (2, 2),

@@ -135,7 +135,11 @@ def _solve_trend(rows: np.ndarray, lam: float) -> np.ndarray:
     return np.ascontiguousarray(solved.T)
 
 
-_pbtrs = None
+# Lazy memo for the resolved LAPACK routine. The unlocked write below
+# is a benign race: every racing thread resolves and stores the
+# identical function object, and CPython publishes the reference
+# atomically — so the memo is thread-safe without a lock.
+_pbtrs = None  # concurrency: thread-safe
 
 
 def _solve_trend_fast(rows: np.ndarray, lam: float) -> np.ndarray:

@@ -218,7 +218,12 @@ def savitzky_golay(
 @lru_cache(maxsize=16)
 def _savgol_coeffs_cached(window: int, polyorder: int) -> np.ndarray:
     """FIR coefficients of the SG filter; the lstsq fit behind them is
-    data-independent, so one set serves every signal."""
+    data-independent, so one set serves every signal.
+
+    Concurrency: ``lru_cache`` is internally locked, and the cached
+    array is frozen (``setflags(write=False)``) before publication, so
+    concurrent callers share one immutable coefficient set safely.
+    """
     coeffs = sps.savgol_coeffs(window, polyorder)
     coeffs.setflags(write=False)
     return coeffs

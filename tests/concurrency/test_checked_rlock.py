@@ -1,0 +1,112 @@
+"""Unit tests for the runtime half of the lock-discipline contract."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    CONCURRENCY_DEBUG_ENV,
+    CheckedRLock,
+    assert_owned,
+    checked_rlock,
+    debug_enabled,
+)
+from repro.errors import ConcurrencyError
+
+
+class TestFactory:
+    def test_plain_rlock_when_debug_unset(self, monkeypatch):
+        monkeypatch.delenv(CONCURRENCY_DEBUG_ENV, raising=False)
+        assert not debug_enabled()
+        lock = checked_rlock("x")
+        assert not isinstance(lock, CheckedRLock)
+        with lock:  # still a working context manager
+            pass
+
+    def test_checked_lock_when_debug_set(self, monkeypatch):
+        monkeypatch.setenv(CONCURRENCY_DEBUG_ENV, "1")
+        assert debug_enabled()
+        lock = checked_rlock("x")
+        assert isinstance(lock, CheckedRLock)
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsy_spellings_disable(self, monkeypatch, value):
+        monkeypatch.setenv(CONCURRENCY_DEBUG_ENV, value)
+        assert not debug_enabled()
+
+
+class TestCheckedRLock:
+    def test_ownership_tracking(self):
+        lock = CheckedRLock("t")
+        assert not lock.owned()
+        with lock:
+            assert lock.owned()
+            with lock:  # reentrant
+                assert lock.owned()
+            assert lock.owned()
+        assert not lock.owned()
+
+    def test_assert_owned_raises_without_lock(self):
+        lock = CheckedRLock("registry")
+        with pytest.raises(ConcurrencyError, match="registry"):
+            lock.assert_owned("the cache")
+        with lock:
+            lock.assert_owned("the cache")  # no raise
+
+    def test_assert_owned_sees_other_thread_as_foreign(self):
+        lock = CheckedRLock("t")
+        outcome = {}
+
+        def other():
+            try:
+                lock.assert_owned("state")
+                outcome["raised"] = False
+            except ConcurrencyError:
+                outcome["raised"] = True
+
+        with lock:
+            worker = threading.Thread(target=other)
+            worker.start()
+            worker.join()
+        assert outcome == {"raised": True}
+
+    def test_release_by_non_owner_raises(self):
+        lock = CheckedRLock("t")
+        lock.acquire()
+        errors = []
+
+        def other():
+            try:
+                lock.release()
+            except ConcurrencyError as exc:
+                errors.append(str(exc))
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+        lock.release()
+        assert len(errors) == 1 and "does not own" in errors[0]
+
+
+class TestAssertOwnedHelper:
+    def test_checked_lock_always_enforced(self, monkeypatch):
+        # A CheckedRLock carries its own bookkeeping: assert_owned bites
+        # even if the env flag was cleared after construction.
+        monkeypatch.delenv(CONCURRENCY_DEBUG_ENV, raising=False)
+        lock = CheckedRLock("t")
+        with pytest.raises(ConcurrencyError):
+            assert_owned(lock, "state")
+
+    def test_plain_lock_noop_in_production(self, monkeypatch):
+        monkeypatch.delenv(CONCURRENCY_DEBUG_ENV, raising=False)
+        assert_owned(threading.RLock(), "state")  # no raise, no probe
+
+    def test_plain_lock_probed_under_debug(self, monkeypatch):
+        monkeypatch.setenv(CONCURRENCY_DEBUG_ENV, "1")
+        lock = threading.RLock()
+        with pytest.raises(ConcurrencyError):
+            assert_owned(lock, "state")
+        with lock:
+            assert_owned(lock, "state")  # no raise

@@ -1,0 +1,21 @@
+"""RL009 fixture: undeclared module-level mutable state (all must fire)."""
+
+from collections import OrderedDict
+
+import numpy as np
+
+REGISTRY = {}
+PENDING = []
+CACHE = OrderedDict()
+SEEN = set()
+WEIGHTS = np.zeros(4)
+_counter = 0
+
+
+def bump() -> int:
+    global _counter
+    _counter += 1
+    return _counter
+
+
+BAD_KIND = {}  # concurrency: shared-ish

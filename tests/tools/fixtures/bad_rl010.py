@@ -1,0 +1,31 @@
+"""RL010 fixture: guarded state accessed outside its lock (must fire)."""
+
+import threading
+
+_LOCK = threading.Lock()
+_HANDLE = None  # guarded-by: _LOCK
+
+
+def peek():
+    return _HANDLE  # fires: unlocked module-binding read
+
+
+def locked_read():
+    with _LOCK:
+        return _HANDLE  # silent: lock held
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = {}  # guarded-by: _lock
+
+    def get(self, key):
+        return self._cache.get(key)  # fires: unlocked attribute read
+
+    def put(self, key, value):
+        with self._lock:
+            self._cache[key] = value  # silent: lock held
+
+    def _shrink(self):  # guarded-by: caller
+        self._cache.clear()  # silent: caller-holds-lock contract

@@ -1,0 +1,27 @@
+"""RL011 fixture: thread-hostile instances escaping (all must fire)."""
+
+
+class Scratch:  # concurrency: thread-hostile
+    def __init__(self):
+        self.buffer = bytearray(64)
+
+    def reset(self):
+        self.buffer[:] = b"\x00" * len(self.buffer)
+
+
+SHARED = Scratch()
+
+
+def leak_via_global():
+    global _live
+    _live = Scratch()
+    return _live
+
+
+def leak_into_container(registry):
+    registry["probe"] = Scratch()
+
+
+def leak_to_executor(pool):
+    scratch = Scratch()
+    pool.submit(scratch.reset)

@@ -1,0 +1,33 @@
+"""RL012 fixture: blocking calls made while a lock is held (must fire)."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def load_model(path):
+    with _LOCK:
+        return path.read_bytes()  # fires: file I/O under the lock
+
+
+def compile_kernel(source):
+    with _LOCK:
+        kernel = compile(source, "<kernel>", "exec")  # fires: compile
+        return kernel
+
+
+class Warmer:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def warm_all(self, engine):
+        with self._lock:
+            engine.warmup()  # fires: warmup work under the lock
+
+
+def deferred_is_fine(path):
+    with _LOCK:
+        def later():
+            return path.read_bytes()  # silent: runs after release
+
+        return later

@@ -1,6 +1,7 @@
 """Near-miss patterns for every rule: reprolint must stay silent here."""
 
 import random
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -105,3 +106,40 @@ def facade_imports():
     from other.core.models import something
 
     return repro.core, enrollment, enroll_models, something
+
+
+# RL009 near-misses: annotated bindings and immutable constants.
+_LIMITS = {"max_retries": 3}  # concurrency: immutable-after-init
+_EDGES = (1, 2, 3)
+_STATE_LOCK = threading.Lock()
+_STATE = None  # guarded-by: _STATE_LOCK
+
+
+# RL010/RL012 near-misses: guarded access under its lock, the expensive
+# build outside, publication under a re-check.
+def get_state(build):
+    built = build()
+    global _STATE
+    with _STATE_LOCK:
+        if _STATE is None:
+            _STATE = built
+        return _STATE
+
+
+# RL011 near-miss: a thread-hostile instance that stays confined.
+class _PerStream:  # concurrency: thread-hostile
+    def __init__(self):
+        self.tail = []
+
+
+def confined_use(chunks):
+    stream = _PerStream()
+    for chunk in chunks:
+        stream.tail.append(chunk)
+    return stream.tail
+
+
+# RL012 near-miss: a with-block that is not a lock.
+def read_config(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,37 @@
+"""Suppression fixture for the concurrency rules RL009-RL012.
+
+Every violation here carries a reasoned suppression; the linter must
+report zero findings and count each comment.
+"""
+
+import threading
+
+_LOCK = threading.Lock()
+
+MEMO = {}  # reprolint: disable=RL009 -- benign lazy memo: racing writers store equal values
+_HANDLE = None  # guarded-by: _LOCK
+
+
+class _Scratch:  # concurrency: thread-hostile
+    def reset(self):
+        pass
+
+
+def fast_path():
+    # reprolint: disable-next=RL010 -- deliberate unlocked fast path
+    handle = _HANDLE
+    if handle is not None:
+        return handle
+    with _LOCK:
+        return _HANDLE
+
+
+def serialized_build(path):
+    with _LOCK:
+        # reprolint: disable-next=RL012 -- one-off build; never on the hot path
+        return path.read_bytes()
+
+
+def publish(slot):
+    # reprolint: disable-next=RL011 -- confinement: slot is thread-local storage
+    slot["scratch"] = _Scratch()

@@ -134,6 +134,59 @@ class TestRuleFixtures:
             for f in lint_source(source, path="scripts/run_eval.py").findings
         ] == ["RL008"]
 
+    def test_rl009_undeclared_mutable_state(self):
+        assert findings_for("bad_rl009.py") == [
+            ("RL009", 7),
+            ("RL009", 8),
+            ("RL009", 9),
+            ("RL009", 10),
+            ("RL009", 11),
+            ("RL009", 12),
+            ("RL009", 21),  # invalid annotation kind
+        ]
+
+    def test_rl010_lock_discipline(self):
+        assert findings_for("bad_rl010.py") == [
+            ("RL010", 10),  # unlocked module-binding read
+            ("RL010", 24),  # unlocked attribute read
+        ]
+
+    def test_rl011_thread_hostile_escape(self):
+        assert findings_for("bad_rl011.py") == [
+            ("RL011", 12),  # module global
+            ("RL011", 17),  # global-declared store
+            ("RL011", 22),  # subscript into a shared container
+            ("RL011", 27),  # executor submission
+        ]
+
+    def test_rl011_sees_hostile_classes_from_other_files(self):
+        # The project index carries thread-hostile declarations across
+        # modules: _Scratch is declared hostile in repro.core.hotpath,
+        # and an escape in a *different* file must still fire.
+        from tools.reprolint.concurrency import build_project_index
+        from tools.reprolint import lint_source
+
+        source = (
+            "def leak(registry, make_scratch):\n"
+            "    registry['x'] = _Scratch((4, 100), 840)\n"
+        )
+        index = build_project_index(
+            iter_python_files([REPO_ROOT / "src" / "repro" / "core"])
+        )
+        assert "_Scratch" in index.thread_hostile_classes
+        result = lint_source(source, path="src/repro/other.py", project=index)
+        assert [f.rule_id for f in result.findings] == ["RL011"]
+        # Without the index the same source is silent: the class is
+        # declared elsewhere.
+        assert lint_source(source, path="src/repro/other.py").findings == []
+
+    def test_rl012_blocking_while_locked(self):
+        assert findings_for("bad_rl012.py") == [
+            ("RL012", 10),  # file I/O
+            ("RL012", 15),  # compile
+            ("RL012", 25),  # warmup
+        ]
+
     def test_clean_fixture_is_silent(self):
         assert findings_for("clean.py") == []
 
@@ -155,6 +208,30 @@ class TestSuppressions:
     def test_suppressed_count_reported(self):
         result = lint_file(FIXTURES / "suppressed.py", allowlist={})
         assert result.suppressed == 5
+
+    def test_suppressed_concurrency_fixture_is_silent(self):
+        assert findings_for("suppressed_concurrency.py") == []
+
+    def test_suppressed_concurrency_count(self):
+        result = lint_file(
+            FIXTURES / "suppressed_concurrency.py", allowlist={}
+        )
+        assert result.suppressed == 4
+
+    def test_suppression_records_capture_reasons(self):
+        from tools.reprolint.engine import collect_suppressions
+
+        records = collect_suppressions(
+            [FIXTURES / "suppressed_concurrency.py"]
+        )
+        assert [(r.line, r.rules) for r in records] == [
+            (11, ("RL009",)),
+            (21, ("RL010",)),
+            (31, ("RL012",)),
+            (36, ("RL011",)),
+        ]
+        assert records[0].reason.startswith("benign lazy memo")
+        assert all(r.reason for r in records)
 
     def test_disable_parses_with_and_without_justification(self):
         sup = Suppressions(
@@ -274,6 +351,82 @@ class TestCli:
         assert code == 0
         for rule in ALL_RULES:
             assert rule.rule_id in out
+
+    def test_show_suppressions_text(self, capsys):
+        code = main(
+            ["--show-suppressions", str(FIXTURES / "suppressed_concurrency.py")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suppressed_concurrency.py:11: RL009" in out
+        assert "benign lazy memo" in out
+        assert "reprolint: 4 suppressions" in out
+
+    def test_show_suppressions_json(self, capsys):
+        code = main(
+            [
+                "--show-suppressions",
+                "--format",
+                "json",
+                str(FIXTURES / "suppressed_concurrency.py"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [r["line"] for r in payload] == [11, 21, 31, 36]
+        assert payload[1]["rules"] == ["RL010"]
+        assert payload[1]["reason"] == "deliberate unlocked fast path"
+
+    def test_concurrency_manifest_flag(self, capsys):
+        code = main(
+            ["--concurrency-manifest", str(FIXTURES / "bad_rl010.py")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# Concurrency manifest")
+        assert "`_HANDLE`" in out and "guarded-by: `_LOCK`" in out
+        assert "| `Registry` | `_cache` | `self._lock` |" in out
+
+
+class TestManifest:
+    def test_rendering_is_deterministic(self):
+        from tools.reprolint.concurrency import (
+            build_project_index,
+            render_manifest,
+        )
+
+        files = iter_python_files([REPO_ROOT / "src", REPO_ROOT / "tools"])
+        first = render_manifest(build_project_index(files))
+        second = render_manifest(build_project_index(list(reversed(files))))
+        assert first == second
+
+    def test_committed_manifest_is_fresh(self, monkeypatch):
+        """CONCURRENCY.md must match `--concurrency-manifest src tools`."""
+        from tools.reprolint.concurrency import (
+            build_project_index,
+            render_manifest,
+        )
+
+        monkeypatch.chdir(REPO_ROOT)
+        files = iter_python_files([Path("src"), Path("tools")])
+        rendered = render_manifest(build_project_index(files))
+        committed = (REPO_ROOT / "CONCURRENCY.md").read_text(encoding="utf-8")
+        assert rendered == committed, (
+            "CONCURRENCY.md is stale; regenerate with "
+            "`python -m tools.reprolint --concurrency-manifest src tools "
+            "> CONCURRENCY.md`"
+        )
+
+    def test_undeclared_state_is_called_out(self):
+        from tools.reprolint.concurrency import (
+            build_project_index,
+            render_manifest,
+        )
+
+        index = build_project_index([FIXTURES / "bad_rl009.py"])
+        manifest = render_manifest(index)
+        assert "**UNDECLARED**" in manifest
+        assert "`REGISTRY`" in manifest and "rebound-global" in manifest
 
 
 class TestRepoIsClean:

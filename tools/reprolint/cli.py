@@ -8,7 +8,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .engine import LintResult, lint_paths
+from .concurrency import build_project_index, render_manifest
+from .engine import (
+    LintResult,
+    collect_suppressions,
+    iter_python_files,
+    lint_paths,
+)
 from .rules import ALL_RULES, RULES_BY_ID, Rule
 
 
@@ -46,6 +52,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--concurrency-manifest",
+        action="store_true",
+        help=(
+            "print the CONCURRENCY.md shared-state manifest for the "
+            "given paths and exit (redirect to CONCURRENCY.md to "
+            "refresh the committed copy)"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressions",
+        action="store_true",
+        help=(
+            "print every '# reprolint: disable' comment under the given "
+            "paths (file, line, rules, reason) and exit"
+        ),
     )
     return parser
 
@@ -109,6 +132,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.concurrency_manifest:
+        files = iter_python_files([Path(p) for p in args.paths])
+        print(render_manifest(build_project_index(files)), end="")
+        return 0
+    if args.show_suppressions:
+        records = collect_suppressions([Path(p) for p in args.paths])
+        if args.format == "json":
+            print(json.dumps([r.to_dict() for r in records], indent=2))
+        else:
+            for record in records:
+                print(record.render())
+            noun = "suppression" if len(records) == 1 else "suppressions"
+            print(f"reprolint: {len(records)} {noun}")
+        return 0
     rules = _pick_rules(args.select, args.ignore)
     result = lint_paths([Path(p) for p in args.paths], rules=rules)
     render = _render_json if args.format == "json" else _render_text

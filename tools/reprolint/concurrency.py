@@ -1,0 +1,1009 @@
+"""Cross-module concurrency analysis: annotations, symbol pass, rules.
+
+ROADMAP items 1 and 4 (async auth service, streaming multiplexer) put
+many threads on top of state that used to be only informally guarded.
+This module makes the lock discipline *machine-checked* the same way
+``rules.py`` machine-checks reproduction invariants:
+
+**Annotation convention.**  Shared state is declared on its definition
+line with one of two comment forms::
+
+    self._cache = OrderedDict()   # guarded-by: _lock
+    _DEFAULT_CACHE = None         # guarded-by: _DEFAULT_CACHE_LOCK
+    SPECS = {...}                 # concurrency: immutable-after-init
+    class _Scratch:               # concurrency: thread-hostile
+
+``guarded-by`` names the lock (an attribute of the same object, or a
+module-level lock for module-level bindings) that must be held around
+every access.  ``concurrency:`` takes one of the vocabulary kinds in
+:data:`VALID_KINDS`.  A method whose contract is "the caller already
+holds the lock" is marked ``# guarded-by: caller`` on its ``def`` line
+(and should call :func:`repro.concurrency.assert_owned` at entry).
+A trailing ``-- reason`` is encouraged and ignored by the parser.
+
+**Symbol pass.**  :func:`collect_symbols` inventories, per file, every
+module-level mutable binding (container/ndarray literals and
+constructors, plus any name rebound through ``global``) and every class
+attribute rebound outside ``__init__``.  :func:`build_project_index`
+aggregates the inventory across the linted file set so rules can see
+annotations made in *other* modules (e.g. a thread-hostile class used
+far from its definition), and :func:`render_manifest` turns it into the
+committed ``CONCURRENCY.md``.
+
+**Rules.**
+
+========  ====================================================================
+RL009     undeclared module-level mutable state — a dict/list/set/
+          OrderedDict/ndarray binding (or a ``global``-rebound name) at
+          module scope with no concurrency annotation
+RL010     lock discipline — access to a ``guarded-by`` attribute or
+          module binding outside a ``with <lock>:`` block
+RL011     thread-hostile escape — an instance of a class marked
+          ``thread-hostile`` stored into module globals, stored into a
+          container through a subscript, or submitted to an executor
+RL012     blocking while locked — a call from the expensive-call list
+          (kernel compile, backend load/store, warmup, file I/O) made
+          while a lock is held, codifying the PR 6 double-checked-
+          locking lesson
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .engine import FileContext, Finding, Rule
+
+#: Accepted ``# concurrency: <kind>`` vocabulary.
+VALID_KINDS = frozenset(
+    {
+        "immutable-after-init",  # written during import/__init__, never again
+        "process-local",         # one per process by construction (workers)
+        "thread-local",          # confined to threading.local storage
+        "thread-hostile",        # instances must stay on one thread (RL011)
+        "thread-safe",           # internally locked; safe to share
+    }
+)
+
+_ANNOTATION_RE = re.compile(
+    r"#\s*(?:concurrency:\s*(?P<kind>[A-Za-z-]+)"
+    r"|guarded-by:\s*(?P<guard>[A-Za-z_][A-Za-z0-9_.]*))"
+)
+
+#: Mutable container constructors RL009 recognizes by (leaf) name.
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "OrderedDict", "defaultdict",
+     "deque", "Counter", "ChainMap"}
+)
+
+#: numpy constructors whose module-level result is a mutable ndarray.
+_NDARRAY_CTORS = frozenset(
+    {"array", "asarray", "zeros", "ones", "empty", "full", "arange",
+     "linspace", "zeros_like", "ones_like", "empty_like", "full_like"}
+)
+
+#: Methods where attribute writes are construction, not shared mutation.
+_CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__setstate__", "__init_subclass__"}
+)
+
+#: Call leaves RL012 treats as expensive/blocking while a lock is held.
+#: Grounded in costs this repo has measured: the C-kernel compile and
+#: dlopen, backend (de)serialization, warmup work, preprocessing, and
+#: plain file I/O.
+_BLOCKING_LEAVES = frozenset(
+    {
+        "load", "store", "save", "warmup", "warm", "open",
+        "read_text", "read_bytes", "write_text", "write_bytes",
+        "CDLL", "save_authenticator", "load_authenticator",
+        "warm_engine", "warm_savgol", "warm_detrend_factor",
+        "preprocess_trials", "build_negative_bank", "enroll_models",
+    }
+)
+
+#: Executor entry points RL011 treats as handing work to another thread.
+_EXECUTOR_LEAVES = frozenset({"submit", "map", "apply_async"})
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One parsed concurrency annotation comment."""
+
+    kind: Optional[str] = None   # a VALID_KINDS member (or invalid text)
+    guard: Optional[str] = None  # lock name for guarded-by
+
+    @property
+    def valid(self) -> bool:
+        if self.guard is not None:
+            return True
+        return self.kind in VALID_KINDS
+
+    def render(self) -> str:
+        if self.guard is not None:
+            return f"guarded-by: `{self.guard}`"
+        return str(self.kind)
+
+
+def parse_annotations(lines: Sequence[str]) -> Dict[int, Annotation]:
+    """Map line number -> concurrency annotation for one file."""
+    out: Dict[int, Annotation] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "guarded-by" not in text and "concurrency:" not in text:
+            continue
+        match = _ANNOTATION_RE.search(text)
+        if match is None:
+            continue
+        guard = match.group("guard")
+        if guard is not None:
+            guard = guard.removeprefix("self.")
+        out[lineno] = Annotation(kind=match.group("kind"), guard=guard)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Symbol collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModuleBinding:
+    """One module-level mutable binding."""
+
+    path: str
+    line: int
+    name: str
+    kind: str  # "dict" | "list" | "set" | "ndarray" | ... | "rebound-global"
+    annotation: Optional[Annotation]
+
+
+@dataclass(frozen=True)
+class GuardedAttr:
+    """A class attribute declared ``guarded-by`` a lock."""
+
+    attr: str
+    lock: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ClassRecord:
+    """Concurrency-relevant facts about one class definition."""
+
+    path: str
+    line: int
+    name: str
+    annotation: Optional[Annotation]
+    guarded: Tuple[GuardedAttr, ...]
+    mutated_attrs: Tuple[Tuple[str, int], ...]  # rebound outside __init__
+
+
+@dataclass
+class FileSymbols:
+    """The symbol inventory of one file."""
+
+    path: str
+    bindings: List[ModuleBinding] = field(default_factory=list)
+    classes: List[ClassRecord] = field(default_factory=list)
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-file symbol knowledge for the project-wide rules."""
+
+    files: List[FileSymbols] = field(default_factory=list)
+    thread_hostile_classes: FrozenSet[str] = frozenset()
+
+
+def _value_kind(value: ast.expr) -> Optional[str]:
+    """Mutable-kind label of an assigned value, or None if not mutable."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        func = value.func
+        leaf = None
+        if isinstance(func, ast.Name):
+            leaf = func.id
+        elif isinstance(func, ast.Attribute):
+            leaf = func.attr
+        if leaf in _MUTABLE_CTORS:
+            return leaf if leaf[0].isupper() else leaf
+        if leaf in _NDARRAY_CTORS and _call_base_is_numpy(func):
+            return "ndarray"
+    return None
+
+
+def _call_base_is_numpy(func: ast.expr) -> bool:
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    )
+
+
+def _module_scope_targets(stmt: ast.stmt) -> List[Tuple[str, ast.expr]]:
+    """(name, value) pairs bound by a module-scope assignment."""
+    if isinstance(stmt, ast.Assign) and stmt.value is not None:
+        return [
+            (t.id, stmt.value) for t in stmt.targets if isinstance(t, ast.Name)
+        ]
+    if (
+        isinstance(stmt, ast.AnnAssign)
+        and stmt.value is not None
+        and isinstance(stmt.target, ast.Name)
+    ):
+        return [(stmt.target.id, stmt.value)]
+    return []
+
+
+def _global_names(module: ast.Module) -> Set[str]:
+    """Names rebound through ``global`` anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(module):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def collect_symbols(module: ast.Module, ctx: FileContext) -> FileSymbols:
+    """Inventory one file's shared-state symbols (see module docstring)."""
+    annots = parse_annotations(ctx.lines)
+    symbols = FileSymbols(path=ctx.path)
+    rebound = _global_names(module)
+    seen: Set[str] = set()
+    for stmt in module.body:
+        for name, value in _module_scope_targets(stmt):
+            if _is_dunder(name) or name in seen:
+                continue
+            kind = _value_kind(value)
+            if kind is None and name in rebound:
+                kind = "rebound-global"
+            if kind is None:
+                # A binding that is neither mutable-valued nor rebound
+                # still belongs in the inventory when it *declares* a
+                # guard: the annotation marks it as shared state.
+                ann = annots.get(stmt.lineno)
+                if ann is not None and ann.guard is not None:
+                    kind = "guarded-reference"
+            if kind is None:
+                continue
+            seen.add(name)
+            symbols.bindings.append(
+                ModuleBinding(
+                    path=ctx.path,
+                    line=stmt.lineno,
+                    name=name,
+                    kind=kind,
+                    annotation=annots.get(stmt.lineno),
+                )
+            )
+    for node in module.body:
+        if isinstance(node, ast.ClassDef):
+            symbols.classes.append(_collect_class(node, ctx, annots))
+    return symbols
+
+
+def _self_attr_targets(stmt: ast.stmt) -> List[Tuple[str, int]]:
+    """``self.X`` rebinding targets of one statement."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    out = []
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            out.append((target.attr, stmt.lineno))
+    return out
+
+
+def _collect_class(
+    node: ast.ClassDef, ctx: FileContext, annots: Dict[int, Annotation]
+) -> ClassRecord:
+    guarded: Dict[str, GuardedAttr] = {}
+    mutated: Dict[str, int] = {}
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        construction = item.name in _CONSTRUCTION_METHODS
+        for stmt in ast.walk(item):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            for attr, line in _self_attr_targets(stmt):
+                ann = annots.get(line)
+                if ann is not None and ann.guard not in (None, "caller"):
+                    guarded.setdefault(
+                        attr, GuardedAttr(attr=attr, lock=ann.guard, line=line)
+                    )
+                elif not construction and attr not in mutated:
+                    mutated[attr] = line
+    annotation = annots.get(node.lineno)
+    return ClassRecord(
+        path=ctx.path,
+        line=node.lineno,
+        name=node.name,
+        annotation=annotation,
+        guarded=tuple(sorted(guarded.values(), key=lambda g: g.attr)),
+        mutated_attrs=tuple(
+            (attr, mutated[attr])
+            for attr in sorted(mutated)
+            if attr not in guarded
+        ),
+    )
+
+
+def build_project_index(files: Iterable[Path]) -> ProjectIndex:
+    """Parse and inventory every file; unparseable files are skipped
+    here (RL000 reports them during the lint pass proper)."""
+    index = ProjectIndex()
+    hostile: Set[str] = set()
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ast.parse(source, filename=str(path))
+        except (OSError, UnicodeDecodeError, SyntaxError, ValueError):
+            continue
+        ctx = FileContext(path=str(path), source=source)
+        symbols = collect_symbols(module, ctx)
+        index.files.append(symbols)
+        for record in symbols.classes:
+            if record.annotation is not None and (
+                record.annotation.kind == "thread-hostile"
+            ):
+                hostile.add(record.name)
+    index.files.sort(key=lambda s: s.path)
+    index.thread_hostile_classes = frozenset(hostile)
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Manifest rendering
+# ---------------------------------------------------------------------------
+
+
+def render_manifest(index: ProjectIndex) -> str:
+    """The committed ``CONCURRENCY.md`` content for a project index."""
+    lines: List[str] = [
+        "# Concurrency manifest",
+        "",
+        "Generated by `python -m tools.reprolint --concurrency-manifest"
+        " src tools`.",
+        "Do not edit by hand: CI regenerates this file and fails when the"
+        " committed",
+        "copy is stale. See `docs/architecture.md` (Concurrency model) for"
+        " the",
+        "annotation vocabulary and `docs/development.md` for rules"
+        " RL009-RL012.",
+        "",
+        "## Module-level mutable state",
+        "",
+        "Every module-scope binding that is a mutable container/ndarray or"
+        " is",
+        "rebound through `global`, with its declared discipline (RL009"
+        " requires",
+        "one; RL010 enforces `guarded-by` declarations).",
+        "",
+        "| Binding | Kind | Declared | Where |",
+        "|---|---|---|---|",
+    ]
+    bindings = sorted(
+        (b for f in index.files for b in f.bindings),
+        key=lambda b: (b.path, b.line),
+    )
+    for b in bindings:
+        declared = b.annotation.render() if b.annotation else "**UNDECLARED**"
+        lines.append(
+            f"| `{b.name}` | {b.kind} | {declared} | `{b.path}:{b.line}` |"
+        )
+    if not bindings:
+        lines.append("| _none_ | | | |")
+
+    lines += [
+        "",
+        "## Lock-guarded class state",
+        "",
+        "Attributes declared `# guarded-by: <lock>`; RL010 proves every"
+        " access",
+        "sits inside a `with self.<lock>:` block (or a `# guarded-by:"
+        " caller`",
+        "helper asserting ownership via `repro.concurrency.assert_owned`).",
+        "",
+        "| Class | Attribute | Lock | Where |",
+        "|---|---|---|---|",
+    ]
+    rows = 0
+    for f in index.files:
+        for record in f.classes:
+            for g in record.guarded:
+                lines.append(
+                    f"| `{record.name}` | `{g.attr}` | `self.{g.lock}` "
+                    f"| `{record.path}:{g.line}` |"
+                )
+                rows += 1
+    if rows == 0:
+        lines.append("| _none_ | | | |")
+
+    lines += [
+        "",
+        "## Class concurrency declarations",
+        "",
+        "| Class | Concurrency | Where |",
+        "|---|---|---|",
+    ]
+    rows = 0
+    for f in index.files:
+        for record in f.classes:
+            if record.annotation is not None:
+                lines.append(
+                    f"| `{record.name}` | {record.annotation.render()} "
+                    f"| `{record.path}:{record.line}` |"
+                )
+                rows += 1
+    if rows == 0:
+        lines.append("| _none_ | | | |")
+
+    lines += [
+        "",
+        "## Classes with attributes rebound outside `__init__`",
+        "",
+        "The remaining stateful surface: instances of an *undeclared* class",
+        "here must be treated as confined to one thread until annotated.",
+        "",
+        "| Class | Declared | Rebound attributes | Where |",
+        "|---|---|---|---|",
+    ]
+    rows = 0
+    for f in index.files:
+        for record in f.classes:
+            if not record.mutated_attrs:
+                continue
+            attrs = ", ".join(f"`{a}`" for a, _ in record.mutated_attrs)
+            declared = (
+                record.annotation.render() if record.annotation else "—"
+            )
+            lines.append(
+                f"| `{record.name}` | {declared} | {attrs} "
+                f"| `{record.path}:{record.line}` |"
+            )
+            rows += 1
+    if rows == 0:
+        lines.append("| _none_ | | | |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shared traversal helpers
+# ---------------------------------------------------------------------------
+
+#: A held lock: ("self", attr) for ``with self.X:``, ("", name) for
+#: ``with X:``.
+_LockKey = Tuple[str, str]
+
+
+def _lock_key(expr: ast.expr) -> Optional[_LockKey]:
+    if isinstance(expr, ast.Name):
+        return ("", expr.id)
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id == "self":
+            return ("self", expr.attr)
+        return ("", f"{expr.value.id}.{expr.attr}")
+    return None
+
+
+def _looks_like_lock(key: Optional[_LockKey]) -> bool:
+    return key is not None and "lock" in key[1].lower()
+
+
+def _call_leaf(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _call_base_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def _local_bound_names(func: ast.AST) -> Set[str]:
+    """Names bound locally in ``func`` (params + assignments), minus
+    those declared ``global``/``nonlocal``."""
+    bound: Set[str] = set()
+    escaped: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            bound.add(a.arg)
+        if args.vararg is not None:
+            bound.add(args.vararg.arg)
+        if args.kwarg is not None:
+            bound.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaped.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound - escaped
+
+
+# ---------------------------------------------------------------------------
+# RL009 — undeclared module-level mutable state
+# ---------------------------------------------------------------------------
+
+
+class UndeclaredMutableStateRule(Rule):
+    """RL009: module-level mutable bindings must declare a discipline."""
+
+    rule_id = "RL009"
+    name = "undeclared-mutable-state"
+    description = "module-level mutable state with no concurrency annotation"
+    rationale = (
+        "Module-level dicts/lists/sets/ndarrays and global-rebound names "
+        "are process-wide shared state; the async service and streaming "
+        "multiplexer will touch them from many threads. Declare "
+        "'# guarded-by: <lock>' or '# concurrency: <kind>' on the "
+        "definition line so the discipline is explicit and enforced."
+    )
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        symbols = collect_symbols(module, ctx)
+        for binding in symbols.bindings:
+            node = _LineNode(binding.line)
+            if binding.annotation is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level mutable state {binding.name!r} "
+                    f"({binding.kind}) has no concurrency annotation; "
+                    "declare '# guarded-by: <lock>' or "
+                    "'# concurrency: immutable-after-init|process-local|"
+                    "thread-hostile' on this line",
+                )
+            elif not binding.annotation.valid:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"unknown concurrency annotation "
+                    f"{binding.annotation.kind!r} on {binding.name!r}; "
+                    f"valid kinds: {', '.join(sorted(VALID_KINDS))}",
+                )
+
+
+class _LineNode:
+    """Minimal stand-in so Rule.finding can address a bare line."""
+
+    def __init__(self, lineno: int, col_offset: int = 0) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+# ---------------------------------------------------------------------------
+# RL010 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+class LockDisciplineRule(Rule):
+    """RL010: guarded state is only touched with its lock held."""
+
+    rule_id = "RL010"
+    name = "lock-discipline"
+    description = "guarded-by state accessed outside its lock"
+    rationale = (
+        "A '# guarded-by: <lock>' declaration is a contract: every read "
+        "and write happens inside 'with <lock>:' (or in a "
+        "'# guarded-by: caller' helper that asserts ownership). "
+        "Accesses outside the lock are exactly the races the annotation "
+        "exists to prevent; deliberate lock-free fast paths (double-"
+        "checked publication) carry a reasoned suppression."
+    )
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        annots = parse_annotations(ctx.lines)
+        yield from self._check_classes(module, ctx, annots)
+        yield from self._check_module_bindings(module, ctx, annots)
+
+    # -- class attributes ---------------------------------------------------
+
+    def _check_classes(
+        self,
+        module: ast.Module,
+        ctx: FileContext,
+        annots: Dict[int, Annotation],
+    ) -> Iterator[Finding]:
+        for cls in module.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            record = _collect_class(cls, ctx, annots)
+            guarded = {g.attr: g.lock for g in record.guarded}
+            if not guarded:
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _CONSTRUCTION_METHODS:
+                    continue
+                ann = annots.get(item.lineno)
+                if ann is not None and ann.guard == "caller":
+                    continue  # contract: caller holds the lock
+                yield from self._walk_scope(
+                    ctx, item.body, guarded, frozenset(), item.name
+                )
+
+    def _walk_scope(
+        self,
+        ctx: FileContext,
+        body: Sequence[ast.stmt],
+        guarded: Dict[str, str],
+        held: FrozenSet[_LockKey],
+        where: str,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._walk_node(ctx, stmt, guarded, held, where)
+
+    def _walk_node(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        guarded: Dict[str, str],
+        held: FrozenSet[_LockKey],
+        where: str,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                key = _lock_key(item.context_expr)
+                if key is not None:
+                    acquired.add(key)
+            for stmt in node.body:
+                yield from self._walk_node(
+                    ctx, stmt, guarded, frozenset(acquired), where
+                )
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            lock = guarded.get(node.attr)
+            if lock is not None and ("self", lock) not in held:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'self.{node.attr}' is guarded by 'self.{lock}' but "
+                    f"is accessed in {where}() without holding it; wrap "
+                    f"the access in 'with self.{lock}:' (or mark the "
+                    "method '# guarded-by: caller')",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_node(ctx, child, guarded, held, where)
+
+    # -- module-level bindings ----------------------------------------------
+
+    def _check_module_bindings(
+        self,
+        module: ast.Module,
+        ctx: FileContext,
+        annots: Dict[int, Annotation],
+    ) -> Iterator[Finding]:
+        guarded: Dict[str, str] = {}
+        for stmt in module.body:
+            ann = annots.get(stmt.lineno)
+            if ann is None or ann.guard in (None, "caller"):
+                continue
+            for name, _value in _module_scope_targets(stmt):
+                guarded[name] = ann.guard
+        if not guarded:
+            return
+        for func in module.body:
+            yield from self._check_function_globals(ctx, func, guarded, annots)
+
+    def _check_function_globals(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        guarded: Dict[str, str],
+        annots: Dict[int, Annotation],
+    ) -> Iterator[Finding]:
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        ann = annots.get(func.lineno)
+        if ann is not None and ann.guard == "caller":
+            return
+        shadowed = _local_bound_names(func)
+        relevant = {
+            name: lock
+            for name, lock in guarded.items()
+            if name not in shadowed
+        }
+        if not relevant:
+            return
+        yield from self._walk_globals(ctx, func.body, relevant, frozenset(),
+                                      func.name)
+
+    def _walk_globals(
+        self,
+        ctx: FileContext,
+        body: Sequence[ast.stmt],
+        guarded: Dict[str, str],
+        held: FrozenSet[_LockKey],
+        where: str,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._walk_global_node(ctx, stmt, guarded, held, where)
+
+    def _walk_global_node(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        guarded: Dict[str, str],
+        held: FrozenSet[_LockKey],
+        where: str,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                key = _lock_key(item.context_expr)
+                if key is not None:
+                    acquired.add(key)
+            for stmt in node.body:
+                yield from self._walk_global_node(
+                    ctx, stmt, guarded, frozenset(acquired), where
+                )
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested scope: analysed on its own, with its own shadows
+        if isinstance(node, ast.Name) and node.id in guarded:
+            lock = guarded[node.id]
+            if ("", lock) not in held:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module binding {node.id!r} is guarded by {lock!r} "
+                    f"but is accessed in {where}() without holding it; "
+                    f"wrap the access in 'with {lock}:'",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_global_node(ctx, child, guarded, held, where)
+
+
+# ---------------------------------------------------------------------------
+# RL011 — thread-hostile escape
+# ---------------------------------------------------------------------------
+
+
+class ThreadHostileEscapeRule(Rule):
+    """RL011: thread-hostile instances must not escape their thread."""
+
+    rule_id = "RL011"
+    name = "thread-hostile-escape"
+    description = "thread-hostile instance escaping into shared storage"
+    rationale = (
+        "A class marked '# concurrency: thread-hostile' (unsynchronized "
+        "scratch buffers, per-stream state) is only safe confined to one "
+        "thread. Storing an instance in a module global or a shared "
+        "container, or submitting it to an executor, publishes it to "
+        "other threads — the exact sharing bug the hot-path scratch had."
+    )
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        hostile = self._hostile_classes(module, ctx)
+        if not hostile:
+            return
+        for stmt in module.body:
+            for name, value in _module_scope_targets(stmt):
+                cls = self._hostile_call(value, hostile)
+                if cls is not None:
+                    yield self._finding(
+                        ctx, stmt, cls, f"stored in module global {name!r}"
+                    )
+        for func in ast.walk(module):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, func, hostile)
+
+    def _hostile_classes(
+        self, module: ast.Module, ctx: FileContext
+    ) -> FrozenSet[str]:
+        annots = parse_annotations(ctx.lines)
+        names: Set[str] = set()
+        for node in ast.walk(module):
+            if isinstance(node, ast.ClassDef):
+                ann = annots.get(node.lineno)
+                if ann is not None and ann.kind == "thread-hostile":
+                    names.add(node.name)
+        project = getattr(ctx, "project", None)
+        if project is not None:
+            names.update(project.thread_hostile_classes)
+        return frozenset(names)
+
+    @staticmethod
+    def _hostile_call(
+        value: ast.expr, hostile: FrozenSet[str]
+    ) -> Optional[str]:
+        """The hostile class name a call expression instantiates."""
+        if not isinstance(value, ast.Call):
+            return None
+        leaf = _call_leaf(value)
+        return leaf if leaf in hostile else None
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        hostile: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        globals_declared: Set[str] = set()
+        bound: Dict[str, str] = {}  # local name -> hostile class
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                globals_declared.update(node.names)
+            elif isinstance(node, ast.Assign):
+                cls = self._hostile_call(node.value, hostile)
+                if cls is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound[target.id] = cls
+
+        def refers_hostile(expr: ast.expr) -> Optional[str]:
+            if isinstance(expr, ast.Name):
+                return bound.get(expr.id)
+            if isinstance(expr, ast.Attribute):
+                return refers_hostile(expr.value)  # bound method / field
+            return self._hostile_call(expr, hostile)
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                cls = self._hostile_call(node.value, hostile)
+                value_cls = cls if cls is not None else (
+                    refers_hostile(node.value)
+                    if isinstance(node.value, ast.Name)
+                    else None
+                )
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in globals_declared
+                        and value_cls is not None
+                    ):
+                        yield self._finding(
+                            ctx, node, value_cls,
+                            f"stored in module global {target.id!r}",
+                        )
+                    elif isinstance(target, ast.Subscript) and (
+                        value_cls is not None
+                    ):
+                        yield self._finding(
+                            ctx, node, value_cls,
+                            "stored into a shared container",
+                        )
+            elif isinstance(node, ast.Call):
+                leaf = _call_leaf(node)
+                if leaf not in _EXECUTOR_LEAVES:
+                    continue
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    cls = refers_hostile(arg)
+                    if cls is not None:
+                        yield self._finding(
+                            ctx, node, cls,
+                            f"submitted to an executor via .{leaf}()",
+                        )
+                        break
+
+    def _finding(
+        self, ctx: FileContext, node: ast.AST, cls: str, how: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"instance of thread-hostile class {cls!r} {how}; confine it "
+            "to one thread (threading.local) or make the class safe to "
+            "share",
+        )
+
+
+# ---------------------------------------------------------------------------
+# RL012 — blocking while locked
+# ---------------------------------------------------------------------------
+
+
+class BlockingWhileLockedRule(Rule):
+    """RL012: expensive work stays outside lock-held regions."""
+
+    rule_id = "RL012"
+    name = "blocking-while-locked"
+    description = "expensive/blocking call inside a lock-held block"
+    rationale = (
+        "Holding a lock across a kernel compile, backend load, warmup, "
+        "or file I/O serializes every other thread behind one slow "
+        "caller — the stall PR 6 removed from ModelRegistry.get by "
+        "double-checked locking. Do the expensive work outside, then "
+        "re-take the lock to publish."
+    )
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for stmt in module.body:
+            yield from self._walk(ctx, stmt, locked=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, locked: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            takes_lock = any(
+                _looks_like_lock(_lock_key(item.context_expr))
+                for item in node.items
+            )
+            inner = locked or takes_lock
+            for stmt in node.body:
+                yield from self._walk(ctx, stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if locked:
+                return  # deferred execution: not run under this lock
+            for child in ast.iter_child_nodes(node):
+                yield from self._walk(ctx, child, locked=False)
+            return
+        if locked and isinstance(node, ast.Call):
+            leaf = _call_leaf(node)
+            if leaf is not None and self._is_blocking(leaf, node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {leaf!r} while a lock is held; move the "
+                    "expensive work outside the lock and re-take it to "
+                    "publish the result (double-checked locking)",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, child, locked)
+
+    @staticmethod
+    def _is_blocking(leaf: str, node: ast.Call) -> bool:
+        if leaf in _BLOCKING_LEAVES:
+            return True
+        if "compile" in leaf.lower():
+            return True
+        return leaf == "run" and _call_base_name(node) == "subprocess"
+
+
+CONCURRENCY_RULES: Tuple[Rule, ...] = (
+    UndeclaredMutableStateRule(),
+    LockDisciplineRule(),
+    ThreadHostileEscapeRule(),
+    BlockingWhileLockedRule(),
+)

@@ -15,19 +15,17 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
-    TYPE_CHECKING,
+    Any,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
     Set,
     Tuple,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .rules import Rule
 
 #: Rule id reserved for files the engine itself cannot parse.
 PARSE_ERROR_ID = "RL000"
@@ -59,7 +57,7 @@ DEFAULT_EXCLUDED_DIRS = frozenset(
 #: against deterministic pipelines — bit-exactness there is the
 #: reproducibility *contract*, not a hazard — so RL005 stays quiet for
 #: test and benchmark code and bites only in production control flow.
-DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {  # concurrency: immutable-after-init
     "RL005": (
         "tests/*",
         "*/tests/*",
@@ -71,11 +69,37 @@ DEFAULT_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
         "tests/*",
         "*/tests/*",
     ),
+    # Test fixtures, benchmarks, and examples are single-threaded
+    # harness code by construction; demanding concurrency annotations
+    # on every helper dict there is noise, not safety.  Production
+    # packages (src/, tools/, scripts/) get no such pass.
+    "RL009": (
+        "tests/*",
+        "*/tests/*",
+        "benchmarks/*",
+        "*/benchmarks/*",
+        "examples/*",
+        "*/examples/*",
+    ),
+    # The race-stress harness deliberately shares hostile objects and
+    # holds locks across slow calls to provoke the bugs these rules
+    # exist to prevent in production code.
+    "RL011": (
+        "tests/*",
+        "*/tests/*",
+    ),
+    "RL012": (
+        "tests/*",
+        "*/tests/*",
+        "benchmarks/*",
+        "*/benchmarks/*",
+    ),
 }
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable|disable-next)\s*=\s*"
     r"(?P<rules>all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*(?:--|—)\s*(?P<reason>.*\S))?"
 )
 
 
@@ -104,15 +128,49 @@ class Finding:
 
 @dataclass
 class FileContext:
-    """Everything a rule may consult about the file under analysis."""
+    """Everything a rule may consult about the file under analysis.
+
+    ``project`` carries the cross-file symbol index
+    (:class:`tools.reprolint.concurrency.ProjectIndex`) when the engine
+    was invoked over a path set; it is ``None`` for single-source lints
+    so per-file fixture tests stay self-contained.
+    """
 
     path: str
     source: str
     lines: List[str] = field(default_factory=list)
+    project: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement ``check``.
+
+    Lives in the engine (rather than ``rules.py``) so that rule modules
+    — ``rules.py`` for the reproduction invariants, ``concurrency.py``
+    for the lock-discipline pass — can both subclass it without
+    importing each other.
+    """
+
+    rule_id: str = "RL???"
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
 
 
 @dataclass
@@ -133,18 +191,41 @@ class LintResult:
         self.suppressed += other.suppressed
 
 
+@dataclass(frozen=True, order=True)
+class SuppressionRecord:
+    """One ``# reprolint: disable`` comment, for the audit trail."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+    def render(self) -> str:
+        reason = self.reason or "(no reason given)"
+        return f"{self.path}:{self.line}: {', '.join(self.rules)} -- {reason}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "reason": self.reason,
+        }
+
+
 class Suppressions:
     """Per-line ``# reprolint: disable=...`` comment index.
 
     ``disable`` acts on the physical line carrying the comment;
     ``disable-next`` acts on the following physical line.  ``all``
-    suppresses every rule.  Trailing prose after the rule list (a
-    justification, typically introduced with ``--``) is encouraged and
-    ignored by the parser.
+    suppresses every rule.  Trailing prose after the rule list — a
+    justification introduced with ``--`` — is captured as the
+    suppression's *reason* and surfaced by ``--show-suppressions``.
     """
 
-    def __init__(self, lines: Sequence[str]) -> None:
+    def __init__(self, lines: Sequence[str], path: str = "<string>") -> None:
         self._by_line: Dict[int, Set[str]] = {}
+        self.records: List[SuppressionRecord] = []
         for lineno, text in enumerate(lines, start=1):
             if "reprolint" not in text:
                 continue
@@ -154,12 +235,33 @@ class Suppressions:
             rules = {r.strip() for r in match.group("rules").split(",")}
             target = lineno + 1 if match.group("kind") == "disable-next" else lineno
             self._by_line.setdefault(target, set()).update(rules)
+            self.records.append(
+                SuppressionRecord(
+                    path=path,
+                    line=lineno,
+                    rules=tuple(sorted(rules)),
+                    reason=(match.group("reason") or "").strip(),
+                )
+            )
 
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self._by_line.get(finding.line)
         if not rules:
             return False
         return "all" in rules or finding.rule_id in rules
+
+
+def collect_suppressions(paths: Iterable[Path]) -> List[SuppressionRecord]:
+    """Every suppression comment under ``paths`` (the audit trail)."""
+    records: List[SuppressionRecord] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        records.extend(Suppressions(source.splitlines(), path=str(path)).records)
+    records.sort()
+    return records
 
 
 def _is_allowlisted(
@@ -181,6 +283,7 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence["Rule"]] = None,
     allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+    project: Optional[Any] = None,
 ) -> LintResult:
     """Lint a source string; the core entry point everything else wraps."""
     from .rules import ALL_RULES  # local import to avoid a cycle
@@ -199,8 +302,8 @@ def lint_source(
         )
         return result
 
-    ctx = FileContext(path=path, source=source)
-    suppressions = Suppressions(ctx.lines)
+    ctx = FileContext(path=path, source=source, project=project)
+    suppressions = Suppressions(ctx.lines, path=path)
     for rule in active:
         for finding in rule.check(module, ctx):
             if _is_allowlisted(finding.rule_id, path, allow):
@@ -217,6 +320,7 @@ def lint_file(
     path: Path,
     rules: Optional[Sequence["Rule"]] = None,
     allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
+    project: Optional[Any] = None,
 ) -> LintResult:
     try:
         source = path.read_text(encoding="utf-8")
@@ -226,7 +330,9 @@ def lint_file(
             Finding(str(path), 1, 0, PARSE_ERROR_ID, f"unreadable file: {exc}")
         )
         return result
-    return lint_source(source, path=str(path), rules=rules, allowlist=allowlist)
+    return lint_source(
+        source, path=str(path), rules=rules, allowlist=allowlist, project=project
+    )
 
 
 def iter_python_files(
@@ -263,8 +369,14 @@ def lint_paths(
     rules: Optional[Sequence["Rule"]] = None,
     allowlist: Optional[Dict[str, Tuple[str, ...]]] = None,
 ) -> LintResult:
+    from .concurrency import build_project_index  # local: avoids a cycle
+
+    files = iter_python_files(paths)
+    project = build_project_index(files)
     result = LintResult()
-    for path in iter_python_files(paths):
-        result.extend(lint_file(path, rules=rules, allowlist=allowlist))
+    for path in files:
+        result.extend(
+            lint_file(path, rules=rules, allowlist=allowlist, project=project)
+        )
     result.findings.sort()
     return result

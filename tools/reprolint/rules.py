@@ -26,6 +26,11 @@ RL008     direct use of the ``repro.features._ckernel`` build/compile
           module compiles a shared library on first touch, so stray
           callers move that one-off cost into the authenticate hot path
 ========  ====================================================================
+
+The concurrency rules RL009–RL012 (undeclared mutable state, lock
+discipline, thread-hostile escape, blocking-while-locked) live in
+:mod:`tools.reprolint.concurrency` and are appended to
+:data:`ALL_RULES` below.
 """
 
 from __future__ import annotations
@@ -33,28 +38,9 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .engine import FileContext, Finding
+from .engine import FileContext, Finding, Rule
 
-
-class Rule:
-    """Base class: subclasses set the metadata and implement ``check``."""
-
-    rule_id: str = "RL???"
-    name: str = ""
-    description: str = ""
-    rationale: str = ""
-
-    def check(self, module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
-        return Finding(
-            path=ctx.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            rule_id=self.rule_id,
-            message=message,
-        )
+__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule"]
 
 
 def _function_params(node: ast.AST) -> Set[str]:
@@ -664,6 +650,10 @@ class CKernelInternalsRule(Rule):
         )
 
 
+# Imported at the bottom so the concurrency module can subclass
+# engine.Rule without a rules<->concurrency cycle.
+from .concurrency import CONCURRENCY_RULES  # noqa: E402
+
 ALL_RULES: Tuple[Rule, ...] = (
     FalsyDefaultRule(),
     UnseededRandomRule(),
@@ -673,6 +663,8 @@ ALL_RULES: Tuple[Rule, ...] = (
     SilentExceptRule(),
     EnrollmentInternalsRule(),
     CKernelInternalsRule(),
-)
+) + CONCURRENCY_RULES
 
-RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+RULES_BY_ID: Dict[str, Rule] = {  # concurrency: immutable-after-init
+    rule.rule_id: rule for rule in ALL_RULES
+}
