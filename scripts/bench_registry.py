@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""Benchmark registry storage at population scale; write BENCH_registry.json.
+
+Five sections, proving ROADMAP item 2's "millions of users" claim on
+measured numbers rather than arithmetic:
+
+- ``templates`` — wall time to enroll the distinct simulated users that
+  seed the population (the real pipeline, process-pool fan-out) and the
+  per-user payload each storage dtype produces.
+- ``size`` — bytes per user at the paper's feature budget: one loose
+  ``.npz`` archive (the baseline, extractors re-stored per user) versus
+  the packed record (extractors shared per arena), and the resulting
+  models-per-GB for float64/float32/float16.
+- ``parity`` — the quantization contract on the standard probe battery
+  (legit / two-handed / attack / wrong-PIN): float64 bit-exact,
+  float32/float16 decision-identical with the measured max score drift.
+- ``cold_load`` — per-backend cold-load latency: p50/p99 of a backend
+  ``load()`` (npz directory, sharded packed, packed arena), the
+  first-load cost that includes shared-extractor decode, and the
+  arena's open-time index scan at population scale.
+- ``thrash`` — a 10k+-user arena behind ``ModelRegistry`` under the
+  thread-thrash pattern with Zipf-distributed traffic: gets/sec, LRU
+  hit rate, and eviction counts from ``ModelRegistry.stats``.
+
+Usage::
+
+    python scripts/bench_registry.py                  # full, writes JSON
+    python scripts/bench_registry.py --smoke          # quick, no JSON
+    python scripts/bench_registry.py --users 50000 --out custom.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import PAPER_PINS  # noqa: E402
+from repro.core import (  # noqa: E402
+    EnrollmentOptions,
+    ModelRegistry,
+    NpzDirectoryBackend,
+    P2Auth,
+    PackedArenaBackend,
+    ShardedPackedBackend,
+    pack_authenticator,
+    save_authenticator,
+    unpack_authenticator,
+)
+from repro.core.packing import QUANT_DTYPES  # noqa: E402
+from repro.data import StudyData, ThirdPartyStore  # noqa: E402
+from repro.eval import enroll_templates, materialize_population  # noqa: E402
+
+PIN = PAPER_PINS[0]
+
+#: Zipf exponent for the thrash traffic (web-like popularity skew).
+ZIPF_A = 1.2
+
+
+def _percentiles(times_s):
+    times_ms = np.asarray(times_s) * 1e3
+    return {
+        "p50_ms": float(np.percentile(times_ms, 50)),
+        "p99_ms": float(np.percentile(times_ms, 99)),
+        "mean_ms": float(np.mean(times_ms)),
+    }
+
+
+def build_world(num_features: int):
+    """One enrolled authenticator plus the labelled probe battery.
+
+    The cohort matches the test suite's world (7 users, seed 5, 24
+    third-party negatives) so the battery exercises both outcomes:
+    legit probes accept, emulation attacks and wrong PINs reject.
+    """
+    data = StudyData(n_users=7, seed=5)
+    third_party = ThirdPartyStore(data, [1, 2, 3, 4, 5, 6], PIN).sample(24)
+    auth = P2Auth(
+        pin=PIN, options=EnrollmentOptions(num_features=num_features)
+    )
+    auth.enroll(data.trials(0, PIN, "one_handed", 8)[:6], third_party)
+    battery = [
+        (t, None)
+        for t in (
+            data.trials(0, PIN, "one_handed", 10)[6:8]  # legit
+            + data.trials(0, PIN, "double3", 2)          # two-handed
+            + data.emulating_trials(4, 0, PIN, 2)        # attack
+        )
+    ]
+    battery.append((data.trials(0, PIN, "one_handed", 10)[6], "0000"))
+    return auth, battery
+
+
+def bench_templates(n_templates: int, features: int, n_jobs):
+    """Enroll the distinct template users; report cost and payloads."""
+    start = time.perf_counter()
+    templates = enroll_templates(
+        n_templates, num_features=features, n_jobs=n_jobs
+    )
+    elapsed = time.perf_counter() - start
+    sample = unpack_authenticator(templates[0])
+    per_dtype = {
+        dtype: pack_authenticator(sample, dtype=dtype).record_nbytes
+        for dtype in QUANT_DTYPES
+    }
+    extractor_bytes = sum(
+        len(blob) for blob in templates[0].extractors.values()
+    )
+    return templates, {
+        "n_templates": n_templates,
+        "num_features": features,
+        "enroll_wall_s": elapsed,
+        "record_bytes": per_dtype,
+        "extractor_bytes_once_per_arena": extractor_bytes,
+        "n_extractors": len(templates[0].extractors),
+    }
+
+
+def bench_size(features: int):
+    """Per-user bytes and models/GB: npz baseline vs packed records."""
+    auth, _ = build_world(features)
+    with tempfile.TemporaryDirectory() as root:
+        npz_path = Path(root) / "user.npz"
+        save_authenticator(auth, npz_path)
+        npz_bytes = npz_path.stat().st_size
+    packed = {
+        dtype: pack_authenticator(auth, dtype=dtype)
+        for dtype in QUANT_DTYPES
+    }
+    out = {
+        "num_features": features,
+        "npz_bytes_per_user": npz_bytes,
+        "npz_models_per_gb": int(1e9 / npz_bytes),
+        "packed": {},
+    }
+    for dtype, pack in packed.items():
+        out["packed"][dtype] = {
+            "record_bytes_per_user": pack.record_nbytes,
+            "extractor_bytes_once_per_arena": sum(
+                len(blob) for blob in pack.extractors.values()
+            ),
+            "models_per_gb": int(1e9 / pack.record_nbytes),
+            "vs_npz": npz_bytes / pack.record_nbytes,
+        }
+    return out
+
+
+def bench_parity(features: int):
+    """The quantization contract, measured on the probe battery."""
+    auth, battery = build_world(features)
+    reference = [
+        auth.authenticate(trial, claimed_pin=pin) for trial, pin in battery
+    ]
+    out = {
+        "num_features": features,
+        "battery": {
+            "n_probes": len(battery),
+            "n_accepted": sum(d.accepted for d in reference),
+        },
+        "dtypes": {},
+    }
+    for dtype in QUANT_DTYPES:
+        reloaded = unpack_authenticator(
+            pack_authenticator(auth, dtype=dtype)
+        )
+        decisions = [
+            reloaded.authenticate(trial, claimed_pin=pin)
+            for trial, pin in battery
+        ]
+        max_delta = max(
+            (
+                abs(a - b)
+                for ref, got in zip(reference, decisions)
+                for a, b in zip(ref.scores, got.scores)
+            ),
+            default=0.0,
+        )
+        out["dtypes"][dtype] = {
+            "decisions_match": all(
+                got.accepted == ref.accepted
+                and got.input_case == ref.input_case
+                and got.pin_ok == ref.pin_ok
+                for ref, got in zip(reference, decisions)
+            ),
+            "scores_bit_exact": all(
+                got.scores == ref.scores
+                for ref, got in zip(reference, decisions)
+            ),
+            "max_abs_score_delta": max_delta,
+        }
+    return out
+
+
+def bench_cold_load(templates, n_users: int, n_loads: int, seed: int = 7):
+    """Cold-load latency per backend over ``n_loads`` sampled users."""
+    rng = np.random.default_rng(seed)
+    auth = unpack_authenticator(templates[0])
+    out = {"n_users": n_users, "n_loads": n_loads, "backends": {}}
+    with tempfile.TemporaryDirectory() as root:
+        backends = {
+            "npz": NpzDirectoryBackend(Path(root) / "npz"),
+            "sharded": ShardedPackedBackend(Path(root) / "sharded"),
+            "arena": PackedArenaBackend(Path(root) / "arena"),
+        }
+        ids = {}
+        for name, backend in backends.items():
+            if name == "npz":
+                # The npz baseline has no packed fast path; population
+                # size is capped so store time stays sane.
+                ids[name] = [f"u{i:07d}" for i in range(min(n_users, 64))]
+                for user_id in ids[name]:
+                    backend.store(user_id, auth)
+            else:
+                ids[name] = materialize_population(
+                    backend, n_users, templates
+                )
+        if hasattr(backends["arena"], "close"):
+            backends["arena"].close()
+
+        for name in backends:
+            # Fresh instance: empty extractor pool, cold index.
+            root_dir = Path(root) / name
+            opener = {
+                "npz": NpzDirectoryBackend,
+                "sharded": ShardedPackedBackend,
+                "arena": PackedArenaBackend,
+            }[name]
+            start = time.perf_counter()
+            backend = opener(root_dir)
+            open_ms = (time.perf_counter() - start) * 1e3
+
+            first_user = ids[name][0]
+            start = time.perf_counter()
+            backend.load(first_user)
+            first_ms = (time.perf_counter() - start) * 1e3
+
+            picks = rng.choice(len(ids[name]), size=n_loads)
+            times = []
+            for pick in picks:
+                user_id = ids[name][int(pick)]
+                start = time.perf_counter()
+                backend.load(user_id)
+                times.append(time.perf_counter() - start)
+            out["backends"][name] = {
+                "population": len(ids[name]),
+                "open_ms": open_ms,
+                "first_load_ms": first_ms,
+                **_percentiles(times),
+            }
+    return out
+
+
+def bench_thrash(
+    templates, n_users: int, capacity: int, threads: int, ops_per_thread: int
+):
+    """Zipf traffic against a capacity-bounded registry over the arena."""
+    with tempfile.TemporaryDirectory() as root:
+        backend = PackedArenaBackend(root)
+        ids = materialize_population(backend, n_users, templates)
+        registry = ModelRegistry(capacity=capacity, backend=backend)
+        barrier = threading.Barrier(threads + 1)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            # Zipf-distributed user picks, wrapped into range: rank r
+            # maps to user id r % n_users, keeping the popularity skew
+            # while every pick stays in the population.
+            rng = np.random.default_rng(1000 + worker_id)
+            picks = (rng.zipf(ZIPF_A, ops_per_thread) - 1) % n_users
+            barrier.wait()
+            try:
+                for pick in picks:
+                    auth = registry.get(ids[int(pick)])
+                    assert auth.enrolled
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in pool:
+            t.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+
+        stats = registry.stats
+        total = threads * ops_per_thread
+        return {
+            "n_users": n_users,
+            "capacity": capacity,
+            "threads": threads,
+            "ops": total,
+            "zipf_a": ZIPF_A,
+            "wall_s": wall,
+            "gets_per_sec": total / wall,
+            "hit_rate": stats["hits"] / max(1, stats["hits"] + stats["misses"]),
+            **stats,
+            "arena_bytes": backend.size_bytes(),
+            "arena_bytes_per_user": backend.size_bytes() / n_users,
+        }
+
+
+def run(
+    *,
+    users: int,
+    features: int,
+    size_features: int,
+    n_templates: int,
+    n_loads: int,
+    capacity: int,
+    threads: int,
+    ops_per_thread: int,
+    n_jobs=None,
+):
+    """The full harness; shared by the script and the perf-smoke test."""
+    templates, templates_report = bench_templates(
+        n_templates, features, n_jobs
+    )
+    return {
+        "templates": templates_report,
+        "size": bench_size(size_features),
+        "parity": bench_parity(features),
+        "cold_load": bench_cold_load(templates, users, n_loads),
+        "thrash": bench_thrash(
+            templates, users, capacity, threads, ops_per_thread
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small population and fewer ops; no JSON unless --out is given",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="simulated population size (default 10000 full / 200 smoke)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for template enrollment (0 = all cores)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_registry.json at the repo root "
+        "in full mode, nothing in --smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        params = dict(
+            users=args.users or 200, features=840, size_features=840,
+            n_templates=2, n_loads=25, capacity=64, threads=4,
+            ops_per_thread=100, n_jobs=args.jobs,
+        )
+    else:
+        params = dict(
+            users=args.users or 10_000, features=840, size_features=9996,
+            n_templates=4, n_loads=100, capacity=256, threads=8,
+            ops_per_thread=1000, n_jobs=args.jobs,
+        )
+
+    report = {
+        "benchmark": "registry-storage",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        **run(**params),
+    }
+
+    size = report["size"]
+    f32 = size["packed"]["float32"]
+    print(
+        f"[size] npz {size['npz_bytes_per_user']} B/user "
+        f"({size['npz_models_per_gb']}/GB) | packed f32 "
+        f"{f32['record_bytes_per_user']} B/user ({f32['models_per_gb']}/GB, "
+        f"{f32['vs_npz']:.2f}x)",
+        file=sys.stderr,
+    )
+    parity = report["parity"]["dtypes"]
+    print(
+        "[parity] f64 bit-exact="
+        f"{parity['float64']['scores_bit_exact']} | f32 decisions="
+        f"{parity['float32']['decisions_match']} "
+        f"(max |d|={parity['float32']['max_abs_score_delta']:.2e}) | "
+        f"f16 decisions={parity['float16']['decisions_match']} "
+        f"(max |d|={parity['float16']['max_abs_score_delta']:.2e})",
+        file=sys.stderr,
+    )
+    for name, cold in report["cold_load"]["backends"].items():
+        print(
+            f"[cold:{name}] open {cold['open_ms']:.1f} ms | first "
+            f"{cold['first_load_ms']:.1f} ms | p50 {cold['p50_ms']:.1f} ms "
+            f"| p99 {cold['p99_ms']:.1f} ms over {cold['population']} users",
+            file=sys.stderr,
+        )
+    thrash = report["thrash"]
+    print(
+        f"[thrash] {thrash['gets_per_sec']:.0f} gets/s over "
+        f"{thrash['n_users']} users (capacity {thrash['capacity']}, "
+        f"{thrash['threads']} threads) | hit rate {thrash['hit_rate']:.3f} "
+        f"| evictions {thrash['evictions']}",
+        file=sys.stderr,
+    )
+    report["peak_rss_mib"] = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    )
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(REPO_ROOT / "BENCH_registry.json")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,14 +12,25 @@ authentication through the staged engine (`stages`), the
 from .attacks import EmulatingAttacker, RandomAttacker
 from .authentication import AuthDecision, authenticate_preprocessed
 from .authenticator import P2Auth
+from .backends import PackedArenaBackend, ShardedPackedBackend
 from .degradation import DegradationEvent, DegradationPolicy, apply_policy
 from .hotpath import HotAuthPipeline
+from .packing import (
+    PackedAuthenticator,
+    pack_authenticator,
+    unpack_authenticator,
+)
 from .persistence import (
     load_authenticator,
     load_session,
     save_authenticator,
 )
-from .registry import ModelRegistry, NpzDirectoryBackend, RegistryBackend
+from .registry import (
+    ModelRegistry,
+    NpzDirectoryBackend,
+    RegistryBackend,
+    backend_exists,
+)
 from .session import RetryPolicy, SessionEvent, SessionManager, SessionState
 from .stages import (
     AuthPipeline,
@@ -81,6 +92,9 @@ __all__ = [
     "NegativeBank",
     "NpzDirectoryBackend",
     "P2Auth",
+    "PackedArenaBackend",
+    "PackedAuthenticator",
+    "ShardedPackedBackend",
     "Preprocessed",
     "PreprocessStage",
     "Recording",
@@ -105,12 +119,15 @@ __all__ = [
     "WearStatus",
     "apply_policy",
     "authenticate_preprocessed",
+    "backend_exists",
     "build_negative_bank",
     "check_enrollment_quality",
     "detect_wear",
     "enroll_models",
     "load_authenticator",
     "load_session",
+    "pack_authenticator",
+    "unpack_authenticator",
     "extract_full_waveform",
     "extract_fused_waveform",
     "extract_segments",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import IO, Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -57,23 +57,19 @@ def _pack_model(model: WaveformModel, prefix: str, arrays: Dict[str, np.ndarray]
     if rocket is None or scaler is None or clf.coef_ is None:
         raise PersistenceError(f"model {prefix!r} is not fitted")
 
-    arrays[f"{prefix}/dilations"] = np.asarray(rocket._dilations)
-    arrays[f"{prefix}/features_per_dilation"] = np.asarray(
-        rocket._features_per_dilation
-    )
-    for ch, channel_biases in enumerate(rocket._biases):
-        for d, biases in enumerate(channel_biases):
-            arrays[f"{prefix}/biases/{ch}/{d}"] = biases
+    rocket_header, rocket_arrays = rocket.get_state()
+    for name, value in rocket_arrays.items():
+        arrays[f"{prefix}/{name}"] = value
     arrays[f"{prefix}/scaler_mean"] = scaler._mean
     arrays[f"{prefix}/scaler_scale"] = scaler._scale
     arrays[f"{prefix}/coef"] = clf.coef_
     return {
-        "num_features": rocket.num_features,
-        "max_dilations_per_kernel": rocket.max_dilations_per_kernel,
-        "rocket_seed": rocket.seed,
-        "n_channels": int(rocket._n_channels),
-        "input_length": int(rocket._input_length),
-        "n_bias_dilations": len(rocket._biases[0]),
+        "num_features": rocket_header["num_features"],
+        "max_dilations_per_kernel": rocket_header["max_dilations_per_kernel"],
+        "rocket_seed": rocket_header["seed"],
+        "n_channels": rocket_header["n_channels"],
+        "input_length": rocket_header["input_length"],
+        "n_bias_dilations": rocket_header["n_bias_dilations"],
         "intercept": float(clf.intercept_),
         "alpha": float(clf.alpha_),
         "alphas": list(clf.alphas),
@@ -91,22 +87,22 @@ def _unpack_model(
         seed=int(header["rocket_seed"]),
         balanced=bool(header["balanced"]),
     )
-    rocket = MiniRocket(
-        num_features=int(header["num_features"]),
-        max_dilations_per_kernel=int(header["max_dilations_per_kernel"]),
-        seed=int(header["rocket_seed"]),
+    rocket_header = {
+        "num_features": header["num_features"],
+        "max_dilations_per_kernel": header["max_dilations_per_kernel"],
+        "seed": header["rocket_seed"],
+        "n_channels": header["n_channels"],
+        "input_length": header["input_length"],
+        "n_bias_dilations": header["n_bias_dilations"],
+    }
+    rocket = MiniRocket.from_state(
+        rocket_header,
+        {
+            name[len(prefix) + 1:]: value
+            for name, value in arrays.items()
+            if name.startswith(f"{prefix}/")
+        },
     )
-    rocket._dilations = arrays[f"{prefix}/dilations"]
-    rocket._features_per_dilation = arrays[f"{prefix}/features_per_dilation"]
-    n_channels = int(header["n_channels"])
-    n_dil = int(header["n_bias_dilations"])
-    rocket._biases = [
-        [arrays[f"{prefix}/biases/{ch}/{d}"] for d in range(n_dil)]
-        for ch in range(n_channels)
-    ]
-    rocket._n_channels = n_channels
-    rocket._input_length = int(header["input_length"])
-    rocket._fitted = True
 
     scaler = StandardScaler()
     scaler._mean = arrays[f"{prefix}/scaler_mean"]
@@ -124,9 +120,84 @@ def _unpack_model(
     return model
 
 
+def authenticator_meta(auth: P2Auth) -> Dict[str, Any]:
+    """JSON-able enrollment metadata shared by the npz and packed formats.
+
+    Captures everything *besides* the model arrays that a reload needs
+    to behave identically: pipeline constants, enrollment options, the
+    salted PIN digest, and the degradation policy. Model headers/arrays
+    are format-specific and handled by the caller.
+    """
+    models = auth.models  # raises EnrollmentError when not enrolled
+    options = models.options
+    return {
+        "no_pin_mode": auth.no_pin_mode,
+        "pin_salt": auth._pin._salt.hex(),
+        "pin_digest": auth._pin._digest.hex() if auth._pin._digest else None,
+        "pipeline": {
+            "fs": models.config.fs,
+            "median_kernel": models.config.median_kernel,
+            "sg_window": models.config.sg_window,
+            "sg_polyorder": models.config.sg_polyorder,
+            "calibration_window": models.config.calibration_window,
+            "detrend_lambda": models.config.detrend_lambda,
+            "energy_window": models.config.energy_window,
+            "energy_threshold_ratio": models.config.energy_threshold_ratio,
+            "segment_window": models.config.segment_window,
+        },
+        "options": {
+            "privacy_boost": options.privacy_boost,
+            "num_features": options.num_features,
+            "full_window": options.full_window,
+            "full_margin": options.full_margin,
+            "feature_method": options.feature_method,
+            "seed": options.seed,
+            "min_positive_samples": options.min_positive_samples,
+            "quality_gate": options.quality_gate,
+            "min_quality_artifact_ratio": options.min_quality_artifact_ratio,
+        },
+        "policy": (
+            dataclasses.asdict(auth.policy) if auth.policy is not None else None
+        ),
+    }
+
+
+def restore_authenticator(
+    meta: Mapping[str, Any],
+    full_model: Optional[WaveformModel],
+    fused_model: Optional[WaveformModel],
+    key_models: Dict[str, WaveformModel],
+) -> P2Auth:
+    """Rebuild a ready-to-authenticate :class:`P2Auth` from
+    :func:`authenticator_meta` output plus already-unpacked models."""
+    config = PipelineConfig(**meta["pipeline"])
+    options = EnrollmentOptions(**meta["options"])
+    policy_meta = meta.get("policy")
+    policy = (
+        DegradationPolicy(**policy_meta) if policy_meta is not None else None
+    )
+    auth = P2Auth(
+        pin=None, pipeline_config=config, options=options, policy=policy
+    )
+    # Restore the PIN digest without ever knowing the PIN.
+    auth._pin._salt = bytes.fromhex(meta["pin_salt"])
+    auth._pin._digest = (
+        bytes.fromhex(meta["pin_digest"]) if meta["pin_digest"] else None
+    )
+    auth._models = EnrolledModels(
+        full_model=full_model,
+        fused_model=fused_model,
+        key_models=key_models,
+        options=options,
+        config=config,
+        keys_enrolled=tuple(sorted(key_models)),
+    )
+    return auth
+
+
 def save_authenticator(
     auth: P2Auth,
-    path: Union[str, Path],
+    path: Union[str, Path, IO[bytes]],
     session: Optional[SessionManager] = None,
 ) -> None:
     """Serialize an enrolled authenticator to ``path`` (.npz).
@@ -165,39 +236,8 @@ def save_authenticator(
     for key, model in models.key_models.items():
         headers["keys"][key] = _pack_model(model, f"key/{key}", arrays)
 
-    options = models.options
-    meta = {
-        "format_version": FORMAT_VERSION,
-        "no_pin_mode": auth.no_pin_mode,
-        "pin_salt": auth._pin._salt.hex(),
-        "pin_digest": auth._pin._digest.hex() if auth._pin._digest else None,
-        "pipeline": {
-            "fs": models.config.fs,
-            "median_kernel": models.config.median_kernel,
-            "sg_window": models.config.sg_window,
-            "sg_polyorder": models.config.sg_polyorder,
-            "calibration_window": models.config.calibration_window,
-            "detrend_lambda": models.config.detrend_lambda,
-            "energy_window": models.config.energy_window,
-            "energy_threshold_ratio": models.config.energy_threshold_ratio,
-            "segment_window": models.config.segment_window,
-        },
-        "options": {
-            "privacy_boost": options.privacy_boost,
-            "num_features": options.num_features,
-            "full_window": options.full_window,
-            "full_margin": options.full_margin,
-            "feature_method": options.feature_method,
-            "seed": options.seed,
-            "min_positive_samples": options.min_positive_samples,
-            "quality_gate": options.quality_gate,
-            "min_quality_artifact_ratio": options.min_quality_artifact_ratio,
-        },
-        "policy": (
-            dataclasses.asdict(auth.policy) if auth.policy is not None else None
-        ),
-        "headers": headers,
-    }
+    meta = {"format_version": FORMAT_VERSION, **authenticator_meta(auth)}
+    meta["headers"] = headers
     if session is not None:
         meta["session"] = {
             "wear_threshold": session._wear_threshold,
@@ -213,7 +253,7 @@ def save_authenticator(
     np.savez_compressed(path, **arrays)
 
 
-def load_authenticator(path: Union[str, Path]) -> P2Auth:
+def load_authenticator(path: Union[str, Path, IO[bytes]]) -> P2Auth:
     """Load an authenticator previously stored by :func:`save_authenticator`.
 
     Returns:
@@ -230,14 +270,7 @@ def load_authenticator(path: Union[str, Path]) -> P2Auth:
             f"unsupported archive version: {meta.get('format_version')}"
         )
 
-    config = PipelineConfig(**meta["pipeline"])
-    options = EnrollmentOptions(**meta["options"])
-    policy_meta = meta.get("policy")
-    policy = (
-        DegradationPolicy(**policy_meta) if policy_meta is not None else None
-    )
     headers = meta["headers"]
-
     full_model = (
         _unpack_model(headers["full"], "full", arrays) if "full" in headers else None
     )
@@ -250,24 +283,7 @@ def load_authenticator(path: Union[str, Path]) -> P2Auth:
         key: _unpack_model(header, f"key/{key}", arrays)
         for key, header in headers["keys"].items()
     }
-
-    auth = P2Auth(
-        pin=None, pipeline_config=config, options=options, policy=policy
-    )
-    # Restore the PIN digest without ever knowing the PIN.
-    auth._pin._salt = bytes.fromhex(meta["pin_salt"])
-    auth._pin._digest = (
-        bytes.fromhex(meta["pin_digest"]) if meta["pin_digest"] else None
-    )
-    auth._models = EnrolledModels(
-        full_model=full_model,
-        fused_model=fused_model,
-        key_models=key_models,
-        options=options,
-        config=config,
-        keys_enrolled=tuple(sorted(key_models)),
-    )
-    return auth
+    return restore_authenticator(meta, full_model, fused_model, key_models)
 
 
 def load_session(path: Union[str, Path]) -> SessionManager:

@@ -14,7 +14,9 @@ direct construction.
 
 from __future__ import annotations
 
+import os
 import re
+import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
@@ -78,6 +80,32 @@ class RegistryBackend(Protocol):
         """All stored user ids."""
         ...
 
+    def exists(self, user_id: str) -> bool:
+        """Whether ``user_id`` is stored, without loading any model.
+
+        Backends with a cheap membership probe (an index hit, a
+        ``stat``) should override this; the default scans
+        :meth:`user_ids`.
+        """
+        return user_id in self.user_ids()
+
+    def __contains__(self, user_id: str) -> bool:
+        return self.exists(user_id)
+
+
+def backend_exists(backend: RegistryBackend, user_id: str) -> bool:
+    """Membership probe that tolerates minimal duck-typed backends.
+
+    Uses the backend's ``exists`` when it has one; otherwise falls back
+    to scanning ``user_ids()`` — the pre-``exists`` protocol surface —
+    so registries keep working with third-party backends that only
+    implement store/load/delete/user_ids.
+    """
+    probe = getattr(backend, "exists", None)
+    if callable(probe):
+        return bool(probe(user_id))
+    return user_id in backend.user_ids()
+
 
 class NpzDirectoryBackend:
     """One ``.npz`` archive per user in a directory.
@@ -90,6 +118,8 @@ class NpzDirectoryBackend:
     def __init__(self, root: Union[str, Path]) -> None:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        self._tmp = self._root / ".tmp"
+        self._tmp.mkdir(exist_ok=True)
 
     def _path(self, user_id: str) -> Path:
         return self._root / f"{_check_user_id(user_id)}.npz"
@@ -97,21 +127,58 @@ class NpzDirectoryBackend:
     def store(self, user_id: str, auth: P2Auth) -> None:
         from .persistence import save_authenticator
 
-        save_authenticator(auth, self._path(user_id))
+        # Write-then-rename: a concurrent load of the same id sees
+        # either the old complete archive or the new one, never a
+        # half-written file. The staging dir keeps temp files out of
+        # the ``*.npz`` glob.
+        path = self._path(user_id)
+        fd, tmp_name = tempfile.mkstemp(suffix=".npz", dir=self._tmp)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                save_authenticator(auth, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
 
     def load(self, user_id: str) -> P2Auth:
         from .persistence import load_authenticator
 
-        path = self._path(user_id)
-        if not path.exists():
-            raise KeyError(user_id)
-        return load_authenticator(path)
+        # No exists() pre-check: a concurrent delete between the check
+        # and the open would surface as FileNotFoundError anyway, so
+        # map that directly to the protocol's KeyError.
+        try:
+            return load_authenticator(self._path(user_id))
+        except FileNotFoundError:
+            raise KeyError(user_id) from None
 
     def delete(self, user_id: str) -> None:
         self._path(user_id).unlink(missing_ok=True)
 
+    def exists(self, user_id: str) -> bool:
+        """Membership via one ``stat`` — no archive parsing.
+
+        Invalid ids are simply absent (``False``), matching
+        :meth:`user_ids` never listing them.
+        """
+        if not _USER_ID_RE.match(user_id):
+            return False
+        return self._path(user_id).exists()
+
+    def __contains__(self, user_id: str) -> bool:
+        return self.exists(user_id)
+
     def user_ids(self) -> List[str]:
-        return sorted(p.stem for p in self._root.glob("*.npz"))
+        # Skip stems that fail the user-id grammar (stray files, or
+        # ids load() would reject): every listed id must round-trip.
+        return sorted(
+            p.stem
+            for p in self._root.glob("*.npz")
+            if _USER_ID_RE.match(p.stem)
+        )
 
 
 class ModelRegistry:
@@ -152,6 +219,9 @@ class ModelRegistry:
         self._options = options
         self._policy = policy
         self._cache: "OrderedDict[str, P2Auth]" = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
         self._lock = checked_rlock("ModelRegistry._lock")
 
     def __len__(self) -> int:
@@ -163,8 +233,25 @@ class ModelRegistry:
             if user_id in self._cache:
                 return True
         if self._backend is not None:
-            return user_id in self._backend.user_ids()
+            # Membership probe, not a directory scan: O(1) for
+            # backends with an exists() (all bundled ones).
+            return backend_exists(self._backend, user_id)
         return False
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache counters: ``hits`` / ``misses`` / ``evictions``.
+
+        A hit is a :meth:`get` served from memory; a miss is one that
+        went to the backend (or raised); an eviction is an LRU drop by
+        the capacity bound (explicit :meth:`evict` calls don't count).
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
 
     def enroll(
         self,
@@ -233,8 +320,10 @@ class ModelRegistry:
         with self._lock:
             auth = self._cache.get(user_id)
             if auth is not None:
+                self._hits += 1
                 self._cache.move_to_end(user_id)
                 return auth
+            self._misses += 1
             if self._backend is None:
                 raise KeyError(user_id)
         loaded = self._backend.load(user_id)
@@ -516,10 +605,12 @@ class ModelRegistry:
             return
         while len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
+            self._evictions += 1
 
 
 __all__ = [
     "ModelRegistry",
     "NpzDirectoryBackend",
     "RegistryBackend",
+    "backend_exists",
 ]

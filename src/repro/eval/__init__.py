@@ -7,6 +7,12 @@ runner per table/figure of the paper, `profiling` measures the
 time/memory overheads of Table I, and `reporting` renders text tables.
 """
 
+from .bulkenroll import (
+    TemplateJob,
+    build_template,
+    enroll_templates,
+    materialize_population,
+)
 from .featurecache import (
     CacheStats,
     FeatureCache,
@@ -34,9 +40,13 @@ __all__ = [
     "FeatureCache",
     "ProbeCounts",
     "RobustnessCell",
+    "TemplateJob",
     "UserEvaluation",
     "accuracy",
     "build_report",
+    "build_template",
+    "enroll_templates",
+    "materialize_population",
     "cache_stats",
     "clear_default_cache",
     "default_cache",

@@ -57,7 +57,7 @@ from __future__ import annotations
 
 import os
 from itertools import combinations
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -466,6 +466,68 @@ class MiniRocket:
                 self.n_features_out,
             )
         return self._plan
+
+    def get_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """The fitted state as a ``(header, arrays)`` pair.
+
+        The header holds the construction scalars, the arrays the fitted
+        dilation schedule and bias tables — together everything
+        :meth:`from_state` needs to rebuild an extractor whose
+        transforms are bit-identical to this one's. The serialization
+        container (``.npz`` archive, packed arena record, ...) is the
+        caller's business; the array names are stable keys
+        (``dilations``, ``features_per_dilation``,
+        ``biases/<channel>/<dilation>``).
+        """
+        if not self._fitted:
+            raise NotFittedError("MiniRocket.fit has not been called")
+        assert self._biases is not None
+        header: Dict[str, Any] = {
+            "num_features": self.num_features,
+            "max_dilations_per_kernel": self.max_dilations_per_kernel,
+            "seed": self.seed,
+            "n_channels": int(self._n_channels or 0),
+            "input_length": int(self._input_length or 0),
+            "n_bias_dilations": len(self._biases[0]),
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "dilations": np.asarray(self._dilations),
+            "features_per_dilation": np.asarray(self._features_per_dilation),
+        }
+        for ch, channel_biases in enumerate(self._biases):
+            for d, biases in enumerate(channel_biases):
+                arrays[f"biases/{ch}/{d}"] = biases
+        return header, arrays
+
+    @classmethod
+    def from_state(
+        cls, header: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "MiniRocket":
+        """Rebuild a fitted extractor from :meth:`get_state` output.
+
+        The arrays may be read-only views into a larger buffer (e.g. a
+        memory-mapped arena): the transform only ever reads them, so no
+        copy is made.
+        """
+        rocket = cls(
+            num_features=int(header["num_features"]),
+            max_dilations_per_kernel=int(header["max_dilations_per_kernel"]),
+            seed=int(header["seed"]),
+        )
+        rocket._dilations = np.asarray(arrays["dilations"])
+        rocket._features_per_dilation = np.asarray(
+            arrays["features_per_dilation"]
+        )
+        n_channels = int(header["n_channels"])
+        n_dil = int(header["n_bias_dilations"])
+        rocket._biases = [
+            [np.asarray(arrays[f"biases/{ch}/{d}"]) for d in range(n_dil)]
+            for ch in range(n_channels)
+        ]
+        rocket._n_channels = n_channels
+        rocket._input_length = int(header["input_length"])
+        rocket._fitted = True
+        return rocket
 
     def warm(self) -> "MiniRocket":
         """Pay the one-off transform costs ahead of the first real call.

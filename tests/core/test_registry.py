@@ -11,6 +11,7 @@ from repro.core import (
     ModelRegistry,
     NpzDirectoryBackend,
     P2Auth,
+    backend_exists,
 )
 from repro.data import ThirdPartyStore
 from repro.errors import ConfigurationError
@@ -255,3 +256,105 @@ class TestLockFreeLoads:
         # The registry warmed the authenticator on load: a direct
         # warmup call finds no cold work left.
         assert loaded.warmup() is False
+
+
+class TestNpzDirectoryHygiene:
+    def test_user_ids_skips_invalid_stems(self, alice, tmp_path):
+        backend = NpzDirectoryBackend(tmp_path)
+        backend.store("alice", alice)
+        # Stray archives whose stems load() would reject must not leak
+        # into the listing.
+        (tmp_path / "has space.npz").write_bytes(b"junk")
+        (tmp_path / ("x" * 65 + ".npz")).write_bytes(b"junk")
+        assert backend.user_ids() == ["alice"]
+
+    def test_exists_is_list_consistent(self, alice, tmp_path):
+        backend = NpzDirectoryBackend(tmp_path)
+        backend.store("alice", alice)
+        assert backend.exists("alice") and "alice" in backend
+        assert not backend.exists("bob")
+        assert not backend.exists("has space")  # invalid id: absent
+
+
+class _CountingBackend:
+    """Backend counting protocol calls; exists() is the cheap probe."""
+
+    def __init__(self):
+        self.exists_calls = 0
+        self.user_ids_calls = 0
+
+    def store(self, user_id, auth):
+        pass
+
+    def load(self, user_id):
+        raise KeyError(user_id)
+
+    def delete(self, user_id):
+        pass
+
+    def user_ids(self):
+        self.user_ids_calls += 1
+        return ["stored"]
+
+    def exists(self, user_id):
+        self.exists_calls += 1
+        return user_id == "stored"
+
+
+class _MinimalBackend:
+    """Pre-exists() protocol surface: only store/load/delete/user_ids."""
+
+    def store(self, user_id, auth):
+        pass
+
+    def load(self, user_id):
+        raise KeyError(user_id)
+
+    def delete(self, user_id):
+        pass
+
+    def user_ids(self):
+        return ["stored"]
+
+
+class TestMembershipProbe:
+    def test_contains_uses_exists_not_directory_scan(self):
+        backend = _CountingBackend()
+        registry = ModelRegistry(backend=backend)
+        assert "stored" in registry
+        assert "absent" not in registry
+        assert backend.exists_calls == 2
+        assert backend.user_ids_calls == 0
+
+    def test_backend_exists_falls_back_to_user_ids(self):
+        backend = _MinimalBackend()
+        assert backend_exists(backend, "stored")
+        assert not backend_exists(backend, "absent")
+        registry = ModelRegistry(backend=backend)
+        assert "stored" in registry
+        assert "absent" not in registry
+
+
+class TestCacheStats:
+    def test_hits_misses_evictions_counted(self, alice, tmp_path):
+        registry = ModelRegistry(
+            capacity=1, backend=NpzDirectoryBackend(tmp_path)
+        )
+        assert registry.stats == {"hits": 0, "misses": 0, "evictions": 0}
+        registry.add("alice", alice)
+        registry.get("alice")  # memory hit
+        registry.add("bob", alice)  # evicts alice
+        registry.get("bob")  # hit
+        registry.get("alice")  # miss -> backend load (evicts bob)
+        with pytest.raises(KeyError):
+            registry.get("nobody")  # miss, nowhere to load from
+        stats = registry.stats
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 2
+
+    def test_explicit_evict_not_counted(self, alice):
+        registry = ModelRegistry()
+        registry.add("alice", alice)
+        registry.evict("alice")
+        assert registry.stats["evictions"] == 0
