@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Run the scenario sweep and write SCENARIOS.json / SCENARIOS.md.
+
+Sweeps the daily-wear scenarios (sustained motion states and the
+cross-device transfer) over an intensity × template-age grid against
+enrolled victims, then compares template-maintenance policies —
+``frozen``, ``periodic_reenroll``, ``sliding_update`` — as FRR-vs-age
+and FAR-vs-age curves on clean probes. See the "Scenarios" section of
+``docs/robustness.md`` for how to read the numbers.
+
+Two invariants gate the exit code:
+
+- no scenario raises FAR (pooled over ages and victims) above its own
+  intensity-0 baseline;
+- at the oldest simulated age, at least one update policy has strictly
+  lower FRR than the frozen template.
+
+The report is timestamp-free and fully seeded (``--seed``, or the
+``REPRO_FAULT_SEED`` environment variable): rerunning with the same
+grid reproduces the committed artifacts byte for byte.
+
+Usage::
+
+    python scripts/run_scenarios.py                  # full, writes JSON+MD
+    python scripts/run_scenarios.py --smoke          # CI subset, no files
+    python scripts/run_scenarios.py --jobs 4         # parallel fan-out
+    python scripts/run_scenarios.py --out custom.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import StudyData  # noqa: E402
+from repro.eval.robustness import (  # noqa: E402
+    DEFAULT_AGE_GRID,
+    DEFAULT_INTENSITIES,
+    SMOKE_AGE_GRID,
+    SMOKE_INTENSITIES,
+    SMOKE_SCENARIOS,
+    build_scenario_report,
+    render_scenario_markdown,
+    run_mitigation_sweep,
+    run_scenario_sweep,
+)
+from repro.faults import resolve_fault_seed  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: two scenarios at the intensity and age extremes, "
+        "one victim; no files unless --out is given",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fault seed (default: REPRO_FAULT_SEED or 0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="JSON output path (default: SCENARIOS.json at the repo root "
+        "in full mode, nothing in --smoke mode); the markdown table is "
+        "written next to it with an .md suffix",
+    )
+    args = parser.parse_args(argv)
+    seed = resolve_fault_seed(args.seed)
+
+    if args.smoke:
+        label = "smoke"
+        data = StudyData(n_users=5, seed=5)
+        cell_kwargs = dict(
+            attacker_ids=(1,),
+            enroll_n=6,
+            test_n=4,
+            third_party_n=30,
+            ra_per_attacker=2,
+            ea_per_attacker=2,
+            # Full feature resolution: at 840 features the impostor score
+            # distribution is noisy enough that a single attack probe can
+            # flip past the threshold under perturbation, tripping the FAR
+            # invariant on sampling noise rather than a real regression.
+            num_features=2520,
+        )
+        scenario_kwargs = dict(
+            scenarios=SMOKE_SCENARIOS,
+            intensities=SMOKE_INTENSITIES,
+            victim_ids=(0,),
+            age_grid=SMOKE_AGE_GRID,
+        )
+        mitigation_kwargs = dict(
+            age_grid=SMOKE_AGE_GRID,
+            victim_ids=(0,),
+        )
+    else:
+        label = "default"
+        data = StudyData(n_users=6, seed=5)
+        cell_kwargs = dict(
+            attacker_ids=(4, 5),
+            enroll_n=9,
+            test_n=6,
+            third_party_n=60,
+            ra_per_attacker=5,
+            ea_per_attacker=5,
+            num_features=2520,
+        )
+        scenario_kwargs = dict(
+            intensities=DEFAULT_INTENSITIES,
+            victim_ids=(0, 1),
+            age_grid=(0.0, 60.0, 120.0),
+        )
+        mitigation_kwargs = dict(
+            age_grid=DEFAULT_AGE_GRID,
+            victim_ids=(0, 1),
+        )
+
+    cells = run_scenario_sweep(
+        data, n_jobs=args.jobs, seed=seed, **scenario_kwargs, **cell_kwargs
+    )
+    mitigation = run_mitigation_sweep(
+        data, n_jobs=args.jobs, seed=seed, **mitigation_kwargs, **cell_kwargs
+    )
+    report = build_scenario_report(cells, mitigation, seed=seed, label=label)
+
+    for row in report["scenario_grid"]:
+        print(
+            f"[{row['scenario']:>22s} day {row['age_days']:>3.0f} "
+            f"@ {row['intensity']:.2f}] "
+            f"FRR {row['frr']:.3f} | FAR {row['far']:.3f} | "
+            f"quality-rejected {row['quality_rejection_rate']:.3f}",
+            file=sys.stderr,
+        )
+    for policy, points in sorted(report["mitigation"]["curves"].items()):
+        curve = ", ".join(
+            f"day {p['age_days']:.0f}: {p['frr']:.3f}" for p in points
+        )
+        print(f"[mitigation {policy:>18s}] FRR {curve}", file=sys.stderr)
+
+    failed = False
+    if report["invariants"]["scenario_far_within_baseline"] is False:
+        print(
+            "SECURITY INVARIANT VIOLATED: a scenario raised FAR above its "
+            "intensity-0 baseline",
+            file=sys.stderr,
+        )
+        failed = True
+    if report["invariants"]["update_policy_beats_frozen_at_max_age"] is False:
+        print(
+            "MITIGATION INVARIANT VIOLATED: no update policy strictly "
+            "improves FRR over the frozen template at the oldest age",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(REPO_ROOT / "SCENARIOS.json")
+    if out:
+        with open(out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        md_path = str(Path(out).with_suffix(".md"))
+        with open(md_path, "w") as handle:
+            handle.write(render_scenario_markdown(report))
+        print(f"wrote {out} and {md_path}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@ points without writing code:
   (``fig8``..``fig17``, ``tab1``, or ``all``) at a chosen scale;
 - ``robustness`` — sweep fault injectors against enrolled victims and
   report FRR/FAR/quality-rejection per (fault, intensity) cell;
+- ``scenarios`` — sweep daily-wear scenarios (motion states, template
+  aging, cross-device transfer) and compare template-maintenance
+  policies as FRR/FAR-vs-age curves;
 - ``simulate`` — synthesize a PIN-entry trial and dump it as CSV;
 - ``list`` — list the available experiments.
 """
@@ -126,6 +129,68 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         print()
     else:
         print(render_markdown(report))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from .data import StudyData
+    from .eval.robustness import (
+        DEFAULT_AGE_GRID,
+        DEFAULT_INTENSITIES,
+        build_scenario_report,
+        render_scenario_markdown,
+        run_mitigation_sweep,
+        run_scenario_sweep,
+    )
+    from .faults import SCENARIO_TYPES, resolve_fault_seed
+
+    scenarios = (
+        args.scenarios.split(",") if args.scenarios else sorted(SCENARIO_TYPES)
+    )
+    unknown = [s for s in scenarios if s not in SCENARIO_TYPES]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"choose from: {', '.join(sorted(SCENARIO_TYPES))}",
+            file=sys.stderr,
+        )
+        return 2
+    intensities = (
+        tuple(float(x) for x in args.intensities.split(","))
+        if args.intensities
+        else DEFAULT_INTENSITIES
+    )
+    ages = (
+        tuple(float(x) for x in args.ages.split(","))
+        if args.ages
+        else DEFAULT_AGE_GRID
+    )
+    seed = resolve_fault_seed(args.seed)
+
+    data = StudyData(n_users=6, seed=5)
+    common = dict(
+        victim_ids=(0, 1),
+        attacker_ids=(4, 5),
+        num_features=args.features,
+        n_jobs=args.jobs,
+        seed=seed,
+    )
+    cells = run_scenario_sweep(
+        data,
+        scenarios=scenarios,
+        intensities=intensities,
+        age_grid=ages,
+        **common,
+    )
+    mitigation = run_mitigation_sweep(data, age_grid=ages, **common)
+    report = build_scenario_report(cells, mitigation, seed=seed, label="cli")
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_scenario_markdown(report))
     return 0
 
 
@@ -269,6 +334,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the JSON report on stdout"
     )
     rob.set_defaults(func=_cmd_robustness)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="daily-wear scenario sweep: motion states, template aging, "
+        "cross-device transfer, and mitigation policies",
+    )
+    scen.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: all registered)",
+    )
+    scen.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated intensities in [0,1] (default: 0,0.25,0.5,1)",
+    )
+    scen.add_argument(
+        "--ages",
+        default=None,
+        help="comma-separated template ages in days (default: 0,30,60,120)",
+    )
+    scen.add_argument(
+        "--features",
+        type=int,
+        default=2520,
+        help="MiniRocket feature count for enrollment (default: 2520)",
+    )
+    _add_common_options(
+        scen,
+        jobs_help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+        seed_help="fault seed (default: REPRO_FAULT_SEED or 0)",
+    )
+    scen.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
+    )
+    scen.set_defaults(func=_cmd_scenarios)
 
     demo = sub.add_parser("demo", help="enroll + authenticate + attacks")
     demo.add_argument("--pin", default="1628")

@@ -27,6 +27,7 @@ structured :class:`SessionEvent` entries.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -139,6 +140,7 @@ class SessionManager:  # concurrency: thread-hostile
         self._failures = 0
         self._not_before = 0.0
         self._clock = 0.0
+        self._last_now = 0.0
 
     @property
     def state(self) -> SessionState:
@@ -248,9 +250,17 @@ class SessionManager:  # concurrency: thread-hostile
                 digits recorded in the trial.
             now: wall-clock time of the attempt, seconds, for the
                 backoff ladder; defaults to an internal logical clock
-                advancing 1 s per submission.
+                advancing 1 s per submission. Over a long session the
+                clock is kept monotone: a ``now`` earlier than a
+                previously observed time (clock adjustment, suspend
+                skew) is clamped up to it, so a stale timestamp can
+                neither re-open an elapsed backoff window nor rewind
+                the ladder.
 
         Raises:
+            ConfigurationError: on a non-finite ``now`` — a NaN would
+                silently disarm every backoff comparison and poison
+                ``retry_not_before`` for the rest of the session.
             AuthenticationError: when the watch is not worn (an
                 off-wrist entry cannot carry the wearer's biometric),
                 when the session is locked, or when the attempt lands
@@ -261,6 +271,12 @@ class SessionManager:  # concurrency: thread-hostile
         """
         if now is None:
             now = self._clock
+        elif not math.isfinite(now):
+            raise ConfigurationError(
+                f"entry time must be finite, got {now!r}"
+            )
+        now = max(float(now), self._last_now)
+        self._last_now = now
         self._clock = max(self._clock, now) + 1.0
         if self._state is SessionState.LOCKED:
             self._record("entry", "refused: session is locked")

@@ -27,7 +27,12 @@ import numpy as np
 
 from ..config import PAPER_PINS, SimulationConfig
 from ..errors import ConfigurationError
-from ..physio import TrialSynthesizer, UserProfile, sample_population
+from ..physio import (
+    TrialSynthesizer,
+    UserProfile,
+    drift_magnitude,
+    sample_population,
+)
 from ..types import PinEntryTrial
 
 #: Supported trial-generation conditions.
@@ -79,6 +84,9 @@ class StudyData:
         )
         self.synthesizer = TrialSynthesizer(self.sim_config)
         self._cache: Dict[Tuple[int, str, str], List[PinEntryTrial]] = {}
+        self._aged_cache: Dict[
+            Tuple[int, str, str, float], List[PinEntryTrial]
+        ] = {}
 
     def user(self, user_id: int) -> UserProfile:
         """Profile of user ``user_id``."""
@@ -126,6 +134,62 @@ class StudyData:
             )
         return cached[:count]
 
+    def aged_trials(
+        self,
+        user_id: int,
+        pin: str,
+        condition: str = "one_handed",
+        count: int = 18,
+        age_days: float = 0.0,
+    ) -> List[PinEntryTrial]:
+        """Trials from a user whose physiology has aged ``age_days``.
+
+        The user's artifact parameters drift along their fixed
+        trajectory by :func:`repro.physio.drift_magnitude` before each
+        press is rendered, so probes at age ``t`` come from a drifted
+        profile while ``trials`` (= age 0) stays the enrollment-day
+        distribution. ``age_days=0`` delegates to :meth:`trials` and is
+        therefore bit-identical to the clean data. Like :meth:`trials`,
+        repeated calls with the same ``(seed, user_id, age_days)`` —
+        even across processes — return bit-identical trials, and larger
+        counts extend the cached list without changing its prefix.
+        """
+        if age_days == 0:
+            return self.trials(user_id, pin, condition, count)
+        if not 0 <= user_id < self.n_users:
+            raise ConfigurationError(
+                f"user_id {user_id} outside population of {self.n_users}"
+            )
+        params = _condition_params(condition)
+        aging = drift_magnitude(user_id, age_days, self.seed)
+        key = (user_id, pin, condition, float(age_days))
+        cached = self._aged_cache.setdefault(key, [])
+        profile = self.users[user_id]
+        while len(cached) < count:
+            index = len(cached)
+            rng = np.random.default_rng(
+                _stable_seed(
+                    self.seed, user_id, pin, condition, "age", age_days, index
+                )
+            )
+            entry_pin = pin
+            if condition == "random":
+                entry_pin = "".join(
+                    str(d) for d in rng.integers(0, 10, size=len(pin))
+                )
+            cached.append(
+                self.synthesizer.synthesize_trial(
+                    profile,
+                    entry_pin,
+                    rng,
+                    one_handed=bool(params["one_handed"]),
+                    forced_left_count=params["forced_left_count"],
+                    include_accel=self.include_accel,
+                    aging=aging,
+                )
+            )
+        return cached[:count]
+
     def emulating_trials(
         self,
         attacker_id: int,
@@ -133,6 +197,7 @@ class StudyData:
         pin: Optional[str],
         count: int,
         condition: str = "one_handed",
+        age_days: float = 0.0,
     ) -> List[PinEntryTrial]:
         """Emulating-attack trials: attacker types ``pin`` mimicking the
         victim's rhythm (Section IV-D).
@@ -140,17 +205,22 @@ class StudyData:
         ``pin=None`` models an emulating attack on a NO-PIN victim:
         there is no fixed PIN to copy, so the attacker imitates the
         rhythm while typing fresh random digits each attempt.
+        ``age_days`` ages the *attacker's* physiology along their own
+        drift trajectory (an attack at age ``t`` happens at age ``t``
+        for everyone); 0 preserves the historical trial streams exactly.
         """
         params = _condition_params(condition)
         attacker = self.users[attacker_id]
         victim = self.users[victim_id]
+        aging = drift_magnitude(attacker_id, age_days, self.seed)
         out = []
         for index in range(count):
-            rng = np.random.default_rng(
-                _stable_seed(
-                    self.seed, "EA", attacker_id, victim_id, pin, condition, index
-                )
+            parts: Tuple[object, ...] = (
+                self.seed, "EA", attacker_id, victim_id, pin, condition, index
             )
+            if age_days != 0:
+                parts += ("age", age_days)
+            rng = np.random.default_rng(_stable_seed(*parts))
             entry_pin = pin
             if entry_pin is None:
                 entry_pin = "".join(str(d) for d in rng.integers(0, 10, size=4))
@@ -163,6 +233,7 @@ class StudyData:
                     forced_left_count=params["forced_left_count"],
                     rhythm_from=victim,
                     include_accel=self.include_accel,
+                    aging=aging,
                 )
             )
         return out
@@ -173,6 +244,7 @@ class StudyData:
         count: int,
         pin_length: int = 4,
         pin_pool: Optional[Tuple[str, ...]] = None,
+        age_days: float = 0.0,
     ) -> List[PinEntryTrial]:
         """Random-attack trials: attacker types fresh random PINs.
 
@@ -184,13 +256,19 @@ class StudyData:
                 pool instead of uniformly over all digit strings —
                 modelling an attacker who knows the victim uses one of
                 the study PINs, as in the paper's random-attack setup.
+            age_days: age the attacker's physiology along their drift
+                trajectory; 0 preserves the historical streams exactly.
         """
         attacker = self.users[attacker_id]
+        aging = drift_magnitude(attacker_id, age_days, self.seed)
         out = []
         for index in range(count):
-            rng = np.random.default_rng(
-                _stable_seed(self.seed, "RA", attacker_id, index, pin_pool)
+            parts: Tuple[object, ...] = (
+                self.seed, "RA", attacker_id, index, pin_pool
             )
+            if age_days != 0:
+                parts += ("age", age_days)
+            rng = np.random.default_rng(_stable_seed(*parts))
             if pin_pool:
                 guess = pin_pool[int(rng.integers(0, len(pin_pool)))]
             else:
@@ -204,6 +282,7 @@ class StudyData:
                     rng,
                     one_handed=True,
                     include_accel=self.include_accel,
+                    aging=aging,
                 )
             )
         return out

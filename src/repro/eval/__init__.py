@@ -25,25 +25,36 @@ from .metrics import accuracy, equal_error_rate, true_rejection_rate
 from .protocol import ConditionResult, UserEvaluation, evaluate_condition, evaluate_user
 from .reporting import format_table
 from .robustness import (
+    MITIGATION_POLICIES,
     ProbeCounts,
     RobustnessCell,
+    ScenarioCell,
     build_report,
+    build_scenario_report,
     evaluate_recovery,
     evaluate_robustness_cell,
+    evaluate_scenario_cell,
     render_markdown,
+    render_scenario_markdown,
+    run_mitigation_sweep,
     run_robustness_sweep,
+    run_scenario_sweep,
+    template_age,
 )
 
 __all__ = [
     "CacheStats",
     "ConditionResult",
     "FeatureCache",
+    "MITIGATION_POLICIES",
     "ProbeCounts",
     "RobustnessCell",
+    "ScenarioCell",
     "TemplateJob",
     "UserEvaluation",
     "accuracy",
     "build_report",
+    "build_scenario_report",
     "build_template",
     "enroll_templates",
     "materialize_population",
@@ -54,10 +65,15 @@ __all__ = [
     "evaluate_condition",
     "evaluate_recovery",
     "evaluate_robustness_cell",
+    "evaluate_scenario_cell",
     "evaluate_user",
     "format_table",
     "render_markdown",
+    "render_scenario_markdown",
+    "run_mitigation_sweep",
     "run_robustness_sweep",
+    "run_scenario_sweep",
     "sharing_enabled",
+    "template_age",
     "true_rejection_rate",
 ]

@@ -28,21 +28,25 @@ from .injectors import (
     TimestampDuplication,
     make_fault,
 )
+from .scenarios import SCENARIO_TYPES, MotionStateScenario, make_scenario
 
 __all__ = [
     "FAULT_SEED_ENV",
     "FAULT_TYPES",
+    "SCENARIO_TYPES",
     "ChannelDropout",
     "ClockDrift",
     "FaultChain",
     "FaultInjector",
     "GainDrift",
     "MotionArtifactBurst",
+    "MotionStateScenario",
     "SampleDropout",
     "SensorDisconnect",
     "TimestampDuplication",
     "fault_rng",
     "make_fault",
+    "make_scenario",
     "resolve_fault_seed",
     "stable_fault_seed",
 ]

@@ -1,0 +1,169 @@
+"""Daily-wear scenario transforms: sustained whole-trial conditions.
+
+The fault taxonomy in :mod:`repro.faults.injectors` models *transient*
+failures — a burst of lost frames, one dead channel. Daily wear is a
+different regime: "Exploring Reliable PPG Authentication on
+Smartwatches in Daily Scenarios" shows sustained motion states (walking
+while typing, commuting) and perfusion/contact changes degrade
+wrist-PPG auth for the *whole* entry, not a window of it.
+
+A scenario transform composes the existing injectors into one
+sustained, named condition with the same contract every injector has:
+a frozen dataclass, one ``intensity`` knob in ``[0, 1]``, a bit-exact
+no-op at intensity 0 (the input trial object is returned), and all
+randomness from the caller's seeded generator — so scenario sweeps are
+deterministic and parallel rows equal serial rows.
+
+Registered scenarios:
+
+- ``resting`` — seated desk wear: slight contact-pressure gain wander,
+  a rare posture shift. The near-clean control.
+- ``typing_while_walking`` — step-cadence (~1.8 Hz) motion bursts
+  sustained across the entry plus strap-movement gain drift.
+- ``commute`` — vehicle vibration (wide, frequent bumps), pocket-BLE
+  sample loss, and strong contact-pressure drift.
+- ``cross_device`` — the enrollment is probed with another device's
+  capture path (:class:`repro.sensing.transfer.CrossDeviceTransform`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import PinEntryTrial
+from .base import FaultChain, FaultInjector
+from .injectors import GainDrift, MotionArtifactBurst, SampleDropout
+
+
+@dataclass(frozen=True)
+class MotionStateScenario(FaultInjector):
+    """A sustained daily-wear motion state.
+
+    Composes :class:`MotionArtifactBurst` at a fixed burst *cadence*
+    (bursts per second of recording, so longer entries get
+    proportionally more bursts), :class:`GainDrift` for contact
+    pressure, and optionally :class:`SampleDropout` for radio loss —
+    all scaled by this scenario's single ``intensity`` knob.
+
+    Attributes:
+        bursts_per_second: sustained motion-burst cadence.
+        burst_width_s: (min, max) burst width, seconds.
+        burst_amplitude: burst amplitude at intensity 1, as a multiple
+            of the per-channel peak-to-peak range.
+        gain_fraction: fraction of ``intensity`` forwarded to the
+            contact-pressure :class:`GainDrift`.
+        dropout_fraction: fraction of samples lost at intensity 1
+            (0 disables the radio-loss stage).
+    """
+
+    bursts_per_second: float = 1.0
+    burst_width_s: Tuple[float, float] = (0.3, 0.8)
+    burst_amplitude: float = 1.0
+    gain_fraction: float = 0.4
+    dropout_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bursts_per_second < 0:
+            raise ConfigurationError("bursts_per_second must be >= 0")
+        if not 0.0 <= self.gain_fraction <= 1.0:
+            raise ConfigurationError("gain_fraction must be in [0, 1]")
+        if not 0.0 <= self.dropout_fraction <= 1.0:
+            raise ConfigurationError("dropout_fraction must be in [0, 1]")
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        stages: list[FaultInjector] = []
+        if self.bursts_per_second > 0:
+            n_bursts = max(
+                1,
+                int(round(self.bursts_per_second * trial.recording.duration)),
+            )
+            stages.append(
+                MotionArtifactBurst(
+                    intensity=self.intensity,
+                    n_bursts=n_bursts,
+                    width_s=self.burst_width_s,
+                    max_relative_amplitude=self.burst_amplitude,
+                )
+            )
+        if self.gain_fraction > 0:
+            stages.append(
+                GainDrift(intensity=self.intensity * self.gain_fraction)
+            )
+        if self.dropout_fraction > 0:
+            stages.append(
+                SampleDropout(
+                    intensity=self.intensity,
+                    max_drop_fraction=self.dropout_fraction,
+                )
+            )
+        return FaultChain(tuple(stages)).apply(trial, rng)
+
+
+def _resting(intensity: float) -> FaultInjector:
+    return MotionStateScenario(
+        intensity=intensity,
+        bursts_per_second=0.08,
+        burst_width_s=(0.5, 1.2),
+        burst_amplitude=0.35,
+        gain_fraction=0.3,
+    )
+
+
+def _typing_while_walking(intensity: float) -> FaultInjector:
+    return MotionStateScenario(
+        intensity=intensity,
+        bursts_per_second=1.8,
+        burst_width_s=(0.18, 0.38),
+        burst_amplitude=0.9,
+        gain_fraction=0.4,
+    )
+
+
+def _commute(intensity: float) -> FaultInjector:
+    return MotionStateScenario(
+        intensity=intensity,
+        bursts_per_second=0.8,
+        burst_width_s=(0.4, 1.1),
+        burst_amplitude=1.3,
+        gain_fraction=0.6,
+        dropout_fraction=0.08,
+    )
+
+
+def _cross_device(intensity: float) -> FaultInjector:
+    # Imported lazily: repro.sensing.transfer subclasses FaultInjector
+    # from this package, so a module-level import would be circular.
+    from ..sensing.transfer import CrossDeviceTransform
+
+    return CrossDeviceTransform(intensity=intensity)
+
+
+#: Registry of daily-wear scenarios, keyed by sweep/CLI name. Every
+#: factory takes the intensity as its only argument.
+SCENARIO_TYPES: Dict[str, Callable[[float], FaultInjector]] = {  # concurrency: immutable-after-init
+    "resting": _resting,
+    "typing_while_walking": _typing_while_walking,
+    "commute": _commute,
+    "cross_device": _cross_device,
+}
+
+
+def make_scenario(name: str, intensity: float) -> FaultInjector:
+    """Build a registered scenario transform by name.
+
+    Raises:
+        ConfigurationError: on an unknown scenario name.
+    """
+    factory = SCENARIO_TYPES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIO_TYPES)}"
+        )
+    return factory(intensity)

@@ -14,6 +14,7 @@ Public entry points:
 """
 
 from .accelerometer import synthesize_accelerometer
+from .aging import BASE_AGING_RATE_PER_DAY, aging_rate, drift_magnitude
 from .artifacts import ArtifactParams, ArtifactResponseField, artifact_waveform
 from .cardiac import CardiacParams, sample_cardiac_params, synthesize_cardiac
 from .keypad import PinPad, key_position
@@ -22,6 +23,9 @@ from .ppg import TrialSynthesizer
 from .user import UserProfile, sample_user, sample_population
 
 __all__ = [
+    "BASE_AGING_RATE_PER_DAY",
+    "aging_rate",
+    "drift_magnitude",
     "ArtifactParams",
     "ArtifactResponseField",
     "artifact_waveform",

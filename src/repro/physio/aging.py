@@ -1,0 +1,81 @@
+"""Template aging: slow per-user physiological drift across weeks.
+
+The paper's 8-week study found keystroke-PPG patterns stable enough for
+enrollment-once authentication, but related work ("Know Me by My
+Pulse") shows wrist-PPG templates age over longer horizons: tissue,
+wearing habits, and musculature shift, and a template enrolled at day 0
+slowly stops matching the person it describes.
+
+The aging model here is a deterministic *trajectory*, not noise:
+
+- each user drifts along a fixed per-(user, key, component) direction
+  (:func:`repro.physio.artifacts.drift_params`), so repeated trials at
+  the same age drift consistently instead of just getting noisier;
+- the drift *magnitude* at age ``t`` is a deterministic function of
+  ``(user_id, age_days, seed)`` — a per-user rate (some people's
+  physiology wanders faster) times the age — so probes at age ``t``
+  are bit-identical across runs and processes;
+- age 0 is exactly the enrollment-day distribution (magnitude 0 is a
+  no-op in :func:`~repro.physio.artifacts.drift_params`).
+
+Evaluation code asks :class:`repro.data.StudyData` for
+``aged_trials(user, pin, condition, count, age_days=t)``; enrollment
+stays at age 0 (or at the age a mitigation policy last refreshed the
+template — see :mod:`repro.eval.robustness`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Baseline drift magnitude accumulated per simulated day. The
+#: dimensionless magnitude feeds
+#: :func:`repro.physio.artifacts.drift_params`, which applies it as a
+#: clipped multiplicative change to the artifact parameters — scores
+#: degrade slowly below ~1 and visibly beyond it. 0.5 per month keeps
+#: the paper's 8-week window mostly stable (magnitude < ~1.5) while a
+#: frozen template measurably fails at quarter-scale horizons.
+BASE_AGING_RATE_PER_DAY: float = 0.5 / 30.0
+
+#: Spread of the per-user rate multiplier around the base rate.
+_RATE_FACTOR_RANGE = (0.6, 1.6)
+
+
+def _stable_seed(*parts: object) -> int:
+    """Derive a stable 64-bit seed from heterogeneous key parts."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def aging_rate(user_id: int, seed: int) -> float:
+    """Per-user daily drift rate (dimensionless aging per day).
+
+    Deterministic in ``(user_id, seed)``: the same simulated person ages
+    at the same rate in every process and every sweep cell.
+    """
+    rng = np.random.default_rng(_stable_seed(seed, user_id, "aging-rate"))
+    low, high = _RATE_FACTOR_RANGE
+    return BASE_AGING_RATE_PER_DAY * float(rng.uniform(low, high))
+
+
+def drift_magnitude(user_id: int, age_days: float, seed: int) -> float:
+    """Aging magnitude of user ``user_id`` at ``age_days`` after enrollment.
+
+    The trajectory is linear in age with a deterministic per-user rate,
+    keyed to ``(user_id, age_days, seed)`` and nothing else. Age 0
+    returns exactly 0.0, which :func:`repro.physio.artifacts.drift_params`
+    treats as a bit-exact no-op.
+
+    Raises:
+        ConfigurationError: on a negative age.
+    """
+    if age_days < 0:
+        raise ConfigurationError(f"age_days must be >= 0, got {age_days}")
+    if age_days == 0:
+        return 0.0
+    return aging_rate(user_id, seed) * float(age_days)

@@ -11,9 +11,13 @@ from .adc import quantize
 from .channels import ChannelMixer, SourceSignals
 from .device import WearablePrototype
 from .timing import report_keystroke_times
+from .transfer import DEVICE_PROFILES, CrossDeviceTransform, DeviceProfile
 
 __all__ = [
     "ChannelMixer",
+    "CrossDeviceTransform",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
     "SourceSignals",
     "WearablePrototype",
     "quantize",

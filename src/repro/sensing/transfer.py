@@ -1,0 +1,179 @@
+"""Cross-device transfer: probe a device-A enrollment with device-B data.
+
+"PPG as a Bridge" names the transfer problem: a template enrolled on
+one device is probed with recordings from another — different optics
+placement (channel cross-talk), a different native sampling rate, and
+different analog front-end gains and offsets. This module models that
+as a trial transform so the scenario sweep can measure how much a
+device swap costs without re-enrollment.
+
+The transform follows the faults contract (:class:`FaultInjector`):
+one ``intensity`` knob interpolating identity → the full device
+difference, a bit-exact no-op at 0, and all randomness (per-unit gain
+tolerance) from the caller's seeded generator.
+
+Pipeline contracts are preserved by construction: the probe the
+authenticator sees keeps device A's channel count, channel metadata,
+sampling rate, and sample count — device B's capture path is emulated
+by remixing the channels, round-tripping through the device's native
+rate (anti-aliased decimation down, the companion app's linear
+interpolation back up), and applying per-channel gain/offset. What the
+transform changes is the *information content*, not the container.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..faults.base import FaultInjector
+from ..signal.resample import decimate_signal
+from ..types import PinEntryTrial
+
+#: One 4x4 remix row layout: output channel i = sum_j mix[i][j] * input j.
+_MixMatrix = Tuple[Tuple[float, float, float, float], ...]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """How a replacement device differs from the enrollment prototype.
+
+    Attributes:
+        name: registry key.
+        channel_mix: ``(n, n)`` remix matrix mapping prototype channels
+            to the device's optical view (diagonal-dominant cross-talk
+            from different LED/photodiode placement).
+        fs: the device's native PPG sampling rate, Hz.
+        gains: per-channel analog gain relative to the prototype.
+        offsets: per-channel DC offset added after gain.
+        gain_tolerance: relative per-unit gain spread (manufacturing
+            tolerance), drawn from the caller's generator.
+    """
+
+    name: str
+    channel_mix: _MixMatrix
+    fs: float
+    gains: Tuple[float, ...]
+    offsets: Tuple[float, ...]
+    gain_tolerance: float = 0.02
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.channel_mix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"channel_mix must be square, got shape {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        if len(self.gains) != n or len(self.offsets) != n:
+            raise ConfigurationError(
+                f"gains/offsets must have {n} entries to match channel_mix"
+            )
+        if self.fs <= 0:
+            raise ConfigurationError("device sampling rate must be positive")
+        if self.gain_tolerance < 0:
+            raise ConfigurationError("gain_tolerance must be non-negative")
+
+
+#: Registered replacement devices. ``watch_b`` is a plausible consumer
+#: watch: slightly rotated optics (cross-talk), 64 Hz native rate,
+#: hotter red-channel gain. ``band_c`` is a budget fitness band: heavy
+#: cross-talk, 25 Hz, weak gains.
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {  # concurrency: immutable-after-init
+    "watch_b": DeviceProfile(
+        name="watch_b",
+        channel_mix=(
+            (0.88, 0.06, 0.06, 0.00),
+            (0.08, 0.84, 0.00, 0.08),
+            (0.06, 0.00, 0.88, 0.06),
+            (0.00, 0.08, 0.08, 0.84),
+        ),
+        fs=64.0,
+        gains=(0.95, 1.20, 0.90, 1.15),
+        offsets=(0.02, -0.01, 0.015, -0.02),
+    ),
+    "band_c": DeviceProfile(
+        name="band_c",
+        channel_mix=(
+            (0.70, 0.15, 0.15, 0.00),
+            (0.18, 0.64, 0.00, 0.18),
+            (0.15, 0.00, 0.70, 0.15),
+            (0.00, 0.18, 0.18, 0.64),
+        ),
+        fs=25.0,
+        gains=(0.75, 0.70, 0.80, 0.72),
+        offsets=(0.05, 0.05, -0.04, -0.04),
+        gain_tolerance=0.05,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CrossDeviceTransform(FaultInjector):
+    """Replay a trial as if captured by a different device.
+
+    ``intensity`` interpolates between the enrollment device (0, a
+    bit-exact no-op) and the full replacement-device difference (1):
+    the remix matrix, the native-rate round trip, and the gain/offset
+    front end all scale with it.
+
+    Attributes:
+        device: key into :data:`DEVICE_PROFILES`.
+    """
+
+    device: str = "watch_b"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.device not in DEVICE_PROFILES:
+            raise ConfigurationError(
+                f"unknown device {self.device!r}; "
+                f"known: {sorted(DEVICE_PROFILES)}"
+            )
+
+    def _apply(
+        self, trial: PinEntryTrial, rng: np.random.Generator
+    ) -> PinEntryTrial:
+        profile = DEVICE_PROFILES[self.device]
+        recording = trial.recording
+        n = recording.n_channels
+        matrix = np.asarray(profile.channel_mix, dtype=np.float64)
+        if matrix.shape[0] != n:
+            raise ConfigurationError(
+                f"device {profile.name!r} mixes {matrix.shape[0]} channels "
+                f"but the trial has {n}"
+            )
+        weight = self.intensity
+
+        # Optics: cross-talk between the prototype's channel views.
+        effective = (1.0 - weight) * np.eye(n) + weight * matrix
+        samples = effective @ recording.samples
+
+        # Capture rate: decimate (anti-aliased) to the device's
+        # effective native rate, then interpolate back to the pipeline
+        # rate the way a companion app would.
+        fs_device = recording.fs + weight * (profile.fs - recording.fs)
+        if fs_device < recording.fs:
+            low = decimate_signal(samples, recording.fs, fs_device)
+            t_full = np.arange(recording.n_samples) / recording.fs
+            t_low = np.arange(low.shape[1]) / fs_device
+            samples = np.vstack(
+                [np.interp(t_full, t_low, row) for row in low]
+            )
+
+        # Analog front end: per-channel gain (with per-unit tolerance)
+        # and DC offset.
+        gains = 1.0 + weight * (np.asarray(profile.gains) - 1.0)
+        gains = gains * (
+            1.0
+            + weight * profile.gain_tolerance * rng.standard_normal(n)
+        )
+        offsets = weight * np.asarray(profile.offsets)
+        samples = gains[:, np.newaxis] * samples + offsets[:, np.newaxis]
+
+        return dataclasses.replace(
+            trial, recording=recording.with_samples(samples)
+        )

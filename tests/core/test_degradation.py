@@ -248,6 +248,60 @@ class TestSessionRetryLadder:
         assert worn_session.consecutive_failures == 0
         assert any(e.kind == "unlock" for e in worn_session.log)
 
+    def test_backwards_clock_cannot_reopen_backoff(
+        self, worn_session, study_data
+    ):
+        """A stale ``now`` (clock adjustment, suspend skew) is clamped
+        up to the last observed time: it can neither bypass an active
+        backoff window nor rewind the ladder's timeline."""
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        # Failure at t=50: backoff until t=52.
+        worn_session.submit_entry(imposter, now=50.0)
+        assert worn_session.retry_not_before == pytest.approx(52.0)
+        # A probe stamped "earlier" is still inside the window.
+        with pytest.raises(AuthenticationError):
+            worn_session.submit_entry(imposter, now=0.0)
+
+    def test_non_finite_now_rejected(self, worn_session, study_data):
+        """NaN compares False against every bound, so an unchecked NaN
+        ``now`` would walk straight through the backoff guard and then
+        poison ``retry_not_before`` for the rest of the session."""
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        worn_session.submit_entry(imposter, now=0.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                worn_session.submit_entry(imposter, now=bad)
+        # The rejected stamps left no trace on the ladder's clock.
+        assert worn_session.retry_not_before == pytest.approx(2.0)
+        assert worn_session.consecutive_failures == 1
+
+    def test_multiday_session_clock_stays_bounded(
+        self, worn_session, study_data
+    ):
+        """Over a long session with jittery wall-clock input the logical
+        clock is monotone and the backoff horizon never runs further
+        than ``max_backoff_s`` ahead of the submitted time."""
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        policy = worn_session._retry
+        day = 86_400.0
+        last_seen = 0.0
+        for step, jitter in enumerate((0.0, -30.0, 12.0, -86_400.0)):
+            now = (step + 1) * day + jitter
+            try:
+                worn_session.submit_entry(imposter, now=now)
+            except AuthenticationError:
+                pass
+            if worn_session.locked:
+                worn_session.unlock()
+                worn_session._state = SessionState.WORN
+            effective = max(now, last_seen)
+            last_seen = max(last_seen, effective)
+            assert worn_session._clock >= effective
+            assert (
+                worn_session.retry_not_before - effective
+                <= policy.max_backoff_s
+            )
+
     def test_no_retry_policy_never_locks(self, enrolled_auth, study_data):
         session = SessionManager(enrolled_auth)
         session._state = SessionState.WORN

@@ -87,6 +87,68 @@ class TestAttackGeneration:
         assert {t.pin for t in trials} <= set(pool)
 
 
+class TestAgedTrials:
+    def test_age_zero_is_the_clean_data(self, data):
+        clean = data.trials(0, PIN, "one_handed", 3)
+        aged = data.aged_trials(0, PIN, "one_handed", 3, age_days=0.0)
+        assert all(a is c for a, c in zip(aged, clean))
+
+    def test_same_key_is_bit_identical(self, data):
+        """Same (seed, user_id, age_days) — even from a fresh StudyData,
+        as a pool worker would build — gives bit-identical trials."""
+        a = data.aged_trials(0, PIN, "one_handed", 3, age_days=45.0)
+        fresh = StudyData(n_users=data.n_users, seed=data.seed)
+        b = fresh.aged_trials(0, PIN, "one_handed", 3, age_days=45.0)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.recording.samples, y.recording.samples)
+            assert x.events == y.events
+
+    def test_aging_changes_the_signal(self, data):
+        clean = data.trials(0, PIN, "one_handed", 2)
+        aged = data.aged_trials(0, PIN, "one_handed", 2, age_days=90.0)
+        assert not np.array_equal(
+            clean[0].recording.samples, aged[0].recording.samples
+        )
+
+    def test_larger_count_extends_prefix(self, data):
+        short = data.aged_trials(0, PIN, "one_handed", 2, age_days=30.0)
+        longer = data.aged_trials(0, PIN, "one_handed", 4, age_days=30.0)
+        assert all(lng is sht for lng, sht in zip(longer[:2], short))
+
+    def test_different_ages_differ(self, data):
+        a = data.aged_trials(0, PIN, "one_handed", 1, age_days=30.0)
+        b = data.aged_trials(0, PIN, "one_handed", 1, age_days=60.0)
+        assert not np.array_equal(
+            a[0].recording.samples, b[0].recording.samples
+        )
+
+    def test_negative_age_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            data.aged_trials(0, PIN, "one_handed", 2, age_days=-1.0)
+
+    def test_attack_generators_age_zero_preserves_streams(self, data):
+        """The historical attack trial streams are bit-identical with
+        the default age, so every pre-aging experiment reproduces."""
+        for fresh, historical in (
+            (data.emulating_trials(3, 0, PIN, 2, age_days=0.0),
+             data.emulating_trials(3, 0, PIN, 2)),
+            (data.random_attack_trials(3, 2, age_days=0.0),
+             data.random_attack_trials(3, 2)),
+        ):
+            for a, b in zip(fresh, historical):
+                assert np.array_equal(
+                    a.recording.samples, b.recording.samples
+                )
+                assert a.events == b.events and a.pin == b.pin
+
+    def test_attack_generators_drift_with_age(self, data):
+        ea = data.emulating_trials(3, 0, PIN, 1)
+        ea_aged = data.emulating_trials(3, 0, PIN, 1, age_days=90.0)
+        assert not np.array_equal(
+            ea[0].recording.samples, ea_aged[0].recording.samples
+        )
+
+
 class TestGenerateStudy:
     def test_warm_cache(self):
         data = generate_study(n_users=3, repetitions=2, pins=("1628",))

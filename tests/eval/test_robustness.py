@@ -6,13 +6,23 @@ import pytest
 
 from repro.data import StudyData
 from repro.eval.robustness import (
+    MITIGATION_POLICIES,
+    REENROLL_PERIOD_DAYS,
+    SLIDING_LAG_DAYS,
     ProbeCounts,
     RobustnessCell,
+    ScenarioCell,
     build_report,
+    build_scenario_report,
     evaluate_recovery,
     evaluate_robustness_cell,
+    evaluate_scenario_cell,
     render_markdown,
+    render_scenario_markdown,
+    run_mitigation_sweep,
     run_robustness_sweep,
+    run_scenario_sweep,
+    template_age,
 )
 from repro.errors import ConfigurationError
 from repro.faults import FAULT_SEED_ENV
@@ -110,6 +120,17 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             evaluate_robustness_cell(data, "bitrot", 0.5, 0, **SMALL)
 
+    def test_shared_baseline_equals_direct_cells(self, data, cells):
+        """The sweep computes the clean intensity-0 evaluation once per
+        victim and replicates it across faults; the rows must be
+        exactly what per-fault direct evaluation produces."""
+        for cell in cells:
+            direct = evaluate_robustness_cell(
+                data, cell.fault, cell.intensity, cell.victim_id,
+                seed=0, **SMALL,
+            )
+            assert cell == direct
+
 
 class TestRecovery:
     def test_full_ladder_recovers_dead_channel(self, data):
@@ -168,6 +189,209 @@ class TestReport:
         assert "| channel_dropout | 0.00 |" in text
         assert "Degradation-ladder recovery" in text
         assert "| full | 3 | 0 | 0 | 0 |" in text
+
+
+@pytest.fixture(scope="module")
+def scenario_cells(data):
+    return run_scenario_sweep(
+        data,
+        scenarios=("resting", "cross_device"),
+        intensities=(0.0, 1.0),
+        victim_ids=(0,),
+        age_grid=(0.0, 120.0),
+        seed=0,
+        **SMALL,
+    )
+
+
+class TestScenarioSweep:
+    def test_grid_shape_and_order(self, scenario_cells):
+        assert len(scenario_cells) == 8
+        coords = [
+            (c.scenario, c.age_days, c.intensity) for c in scenario_cells
+        ]
+        assert ("resting", 0.0, 0.0) in coords
+        assert ("cross_device", 120.0, 1.0) in coords
+        assert len(set(coords)) == 8
+
+    def test_zero_intensity_identical_across_scenarios(self, scenario_cells):
+        for age in (0.0, 120.0):
+            zero = [
+                c for c in scenario_cells
+                if c.intensity == 0.0 and c.age_days == age
+            ]
+            assert len(zero) == 2
+            assert (zero[0].legit, zero[0].attack) == (
+                zero[1].legit, zero[1].attack
+            )
+
+    def test_serial_equals_parallel(self, data, scenario_cells):
+        parallel = run_scenario_sweep(
+            data,
+            scenarios=("resting", "cross_device"),
+            intensities=(0.0, 1.0),
+            victim_ids=(0,),
+            age_grid=(0.0, 120.0),
+            n_jobs=2,
+            seed=0,
+            **SMALL,
+        )
+        assert parallel == scenario_cells
+
+    def test_shared_baseline_equals_direct_cells(self, data, scenario_cells):
+        for cell in scenario_cells:
+            direct = evaluate_scenario_cell(
+                data, cell.scenario, cell.intensity, cell.victim_id,
+                age_days=cell.age_days, seed=0, **SMALL,
+            )
+            assert cell == direct
+
+    def test_age_zero_matches_fault_sweep_baseline(self, data, cells):
+        """At age 0 / intensity 0 / frozen policy a scenario cell is the
+        same clean evaluation the fault sweep performs."""
+        scenario = evaluate_scenario_cell(
+            data, "resting", 0.0, 0, age_days=0.0, seed=0, **SMALL
+        )
+        fault_zero = next(c for c in cells if c.intensity == 0.0)
+        assert (scenario.legit, scenario.attack) == (
+            fault_zero.legit, fault_zero.attack
+        )
+
+    def test_unknown_scenario_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            evaluate_scenario_cell(data, "skydiving", 0.5, 0, **SMALL)
+
+
+class TestTemplateAge:
+    def test_frozen_never_updates(self):
+        assert template_age("frozen", 365.0) == 0.0
+
+    def test_periodic_reenroll_steps(self):
+        period = REENROLL_PERIOD_DAYS
+        assert template_age("periodic_reenroll", 0.0) == 0.0
+        assert template_age("periodic_reenroll", period - 1.0) == 0.0
+        assert template_age("periodic_reenroll", period) == period
+        assert template_age("periodic_reenroll", 2.5 * period) == 2 * period
+
+    def test_sliding_update_lags(self):
+        lag = SLIDING_LAG_DAYS
+        assert template_age("sliding_update", 3.0) == 0.0
+        assert template_age("sliding_update", 100.0) == 100.0 - lag
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            template_age("wishful_thinking", 10.0)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ConfigurationError):
+            template_age("frozen", -1.0)
+
+
+class TestMitigationSweep:
+    def test_policies_times_ages(self, data):
+        cells = run_mitigation_sweep(
+            data,
+            age_grid=(0.0, 60.0),
+            victim_ids=(0,),
+            seed=0,
+            **SMALL,
+        )
+        assert len(cells) == len(MITIGATION_POLICIES) * 2
+        assert {c.policy for c in cells} == set(MITIGATION_POLICIES)
+        # Clean probes: the default scenario runs at intensity 0.
+        assert all(c.intensity == 0.0 for c in cells)
+
+    def test_policies_agree_at_age_zero(self, data):
+        cells = run_mitigation_sweep(
+            data, age_grid=(0.0,), victim_ids=(0,), seed=0, **SMALL
+        )
+        outcomes = {(c.legit, c.attack) for c in cells}
+        assert len(outcomes) == 1  # template age 0 under every policy
+
+
+class TestScenarioReport:
+    def test_structure_and_serialisable(self, scenario_cells, data):
+        mitigation = run_mitigation_sweep(
+            data, age_grid=(0.0, 120.0), victim_ids=(0,), seed=0, **SMALL
+        )
+        report = build_scenario_report(
+            scenario_cells, mitigation, seed=0, label="test"
+        )
+        json.dumps(report)  # must be JSON-clean
+        assert report["meta"]["scenarios"] == ["cross_device", "resting"]
+        assert len(report["scenario_grid"]) == 8
+        assert set(report["mitigation"]["curves"]) == set(MITIGATION_POLICIES)
+        inv = report["invariants"]
+        assert set(inv["baseline_far"]) == {"cross_device", "resting"}
+        assert inv["scenario_far_within_baseline"] in (True, False)
+        assert inv["max_age_days"] == 120.0
+        assert inv["update_policy_beats_frozen_at_max_age"] in (
+            True, False, None,
+        )
+
+    def test_far_baseline_pools_ages(self):
+        """The security invariant compares scenario-level FAR pooled
+        over ages, so a one-probe flip at one age does not fail a
+        scenario whose overall FAR went down."""
+        def cell(age, intensity, accepted):
+            return ScenarioCell(
+                scenario="resting", intensity=intensity, victim_id=0,
+                age_days=age, policy="frozen",
+                legit=ProbeCounts(accepted=4),
+                attack=ProbeCounts(accepted=accepted, rejected=10 - accepted),
+            )
+
+        cells = [
+            cell(0.0, 0.0, 3), cell(120.0, 0.0, 1),   # baseline: 4/20
+            cell(0.0, 1.0, 1), cell(120.0, 1.0, 2),   # faulted: 3/20
+        ]
+        report = build_scenario_report(cells, seed=0)
+        assert report["invariants"]["scenario_far_within_baseline"] is True
+
+        worse = [
+            cell(0.0, 0.0, 1), cell(120.0, 0.0, 1),   # baseline: 2/20
+            cell(0.0, 1.0, 2), cell(120.0, 1.0, 2),   # faulted: 4/20
+        ]
+        report = build_scenario_report(worse, seed=0)
+        assert report["invariants"]["scenario_far_within_baseline"] is False
+
+    def test_mitigation_invariant_requires_strict_improvement(self):
+        def mit(policy, frr_failures):
+            return ScenarioCell(
+                scenario="resting", intensity=0.0, victim_id=0,
+                age_days=60.0, policy=policy,
+                legit=ProbeCounts(
+                    accepted=10 - frr_failures, rejected=frr_failures
+                ),
+                attack=ProbeCounts(rejected=5),
+            )
+
+        improving = [mit("frozen", 5), mit("sliding_update", 1)]
+        report = build_scenario_report([], improving, seed=0)
+        assert (
+            report["invariants"]["update_policy_beats_frozen_at_max_age"]
+            is True
+        )
+
+        tied = [mit("frozen", 5), mit("sliding_update", 5)]
+        report = build_scenario_report([], tied, seed=0)
+        assert (
+            report["invariants"]["update_policy_beats_frozen_at_max_age"]
+            is False
+        )
+
+    def test_markdown_renders_grid_and_curves(self, scenario_cells, data):
+        mitigation = run_mitigation_sweep(
+            data, age_grid=(0.0, 120.0), victim_ids=(0,), seed=0, **SMALL
+        )
+        text = render_scenario_markdown(
+            build_scenario_report(scenario_cells, mitigation, seed=0)
+        )
+        assert "| resting | 0 | 0.00 |" in text
+        assert "Template maintenance vs aging" in text
+        assert "| sliding_update |" in text
+        assert "Security invariant" in text
+        assert "Mitigation invariant" in text
 
 
 class TestProbeCounts:

@@ -1,0 +1,119 @@
+"""Unit tests for the daily-wear scenario transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    SCENARIO_TYPES,
+    MotionStateScenario,
+    fault_rng,
+    make_scenario,
+)
+
+
+def _trials_equal(a, b):
+    """Bit-exact trial comparison (NaN-aware on the samples)."""
+    return (
+        np.array_equal(a.recording.samples, b.recording.samples, equal_nan=True)
+        and a.recording.fs == b.recording.fs
+        and a.events == b.events
+        and a.pin == b.pin
+    )
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        assert set(SCENARIO_TYPES) == {
+            "resting",
+            "typing_while_walking",
+            "commute",
+            "cross_device",
+        }
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario("skydiving", 0.5)
+
+
+class TestNoOpAtZero:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_TYPES))
+    def test_intensity_zero_returns_same_object(self, name, one_trial):
+        scenario = make_scenario(name, 0.0)
+        assert scenario.apply(one_trial, fault_rng(0, name)) is one_trial
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_TYPES))
+    def test_same_seed_same_output(self, name, one_trial):
+        a = make_scenario(name, 0.7).apply(one_trial, fault_rng(3, name))
+        b = make_scenario(name, 0.7).apply(one_trial, fault_rng(3, name))
+        assert _trials_equal(a, b)
+
+    def test_different_seed_differs(self, one_trial):
+        scenario = make_scenario("typing_while_walking", 0.8)
+        a = scenario.apply(one_trial, fault_rng(1, "tw"))
+        b = scenario.apply(one_trial, fault_rng(2, "tw"))
+        assert not _trials_equal(a, b)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_TYPES))
+    def test_full_intensity_changes_samples_not_container(
+        self, name, one_trial
+    ):
+        out = make_scenario(name, 1.0).apply(one_trial, fault_rng(0, name))
+        assert out is not one_trial
+        assert out.recording.fs == one_trial.recording.fs
+        assert out.recording.samples.shape == one_trial.recording.samples.shape
+        assert not np.array_equal(
+            out.recording.samples, one_trial.recording.samples, equal_nan=True
+        )
+
+    def test_burst_cadence_scales_with_duration(self, one_trial):
+        """A sustained motion state pollutes more of a longer entry: the
+        walking scenario at full intensity perturbs most of the trial,
+        unlike a fixed two-burst transient."""
+        scenario = make_scenario("typing_while_walking", 1.0)
+        out = scenario.apply(one_trial, fault_rng(5, "cadence"))
+        changed = np.any(
+            out.recording.samples != one_trial.recording.samples, axis=0
+        )
+        assert changed.mean() > 0.5
+
+    def test_commute_drops_samples(self, one_trial):
+        out = make_scenario("commute", 1.0).apply(
+            one_trial, fault_rng(0, "commute")
+        )
+        assert np.isnan(out.recording.samples).any()
+
+    def test_resting_is_gentle(self, one_trial):
+        """The near-clean control perturbs far less than walking."""
+        rest = make_scenario("resting", 1.0).apply(
+            one_trial, fault_rng(0, "r")
+        )
+        walk = make_scenario("typing_while_walking", 1.0).apply(
+            one_trial, fault_rng(0, "w")
+        )
+        delta = lambda t: float(  # noqa: E731
+            np.nanmean(np.abs(t.recording.samples - one_trial.recording.samples))
+        )
+        assert delta(rest) < delta(walk)
+
+
+class TestValidation:
+    def test_intensity_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            MotionStateScenario(intensity=1.5)
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MotionStateScenario(intensity=0.5, bursts_per_second=-1.0)
+
+    def test_gain_fraction_bounded(self):
+        with pytest.raises(ConfigurationError):
+            MotionStateScenario(intensity=0.5, gain_fraction=1.5)
+
+    def test_dropout_fraction_bounded(self):
+        with pytest.raises(ConfigurationError):
+            MotionStateScenario(intensity=0.5, dropout_fraction=-0.1)

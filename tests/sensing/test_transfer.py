@@ -1,0 +1,108 @@
+"""Unit tests for the cross-device transfer transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import fault_rng
+from repro.sensing import DEVICE_PROFILES, CrossDeviceTransform, DeviceProfile
+
+
+class TestDeviceProfiles:
+    def test_registry_devices(self):
+        assert set(DEVICE_PROFILES) == {"watch_b", "band_c"}
+
+    def test_profiles_are_four_channel(self):
+        for profile in DEVICE_PROFILES.values():
+            matrix = np.asarray(profile.channel_mix)
+            assert matrix.shape == (4, 4)
+            assert len(profile.gains) == 4
+            assert len(profile.offsets) == 4
+
+    def test_non_square_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile(
+                name="bad",
+                channel_mix=((1.0, 0.0),),
+                fs=50.0,
+                gains=(1.0, 1.0),
+                offsets=(0.0, 0.0),
+            )
+
+    def test_mismatched_gains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile(
+                name="bad",
+                channel_mix=((1.0, 0.0), (0.0, 1.0)),
+                fs=50.0,
+                gains=(1.0,),
+                offsets=(0.0, 0.0),
+            )
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile(
+                name="bad",
+                channel_mix=((1.0,),),
+                fs=0.0,
+                gains=(1.0,),
+                offsets=(0.0,),
+            )
+
+
+class TestCrossDeviceTransform:
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrossDeviceTransform(intensity=0.5, device="toaster")
+
+    def test_intensity_zero_is_same_object(self, one_trial):
+        transform = CrossDeviceTransform(intensity=0.0)
+        assert transform.apply(one_trial, fault_rng(0, "xd")) is one_trial
+
+    @pytest.mark.parametrize("device", sorted(DEVICE_PROFILES))
+    def test_metadata_contract_preserved(self, device, one_trial):
+        """The probe keeps the pipeline's container: channel count,
+        sampling rate, and sample count are untouched — only the
+        information content changes."""
+        transform = CrossDeviceTransform(intensity=1.0, device=device)
+        out = transform.apply(one_trial, fault_rng(0, "xd", device))
+        assert out is not one_trial
+        assert out.recording.fs == one_trial.recording.fs
+        assert out.recording.n_channels == one_trial.recording.n_channels
+        assert out.recording.n_samples == one_trial.recording.n_samples
+        assert out.recording.channels == one_trial.recording.channels
+        assert out.events == one_trial.events
+        assert not np.array_equal(
+            out.recording.samples, one_trial.recording.samples
+        )
+
+    def test_deterministic_under_seeded_rng(self, one_trial):
+        transform = CrossDeviceTransform(intensity=0.6, device="band_c")
+        a = transform.apply(one_trial, fault_rng(4, "xd"))
+        b = transform.apply(one_trial, fault_rng(4, "xd"))
+        assert np.array_equal(a.recording.samples, b.recording.samples)
+
+    def test_band_c_loses_more_than_watch_b(self, one_trial):
+        """The 25 Hz budget band destroys more signal than the 64 Hz
+        watch: its round trip removes everything above 12.5 Hz."""
+
+        def distortion(device):
+            out = CrossDeviceTransform(intensity=1.0, device=device).apply(
+                one_trial, fault_rng(0, device)
+            )
+            return float(
+                np.abs(out.recording.samples - one_trial.recording.samples).mean()
+            )
+
+        assert distortion("band_c") > distortion("watch_b")
+
+    def test_intensity_interpolates(self, one_trial):
+        def distortion(intensity):
+            out = CrossDeviceTransform(
+                intensity=intensity, device="watch_b"
+            ).apply(one_trial, fault_rng(0, "interp"))
+            return float(
+                np.abs(out.recording.samples - one_trial.recording.samples).mean()
+            )
+
+        assert distortion(0.25) < distortion(1.0)
