@@ -1,0 +1,79 @@
+"""Perf-regression smoke test for the HTTP auth service.
+
+Runs the same harness as ``scripts/bench_service.py`` under
+pytest-benchmark: a closed-loop client fleet over the asyncio HTTP
+server, Zipf traffic against a sharded packed population, cold and
+warm registry passes. The throughput/latency floors are deliberately
+far below the measured numbers (hundreds of auth/sec warm, p99 in the
+tens of milliseconds) so the test flags genuine regressions, not CI
+noise — while the wire-parity flags must hold exactly at any scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from pathlib import Path
+
+from .conftest import run_once
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_service.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_service", _SCRIPT)
+bench_service = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_service)
+
+
+def _is_smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "smoke"
+
+
+def _params():
+    if _is_smoke():
+        return dict(users=48, features=840, n_templates=2, n_requests=48,
+                    concurrencies=(1, 8), capacity=64, n_jobs=1)
+    return dict(users=1000, features=840, n_templates=4, n_requests=256,
+                concurrencies=(1, 8, 32), capacity=1024, n_jobs=None)
+
+
+def test_service_closed_loop(benchmark, report):
+    result = run_once(benchmark, bench_service.run, **_params())
+
+    lines = []
+    for level in result["closed_loop"]:
+        for phase in ("cold", "warm"):
+            stats = level[phase]
+            lines.append(
+                f"c={level['concurrency']:>2} {phase}: "
+                f"{stats['auth_per_sec']:.0f} auth/s, "
+                f"p50 {stats['p50_ms']:.1f} ms, p95 {stats['p95_ms']:.1f} ms, "
+                f"p99 {stats['p99_ms']:.1f} ms"
+            )
+    report("service — " + " | ".join(lines))
+
+    # Wire parity is non-negotiable at any scale: the HTTP path must
+    # reproduce direct engine decisions bit-for-bit.
+    parity = result["parity"]
+    assert parity["decisions_match"]
+    assert parity["scores_bit_exact"]
+    assert parity["n_accepted"] > 0
+
+    for level in result["closed_loop"]:
+        cold, warm = level["cold"], level["warm"]
+        # The cold pass must actually have been cold (backend loads)
+        # and the warm pass actually warm (the preload did its job).
+        assert cold["registry_misses"] > 0, level["concurrency"]
+        assert warm["registry_misses"] == 0, level["concurrency"]
+        # Loose floors against shared-runner noise; the committed
+        # full-mode BENCH_service.json holds the real numbers.
+        assert warm["auth_per_sec"] >= 10.0, level["concurrency"]
+        assert warm["p99_ms"] <= 2000.0, level["concurrency"]
+        assert warm["requests"] > 0 and cold["requests"] > 0
+    # More clients must not collapse throughput below the serial rate.
+    by_conc = {lv["concurrency"]: lv for lv in result["closed_loop"]}
+    top = max(by_conc)
+    assert (
+        by_conc[top]["warm"]["auth_per_sec"]
+        >= 0.5 * by_conc[1]["warm"]["auth_per_sec"]
+    )

@@ -12,6 +12,8 @@ points without writing code:
   aging, cross-device transfer) and compare template-maintenance
   policies as FRR/FAR-vs-age curves;
 - ``simulate`` — synthesize a PIN-entry trial and dump it as CSV;
+- ``serve`` — run the HTTP authentication service over a registry
+  (synthetic demo population or an existing packed store);
 - ``list`` — list the available experiments.
 """
 
@@ -271,6 +273,98 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core import EnrollmentOptions, ModelRegistry
+    from .service import AuthService
+    from .service.http import serve as http_serve
+
+    backend = None
+    if args.packed:
+        from .core.backends import ShardedPackedBackend
+
+        backend = ShardedPackedBackend(args.packed)
+    from .config import PipelineConfig
+    from .core import check_enrollment_quality
+    from .data import StudyData
+    from .errors import EnrollmentError
+
+    options = EnrollmentOptions(num_features=args.features)
+    registry = ModelRegistry(
+        capacity=args.capacity,
+        backend=backend,
+        options=options,
+    )
+
+    n = args.synthetic or 0
+    pin = args.pin
+    n_trials = 9
+    data = StudyData(n_users=n + 2, seed=args.seed or 0)
+    config = PipelineConfig()
+
+    def usable_trials(user: int) -> list:
+        # Some synthetic entries fail the enrollment quality gate
+        # (weak keystroke artifacts), exactly as real captures
+        # would; emulate the re-prompt by generating extras and
+        # keeping the first n_trials that pass on their own.
+        picked = []
+        for index in range(4 * n_trials):
+            trial = data.trials(user, pin, "one_handed", index + 1)[index]
+            try:
+                check_enrollment_quality([trial], config, options)
+            except EnrollmentError:
+                continue
+            picked.append(trial)
+            if len(picked) == n_trials:
+                return picked
+        raise EnrollmentError(
+            f"synthetic user {user} produced only {len(picked)}/"
+            f"{n_trials} gate-passing trials; try another --seed"
+        )
+
+    # Wire enrollment needs a server-side negatives corpus; the last
+    # two simulated users are donors and are never enrolled themselves.
+    print("generating third-party negative corpus ...", file=sys.stderr)
+    third = [t for v in (n, n + 1) for t in usable_trials(v)]
+
+    service = AuthService(
+        registry,
+        third_party_trials=third,
+        stripes=args.stripes,
+        max_workers=args.workers,
+        session_capacity=args.sessions,
+    )
+
+    if args.synthetic:
+        print(
+            f"enrolling {n} synthetic users (pin {pin!r}, "
+            f"{args.features} features) ...",
+            file=sys.stderr,
+        )
+        for u in range(n):
+            uid = f"u{u:07d}"
+            registry.enroll(uid, pin, usable_trials(u), third)
+            service.adopt_user(uid, pin)
+    elif args.packed:
+        users = registry.list_users()
+        print(
+            f"adopting {len(users)} packed users (pin {args.pin!r}) ...",
+            file=sys.stderr,
+        )
+        for uid in users:
+            service.adopt_user(uid, args.pin)
+
+    print(f"listening on http://{args.host}:{args.port}", file=sys.stderr)
+    try:
+        asyncio.run(http_serve(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -395,6 +489,59 @@ def build_parser() -> argparse.ArgumentParser:
         seed_default=0,
     )
     sim.set_defaults(func=_cmd_simulate)
+
+    srv = sub.add_parser(
+        "serve", help="run the HTTP authentication service"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8314)
+    srv.add_argument(
+        "--synthetic",
+        type=int,
+        default=0,
+        metavar="N",
+        help="enroll N synthetic demo users before serving",
+    )
+    srv.add_argument(
+        "--packed",
+        default=None,
+        metavar="DIR",
+        help="serve an existing sharded packed store",
+    )
+    srv.add_argument(
+        "--pin",
+        default="1628",
+        help="PIN shared by synthetic/packed populations (default: 1628)",
+    )
+    srv.add_argument(
+        "--features",
+        type=int,
+        default=840,
+        help="MiniRocket feature count for synthetic enrollment",
+    )
+    srv.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="registry LRU capacity (default: unbounded)",
+    )
+    srv.add_argument(
+        "--sessions", type=int, default=1024, help="live session slots"
+    )
+    srv.add_argument(
+        "--workers", type=int, default=4, help="engine thread-pool size"
+    )
+    srv.add_argument(
+        "--stripes", type=int, default=64, help="per-user lock stripes"
+    )
+    _add_common_options(
+        srv,
+        jobs_help="accepted for interface uniformity; the service "
+        "sizes its own pool via --workers",
+        seed_help="synthetic population seed (default: 0)",
+        seed_default=0,
+    )
+    srv.set_defaults(func=_cmd_serve)
 
     return parser
 

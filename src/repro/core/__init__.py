@@ -31,7 +31,13 @@ from .registry import (
     RegistryBackend,
     backend_exists,
 )
-from .session import RetryPolicy, SessionEvent, SessionManager, SessionState
+from .session import (
+    LockoutStatus,
+    RetryPolicy,
+    SessionEvent,
+    SessionManager,
+    SessionState,
+)
 from .stages import (
     AuthPipeline,
     ClassifyStage,
@@ -101,6 +107,7 @@ __all__ = [
     "RegistryBackend",
     "Repaired",
     "RepairStage",
+    "LockoutStatus",
     "RetryPolicy",
     "Scores",
     "SegmentStage",

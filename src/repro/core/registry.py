@@ -599,6 +599,41 @@ class ModelRegistry:
         with self._lock:
             return list(self._cache)
 
+    def warm_users(self) -> frozenset:
+        """Snapshot of the user ids currently warm (in memory).
+
+        Cheap — one locked set copy, no backend I/O — so benchmarks and
+        the service's admin endpoint can split cold-vs-warm traffic
+        without perturbing the LRU order (unlike :meth:`get`, this
+        never counts as a use).
+        """
+        with self._lock:
+            return frozenset(self._cache)
+
+    def describe(self) -> Dict[str, object]:
+        """Admin metadata: capacity, backend kind, occupancy, counters.
+
+        The payload behind the service's ``/admin/stats`` endpoint.
+        ``backend`` is the backend class name (``None`` when the
+        registry is memory-only); ``stats`` embeds the hit/miss/
+        eviction counters of :attr:`stats`.
+        """
+        with self._lock:
+            cached = len(self._cache)
+            stats = {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+        return {
+            "capacity": self._capacity,
+            "backend": (
+                None if self._backend is None else type(self._backend).__name__
+            ),
+            "cached_users": cached,
+            "stats": stats,
+        }
+
     def _shrink(self) -> None:  # guarded-by: caller
         assert_owned(self._lock, "ModelRegistry._shrink")
         if self._capacity is None:

@@ -31,7 +31,13 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..errors import AuthenticationError, ConfigurationError, QualityError
+from ..errors import (
+    AuthenticationError,
+    BackoffError,
+    ConfigurationError,
+    LockoutError,
+    QualityError,
+)
 from ..types import PinEntryTrial, PPGRecording
 from .authentication import AuthDecision
 from .authenticator import P2Auth
@@ -61,6 +67,33 @@ class SessionEvent:
     kind: str
     state: SessionState
     detail: str
+
+
+@dataclass(frozen=True)
+class LockoutStatus:
+    """Queryable snapshot of the retry ladder (no event-log parsing).
+
+    Attributes:
+        locked: whether the ladder has locked the session.
+        failures: consecutive failed entries since the last success or
+            unlock.
+        max_failures: the policy's lockout threshold, or ``None`` when
+            no retry policy is configured (unlimited retries).
+        not_before: earliest time (session clock) the next entry may be
+            submitted; ``0.0`` when no backoff is pending.
+        retry_after_s: seconds until the next entry is admissible, as
+            of the query's ``now``: ``0.0`` when an entry may be
+            submitted immediately, finite during a backoff window, and
+            ``math.inf`` while locked (a lockout only clears through
+            :meth:`SessionManager.unlock`). This is the number a
+            transport puts in a 429 ``Retry-After`` header.
+    """
+
+    locked: bool
+    failures: int
+    max_failures: Optional[int]
+    not_before: float
+    retry_after_s: float
 
 
 @dataclass(frozen=True)
@@ -172,6 +205,96 @@ class SessionManager:  # concurrency: thread-hostile
         """The session audit trail, oldest first."""
         return tuple(self._log)
 
+    def lockout_status(self, now: Optional[float] = None) -> LockoutStatus:
+        """The retry ladder's state as a queryable snapshot.
+
+        A pure query: neither the session clock nor the ladder moves.
+        ``now`` defaults to the last time observed by
+        :meth:`submit_entry` (the session's monotone watermark), so a
+        caller that always supplies wall-clock times gets wall-clock
+        ``retry_after_s`` values; like the submission path, a ``now``
+        behind the watermark is clamped up to it.
+
+        This is the API transports use to populate a 429
+        ``Retry-After`` header — it replaces parsing "backoff" /
+        "lockout" events out of :attr:`log`.
+        """
+        if now is None:
+            effective = self._last_now
+        elif not math.isfinite(now):
+            raise ConfigurationError(f"query time must be finite, got {now!r}")
+        else:
+            effective = max(float(now), self._last_now)
+        if self._state is SessionState.LOCKED:
+            retry_after = math.inf
+        elif self._retry is None:
+            retry_after = 0.0
+        else:
+            retry_after = max(0.0, self._not_before - effective)
+        return LockoutStatus(
+            locked=self._state is SessionState.LOCKED,
+            failures=self._failures,
+            max_failures=(
+                None if self._retry is None else self._retry.max_failures
+            ),
+            not_before=self._not_before,
+            retry_after_s=retry_after,
+        )
+
+    def restore_lockout(self, status: LockoutStatus) -> None:
+        """Re-arm the retry ladder from a :class:`LockoutStatus` snapshot.
+
+        The inverse of :meth:`lockout_status`, for hosts that bound how
+        many live sessions they keep (the service layer's session-slot
+        LRU): evicting a session must not forget its ladder, or an
+        attacker could reset a lockout by cycling enough other users
+        through the host. Restoring a locked snapshot locks this
+        session; restoring counters re-arms backoff at the recorded
+        ``not_before``. Wear state is deliberately untouched — only the
+        ladder survives eviction.
+        """
+        if status.failures < 0:
+            raise ConfigurationError(
+                f"failures must be >= 0, got {status.failures}"
+            )
+        if not math.isfinite(status.not_before) or status.not_before < 0:
+            raise ConfigurationError(
+                f"not_before must be finite and >= 0, got {status.not_before!r}"
+            )
+        # The watermark is NOT advanced to ``not_before``: the snapshot
+        # puts that instant in the future, and clamping queries up to it
+        # would make the restored backoff window appear already elapsed.
+        self._failures = status.failures
+        self._not_before = status.not_before
+        if status.locked:
+            self._state = SessionState.LOCKED
+            self._record(
+                "lockout", "restored locked ladder from snapshot"
+            )
+        elif status.failures or status.not_before:
+            self._record(
+                "backoff",
+                f"restored ladder snapshot ({status.failures} failures, "
+                f"not before {status.not_before:.1f})",
+            )
+
+    def assume_worn(self, detail: str = "transport-attested wear") -> None:
+        """Trusted ``OFF_WRIST -> WORN`` transition without a recording.
+
+        For transports whose wear detection runs device-side (the HTTP
+        service trusts the watch's own on-wrist attestation rather than
+        shipping quiescent PPG stretches per request). A ``LOCKED``
+        session stays locked — attestation must not bypass the retry
+        ladder — and any other state is left unchanged.
+        """
+        if self._state is SessionState.OFF_WRIST:
+            self._state = SessionState.WORN
+            self._record("wear_check", f"assumed worn: {detail}")
+        else:
+            self._record(
+                "wear_check", f"assume_worn no-op in {self._state.value}"
+            )
+
     def _record(self, kind: str, detail: str) -> None:
         self._log.append(SessionEvent(kind=kind, state=self._state, detail=detail))
 
@@ -262,9 +385,12 @@ class SessionManager:  # concurrency: thread-hostile
                 silently disarm every backoff comparison and poison
                 ``retry_not_before`` for the rest of the session.
             AuthenticationError: when the watch is not worn (an
-                off-wrist entry cannot carry the wearer's biometric),
-                when the session is locked, or when the attempt lands
-                inside a retry backoff window.
+                off-wrist entry cannot carry the wearer's biometric).
+            LockoutError: when the session is locked (sticky until
+                :meth:`unlock`; maps to HTTP 429 without Retry-After).
+            BackoffError: when the attempt lands inside a retry
+                backoff window; carries the remaining delay as
+                ``retry_after_s`` (maps to HTTP 429 + Retry-After).
             QualityError: when the authenticator's degradation policy
                 refuses the trial; counts as a failed attempt on the
                 retry ladder (the user is re-prompted, not rejected).
@@ -280,7 +406,7 @@ class SessionManager:  # concurrency: thread-hostile
         self._clock = max(self._clock, now) + 1.0
         if self._state is SessionState.LOCKED:
             self._record("entry", "refused: session is locked")
-            raise AuthenticationError(
+            raise LockoutError(
                 "session is locked after too many failed entries; unlock "
                 "through the fallback authentication path"
             )
@@ -290,8 +416,9 @@ class SessionManager:  # concurrency: thread-hostile
                 "entry",
                 f"refused: retry backoff for another {remaining:.1f}s",
             )
-            raise AuthenticationError(
-                f"retry backoff in effect; wait another {remaining:.1f}s"
+            raise BackoffError(
+                f"retry backoff in effect; wait another {remaining:.1f}s",
+                retry_after_s=remaining,
             )
         if self._state is SessionState.OFF_WRIST:
             raise AuthenticationError(

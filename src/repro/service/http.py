@@ -1,0 +1,376 @@
+"""Stdlib ASGI adapter and a minimal asyncio HTTP/1.1 server.
+
+:func:`make_app` wraps an :class:`~repro.service.core.AuthService` in a
+plain ASGI 3 application — any ASGI server (uvicorn, hypercorn) can
+host it, but none is required: :func:`serve` runs the same app on a
+small ``asyncio.start_server`` HTTP/1.1 loop with keep-alive, which is
+what ``python -m repro serve`` and the load harness use.
+
+Routes (all bodies JSON):
+
+========  =============================  =======================================
+method    path                           action
+========  =============================  =======================================
+GET       /v1/health                     liveness probe
+POST      /v1/enroll/begin               open a single-use enrollment window
+POST      /v1/enroll/complete            PIN proof + trials -> train templates
+POST      /v1/auth                       one authentication attempt
+GET       /v1/session/{user_id}          session/ladder state query
+POST      /v1/session/{user_id}/unlock   fallback-auth unlock
+GET       /v1/admin/stats                service + registry observability
+GET       /v1/admin/users                enrolled user ids
+========  =============================  =======================================
+
+Error contract: every :class:`~repro.errors.P2AuthError` maps through
+the one canonical table in :mod:`repro.errors` — the body is
+``{"error": {"code": ..., "message": ...}}`` with the class's stable
+``code``, the status comes from :func:`~repro.errors.http_status_for`,
+and throttling responses carry ``Retry-After`` when
+:func:`~repro.errors.retry_after_s` yields a finite delay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    P2AuthError,
+    ProtocolError,
+    http_status_for,
+    retry_after_s,
+)
+from .core import AuthService
+from .protocol import AuthRequest, EnrollBeginRequest, EnrollCompleteRequest
+
+#: Upper bound on accepted request bodies (enrollment trials are the
+#: largest legitimate payload; a 10-trial batch is well under this).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {  # concurrency: immutable-after-init
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpResult:
+    """One computed response: status, JSON-serializable body, headers."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: Any,
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = headers if headers is not None else []
+
+
+def _error_result(err: P2AuthError) -> _HttpResult:
+    headers: List[Tuple[str, str]] = []
+    delay = retry_after_s(err)
+    if delay is not None:
+        headers.append(("retry-after", str(max(1, math.ceil(delay)))))
+    return _HttpResult(
+        status=http_status_for(type(err)),
+        body={"error": {"code": err.code, "message": str(err)}},
+        headers=headers,
+    )
+
+
+async def _dispatch(
+    service: AuthService, method: str, path: str, body: bytes
+) -> _HttpResult:
+    """Route one request. Raises nothing: errors become results."""
+    try:
+        return await _route(service, method, path, body)
+    except P2AuthError as err:
+        return _error_result(err)
+    except Exception as err:  # noqa: BLE001 - the transport's last line
+        # of defense: an unexpected fault must surface as a 500 with
+        # the internal code, never tear down the connection loop.
+        return _HttpResult(
+            500,
+            {
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(err).__name__}: {err}",
+                }
+            },
+        )
+
+
+def _parse_json(body: bytes, ctx: str) -> Any:
+    if not body:
+        raise ProtocolError(f"{ctx}: empty body; a JSON object is required")
+    try:
+        return json.loads(body)
+    except ValueError:
+        raise ProtocolError(f"{ctx}: body is not valid JSON") from None
+
+
+async def _route(
+    service: AuthService, method: str, path: str, body: bytes
+) -> _HttpResult:
+    if path == "/v1/health":
+        if method != "GET":
+            return _method_not_allowed("GET")
+        return _HttpResult(200, {"status": "ok"})
+
+    if path == "/v1/enroll/begin":
+        if method != "POST":
+            return _method_not_allowed("POST")
+        req = EnrollBeginRequest.parse(_parse_json(body, "enroll/begin"))
+        return _HttpResult(200, service.enroll_begin(req.user_id).to_wire())
+
+    if path == "/v1/enroll/complete":
+        if method != "POST":
+            return _method_not_allowed("POST")
+        creq = EnrollCompleteRequest.parse(
+            _parse_json(body, "enroll/complete")
+        )
+        return _HttpResult(200, (await service.enroll_complete(creq)).to_wire())
+
+    if path == "/v1/auth":
+        if method != "POST":
+            return _method_not_allowed("POST")
+        areq = AuthRequest.parse(_parse_json(body, "auth"))
+        return _HttpResult(200, (await service.authenticate(areq)).to_wire())
+
+    if path.startswith("/v1/session/"):
+        rest = path[len("/v1/session/") :]
+        if rest.endswith("/unlock"):
+            if method != "POST":
+                return _method_not_allowed("POST")
+            user_id = rest[: -len("/unlock")]
+            await service.unlock(user_id)
+            return _HttpResult(200, {"user_id": user_id, "unlocked": True})
+        if "/" in rest or not rest:
+            return _not_found(path)
+        if method != "GET":
+            return _method_not_allowed("GET")
+        return _HttpResult(200, (await service.session_status(rest)).to_wire())
+
+    if path == "/v1/admin/stats":
+        if method != "GET":
+            return _method_not_allowed("GET")
+        return _HttpResult(200, service.stats())
+
+    if path == "/v1/admin/users":
+        if method != "GET":
+            return _method_not_allowed("GET")
+        return _HttpResult(200, {"users": service.list_users()})
+
+    return _not_found(path)
+
+
+def _not_found(path: str) -> _HttpResult:
+    return _HttpResult(
+        404, {"error": {"code": "not_found", "message": f"no route {path!r}"}}
+    )
+
+
+def _method_not_allowed(allowed: str) -> _HttpResult:
+    return _HttpResult(
+        405,
+        {"error": {"code": "method_not_allowed", "message": f"use {allowed}"}},
+        headers=[("allow", allowed)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# ASGI 3 application
+# ---------------------------------------------------------------------------
+
+
+def make_app(
+    service: AuthService,
+) -> Callable[[Dict[str, Any], Callable, Callable], Awaitable[None]]:
+    """An ASGI 3 app over ``service`` (http + lifespan scopes)."""
+
+    async def app(
+        scope: Dict[str, Any],
+        receive: Callable[[], Awaitable[Dict[str, Any]]],
+        send: Callable[[Dict[str, Any]], Awaitable[None]],
+    ) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+
+        chunks: List[bytes] = []
+        total = 0
+        too_large = False
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            chunk = message.get("body", b"")
+            total += len(chunk)
+            if total > MAX_BODY_BYTES:
+                too_large = True
+            elif chunk:
+                chunks.append(chunk)
+            if not message.get("more_body", False):
+                break
+
+        if too_large:
+            result = _HttpResult(
+                413,
+                {
+                    "error": {
+                        "code": "payload_too_large",
+                        "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+                    }
+                },
+            )
+        else:
+            result = await _dispatch(
+                service, scope["method"].upper(), scope["path"], b"".join(chunks)
+            )
+
+        payload = json.dumps(result.body).encode("utf-8")
+        headers = [
+            (b"content-type", b"application/json"),
+            (b"content-length", str(len(payload)).encode("ascii")),
+        ] + [(k.encode("ascii"), v.encode("ascii")) for k, v in result.headers]
+        await send(
+            {
+                "type": "http.response.start",
+                "status": result.status,
+                "headers": headers,
+            }
+        )
+        await send({"type": "http.response.body", "body": payload})
+
+    return app
+
+
+# ---------------------------------------------------------------------------
+# Minimal asyncio HTTP/1.1 server (no external dependencies)
+# ---------------------------------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"unacceptable content-length {length}")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method, path, headers, body
+
+
+def _render_response(result: _HttpResult, keep_alive: bool) -> bytes:
+    payload = json.dumps(result.body).encode("utf-8")
+    reason = _REASONS.get(result.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {result.status} {reason}",
+        "content-type: application/json",
+        f"content-length: {len(payload)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{k}: {v}" for k, v in result.headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload
+
+
+async def _handle_connection(
+    service: AuthService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except ProtocolError as err:
+                writer.write(_render_response(_error_result(err), False))
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            method, path, headers, body = request
+            result = await _dispatch(service, method.upper(), path, body)
+            keep_alive = headers.get("connection", "keep-alive") != "close"
+            writer.write(_render_response(result, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve(
+    service: AuthService,
+    host: str = "127.0.0.1",
+    port: int = 8314,
+    *,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Run the HTTP/1.1 server until cancelled.
+
+    ``ready`` (when given) is set once the socket is listening — the
+    hook tests and the load harness use it to avoid polling. Pass
+    ``port=0`` to bind an ephemeral port; the bound address is stored
+    on ``ready.address`` when an event is supplied.
+    """
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+    if ready is not None:
+        # Stashing the bound (host, port) on the event is the simplest
+        # handshake that needs no extra queue plumbing.
+        ready.address = server.sockets[0].getsockname()[:2]  # type: ignore[attr-defined]
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+__all__ = ["MAX_BODY_BYTES", "make_app", "serve"]

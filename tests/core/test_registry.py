@@ -358,3 +358,47 @@ class TestCacheStats:
         registry.add("alice", alice)
         registry.evict("alice")
         assert registry.stats["evictions"] == 0
+
+
+class TestAdminSurface:
+    def test_warm_users_snapshot(self, alice, bob):
+        registry = ModelRegistry()
+        assert registry.warm_users() == frozenset()
+        registry.add("alice", alice)
+        registry.add("bob", bob)
+        warm = registry.warm_users()
+        assert warm == frozenset({"alice", "bob"})
+        registry.evict("alice")
+        assert registry.warm_users() == frozenset({"bob"})
+        # The snapshot is independent of later registry mutations.
+        assert warm == frozenset({"alice", "bob"})
+
+    def test_warm_users_does_not_touch_lru_order(self, alice, bob):
+        registry = ModelRegistry(capacity=2)
+        registry.add("alice", alice)
+        registry.add("bob", bob)
+        registry.warm_users()  # must not count as a use of either user
+        registry.add("carol", bob)
+        assert "alice" not in registry.warm_users()  # LRU, not snapshot order
+
+    def test_describe_memory_only(self, alice):
+        registry = ModelRegistry(capacity=4)
+        registry.add("alice", alice)
+        meta = registry.describe()
+        assert meta["capacity"] == 4
+        assert meta["backend"] is None
+        assert meta["cached_users"] == 1
+        assert meta["stats"] == {"hits": 0, "misses": 0, "evictions": 0}
+
+    def test_describe_names_backend_kind_and_counters(self, alice, tmp_path):
+        backend = NpzDirectoryBackend(tmp_path / "models")
+        registry = ModelRegistry(capacity=1, backend=backend)
+        registry.add("alice", alice)
+        registry.get("alice")
+        registry.evict("alice")
+        registry.get("alice")  # miss -> backend load
+        meta = registry.describe()
+        assert meta["backend"] == "NpzDirectoryBackend"
+        assert meta["capacity"] == 1
+        assert meta["stats"]["hits"] == 1
+        assert meta["stats"]["misses"] == 1

@@ -98,3 +98,176 @@ class TestLifecycle:
         kinds = [event.kind for event in session.log]
         assert "wear_check" in kinds
         assert "entry" in kinds
+
+
+class TestAssumeWorn:
+    def test_off_wrist_transitions_to_worn(self, session):
+        session.assume_worn("device attestation")
+        assert session.state is SessionState.WORN
+        assert any(
+            e.kind == "wear_check" and "assumed worn" in e.detail
+            for e in session.log
+        )
+
+    def test_noop_outside_off_wrist(self, enrolled_auth, study_data):
+        from repro.core.session import RetryPolicy
+
+        session = SessionManager(
+            enrolled_auth, retry=RetryPolicy(max_failures=1)
+        )
+        session.assume_worn()
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        session.submit_entry(imposter, now=0.0)
+        assert session.locked
+        session.assume_worn()  # must not bypass the ladder
+        assert session.state is SessionState.LOCKED
+
+
+class TestLockoutStatusQuery:
+    @pytest.fixture()
+    def worn_session(self, enrolled_auth):
+        from repro.core.session import RetryPolicy
+
+        session = SessionManager(
+            enrolled_auth,
+            retry=RetryPolicy(max_failures=3, backoff_base_s=2.0),
+        )
+        session.assume_worn()
+        return session
+
+    def test_fresh_session_is_clear(self, worn_session):
+        status = worn_session.lockout_status()
+        assert not status.locked
+        assert status.failures == 0
+        assert status.max_failures == 3
+        assert status.retry_after_s == 0.0
+
+    def test_no_policy_means_unlimited(self, session):
+        status = session.lockout_status()
+        assert status.max_failures is None
+        assert status.retry_after_s == 0.0
+
+    def test_backoff_counts_down_with_now(self, worn_session, study_data):
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        worn_session.submit_entry(imposter, now=0.0)
+        status = worn_session.lockout_status(now=0.5)
+        assert status.failures == 1
+        assert status.not_before == pytest.approx(2.0)
+        assert status.retry_after_s == pytest.approx(1.5)
+        assert worn_session.lockout_status(now=10.0).retry_after_s == 0.0
+
+    def test_query_is_pure(self, worn_session, study_data):
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        worn_session.submit_entry(imposter, now=0.0)
+        before = worn_session.lockout_status(now=1.0)
+        # A far-future query must not advance the session watermark.
+        worn_session.lockout_status(now=1e6)
+        after = worn_session.lockout_status(now=1.0)
+        assert before == after
+        assert worn_session.retry_not_before == pytest.approx(2.0)
+
+    def test_locked_reports_infinite_retry_after(
+        self, worn_session, study_data
+    ):
+        import math
+
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        for t in (0.0, 10.0, 20.0):
+            worn_session.submit_entry(imposter, now=t)
+        assert worn_session.locked
+        status = worn_session.lockout_status()
+        assert status.locked
+        assert math.isinf(status.retry_after_s)
+
+    def test_non_finite_now_rejected(self, worn_session):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            worn_session.lockout_status(now=float("nan"))
+
+    def test_typed_backoff_and_lockout_errors(
+        self, worn_session, study_data
+    ):
+        from repro.errors import BackoffError, LockoutError
+
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        worn_session.submit_entry(imposter, now=0.0)
+        with pytest.raises(BackoffError) as excinfo:
+            worn_session.submit_entry(imposter, now=0.5)
+        assert excinfo.value.retry_after_s == pytest.approx(1.5)
+        for t in (10.0, 20.0):
+            worn_session.submit_entry(imposter, now=t)
+        with pytest.raises(LockoutError):
+            worn_session.submit_entry(imposter, now=100.0)
+
+
+class TestRestoreLockout:
+    @pytest.fixture()
+    def retry(self):
+        from repro.core.session import RetryPolicy
+
+        return RetryPolicy(max_failures=3, backoff_base_s=2.0)
+
+    def test_ladder_survives_snapshot_round_trip(
+        self, enrolled_auth, study_data, retry
+    ):
+        from repro.errors import BackoffError
+
+        first = SessionManager(enrolled_auth, retry=retry)
+        first.assume_worn()
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        first.submit_entry(imposter, now=0.0)
+        snapshot = first.lockout_status()
+
+        second = SessionManager(enrolled_auth, retry=retry)
+        second.restore_lockout(snapshot)
+        second.assume_worn()
+        assert second.lockout_status() == snapshot
+        with pytest.raises(BackoffError):
+            second.submit_entry(imposter, now=0.5)
+
+    def test_locked_snapshot_locks_the_session(
+        self, enrolled_auth, study_data, retry
+    ):
+        from repro.errors import LockoutError
+
+        first = SessionManager(enrolled_auth, retry=retry)
+        first.assume_worn()
+        imposter = study_data.trials(5, PIN, "one_handed", 1)[0]
+        for t in (0.0, 10.0, 20.0):
+            first.submit_entry(imposter, now=t)
+        assert first.locked
+
+        second = SessionManager(enrolled_auth, retry=retry)
+        second.restore_lockout(first.lockout_status())
+        assert second.locked
+        with pytest.raises(LockoutError):
+            second.submit_entry(imposter, now=100.0)
+        second.unlock()
+        assert second.state is SessionState.OFF_WRIST
+
+    def test_invalid_snapshots_rejected(self, enrolled_auth, retry):
+        from repro.core.session import LockoutStatus
+        from repro.errors import ConfigurationError
+
+        session = SessionManager(enrolled_auth, retry=retry)
+        with pytest.raises(ConfigurationError):
+            session.restore_lockout(
+                LockoutStatus(
+                    locked=False,
+                    failures=-1,
+                    max_failures=3,
+                    not_before=0.0,
+                    retry_after_s=0.0,
+                )
+            )
+        with pytest.raises(ConfigurationError):
+            session.restore_lockout(
+                LockoutStatus(
+                    locked=False,
+                    failures=0,
+                    max_failures=3,
+                    not_before=float("inf"),
+                    retry_after_s=0.0,
+                )
+            )

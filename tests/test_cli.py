@@ -34,6 +34,7 @@ class TestParser:
             ["robustness"],
             ["demo"],
             ["simulate"],
+            ["serve"],
         ],
     )
     def test_every_subcommand_accepts_jobs_and_seed(self, command):
@@ -50,6 +51,18 @@ class TestParser:
     def test_seed_defaults_preserved(self):
         assert build_parser().parse_args(["demo"]).seed == 7
         assert build_parser().parse_args(["simulate"]).seed == 0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "9000", "--synthetic", "3",
+                "--features", "840", "--workers", "2", "--stripes", "8",
+                "--sessions", "16", "--capacity", "4",
+            ]
+        )
+        assert args.port == 9000 and args.synthetic == 3
+        assert args.capacity == 4 and args.stripes == 8
+        assert args.pin == "1628" and args.host == "127.0.0.1"
 
 
 class TestCommands:

@@ -1,16 +1,56 @@
-"""The exception hierarchy contract."""
+"""The exception hierarchy contract.
+
+Beyond the inheritance shape, this module pins the service-facing
+contract: every error class carries a stable machine-readable ``code``,
+and the canonical HTTP mapping in :data:`repro.errors.HTTP_STATUS_BY_ERROR`
+is exhaustive over the taxonomy — no subclass may fall through to a 500
+silently (new 500s must be added to the explicit allowlist below).
+"""
+
+import math
 
 import pytest
 
+import repro.errors as errors_mod
 from repro.errors import (
     AuthenticationError,
+    BackoffError,
+    ConcurrencyError,
     ConfigurationError,
     EnrollmentError,
+    HTTP_STATUS_BY_ERROR,
+    LockoutError,
     NotFittedError,
     P2AuthError,
+    PersistenceError,
+    ProofError,
+    ProtocolError,
+    QualityError,
     SegmentationError,
     SignalError,
+    UnknownUserError,
+    http_status_for,
+    retry_after_s,
 )
+
+
+def _all_error_classes():
+    """Every P2AuthError subclass in the package taxonomy, recursively.
+
+    Importing ``repro`` first makes sure lazily defined subclasses (if
+    any module grew one) are registered before the walk.
+    """
+    import repro  # noqa: F401  (imported for subclass registration)
+
+    seen = set()
+    frontier = [P2AuthError]
+    while frontier:
+        cls = frontier.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        frontier.extend(cls.__subclasses__())
+    return sorted(seen, key=lambda c: c.__name__)
 
 
 @pytest.mark.parametrize(
@@ -22,6 +62,14 @@ from repro.errors import (
         EnrollmentError,
         AuthenticationError,
         NotFittedError,
+        QualityError,
+        PersistenceError,
+        ConcurrencyError,
+        ProtocolError,
+        ProofError,
+        UnknownUserError,
+        LockoutError,
+        BackoffError,
     ],
 )
 def test_all_errors_derive_from_base(exc):
@@ -32,6 +80,99 @@ def test_segmentation_is_a_signal_error():
     assert issubclass(SegmentationError, SignalError)
 
 
+def test_service_errors_are_authentication_errors():
+    assert issubclass(UnknownUserError, AuthenticationError)
+    assert issubclass(LockoutError, AuthenticationError)
+    assert issubclass(BackoffError, AuthenticationError)
+
+
 def test_base_catches_everything():
     with pytest.raises(P2AuthError):
         raise SegmentationError("window too large")
+
+
+class TestErrorCodes:
+    def test_every_class_has_a_stable_code(self):
+        for cls in _all_error_classes():
+            assert isinstance(cls.code, str) and cls.code, cls.__name__
+
+    def test_codes_are_unique_per_class(self):
+        classes = _all_error_classes()
+        codes = [cls.code for cls in classes]
+        assert len(set(codes)) == len(codes), (
+            "duplicate error codes: every class must be distinguishable "
+            "from its wire payload"
+        )
+
+    def test_codes_are_machine_readable_slugs(self):
+        for cls in _all_error_classes():
+            assert cls.code == cls.code.lower()
+            assert " " not in cls.code
+
+    def test_instances_expose_the_class_code(self):
+        assert QualityError("too damaged").code == "quality_refused"
+        assert LockoutError("locked").code == "locked_out"
+
+
+class TestHttpMapping:
+    #: Classes that legitimately map to 500: genuine server-side faults
+    #: a client cannot fix by changing the request. Anything else
+    #: reaching 500 is a taxonomy bug, not a default.
+    INTERNAL_500 = {
+        P2AuthError,
+        PersistenceError,
+        NotFittedError,
+        ConcurrencyError,
+    }
+
+    def test_mapping_is_exhaustive_over_the_taxonomy(self):
+        for cls in _all_error_classes():
+            status = http_status_for(cls)
+            assert 400 <= status <= 599, cls.__name__
+
+    def test_no_subclass_falls_through_to_500_silently(self):
+        for cls in _all_error_classes():
+            if http_status_for(cls) == 500:
+                assert cls in self.INTERNAL_500, (
+                    f"{cls.__name__} resolves to 500 but is not in the "
+                    "allowlist; either give it an explicit row in "
+                    "HTTP_STATUS_BY_ERROR or declare it an internal error"
+                )
+
+    def test_issue_pinned_statuses(self):
+        # The contract rows named by the service design: quality refusal
+        # is 422 "refused, retry", throttling is 429, unknown user 404.
+        assert http_status_for(QualityError) == 422
+        assert http_status_for(LockoutError) == 429
+        assert http_status_for(BackoffError) == 429
+        assert http_status_for(UnknownUserError) == 404
+        assert http_status_for(ConcurrencyError) == 500
+        assert http_status_for(ProofError) == 403
+        assert http_status_for(ProtocolError) == 400
+
+    def test_mro_resolution_covers_unlisted_subclasses(self):
+        class CustomQuality(QualityError):
+            pass
+
+        assert CustomQuality not in HTTP_STATUS_BY_ERROR
+        assert http_status_for(CustomQuality) == 422
+
+    def test_non_p2auth_types_resolve_internal(self):
+        assert http_status_for(ValueError) == 500
+
+    def test_table_only_names_p2auth_classes(self):
+        for cls in HTTP_STATUS_BY_ERROR:
+            assert issubclass(cls, P2AuthError)
+
+
+class TestRetryAfter:
+    def test_backoff_carries_finite_delay(self):
+        err = BackoffError("wait", retry_after_s=3.5)
+        assert retry_after_s(err) == 3.5
+
+    def test_lockout_is_indefinite(self):
+        assert retry_after_s(LockoutError("locked")) is None
+        assert LockoutError("locked").retry_after_s == math.inf
+
+    def test_plain_errors_have_no_delay(self):
+        assert retry_after_s(QualityError("refused")) is None

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.ml",
     "repro.physio",
     "repro.sensing",
+    "repro.service",
     "repro.signal",
 ]
 
